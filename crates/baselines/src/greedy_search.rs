@@ -1,0 +1,96 @@
+//! Top-k search under *greedy* matching — the inexact comparator of the
+//! paper's Example 2.
+//!
+//! Greedy matching pairs elements in descending weight order; its score is
+//! only a ½-approximation of the true semantic overlap, and Example 2 shows
+//! it mis-ranks sets whose optimal matching rearranges a heavy edge. This
+//! module exists to demonstrate that gap (see `examples/document_search.rs`
+//! and the `greedy_vs_exact` integration test).
+
+use koios_common::{SetId, TokenId};
+use koios_core::overlap::greedy_overlap;
+use koios_embed::repository::Repository;
+use koios_embed::sim::ElementSimilarity;
+use koios_index::inverted::InvertedIndex;
+use std::collections::HashSet;
+
+/// Returns up to `k` sets ranked by greedy matching score. Candidates are
+/// generated exactly like Koios (any set sharing a `≥ α` element pair),
+/// then scored greedily.
+pub fn greedy_topk(
+    repo: &Repository,
+    index: &InvertedIndex,
+    sim: &dyn ElementSimilarity,
+    query: &[TokenId],
+    k: usize,
+    alpha: f64,
+) -> Vec<(SetId, f64)> {
+    let mut q = query.to_vec();
+    q.sort_unstable();
+    q.dedup();
+    // Candidate generation: vocabulary scan per query element (the greedy
+    // baseline gets the same exact candidate set Koios sees).
+    let mut candidates: HashSet<SetId> = HashSet::new();
+    for t in 0..repo.vocab_size() as u32 {
+        let t = TokenId(t);
+        if index.postings(t).is_empty() {
+            continue;
+        }
+        let matches = q.iter().any(|&qt| sim.sim_alpha(qt, t, alpha) > 0.0);
+        if matches {
+            candidates.extend(index.postings(t).iter().copied());
+        }
+    }
+    let mut scored: Vec<(SetId, f64)> = candidates
+        .into_iter()
+        .map(|set| (set, greedy_overlap(repo, sim, alpha, &q, set)))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are never NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_core::overlap::semantic_overlap;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::QGramJaccard;
+
+    #[test]
+    fn greedy_can_mis_rank_but_never_over_scores() {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("c1", ["Blaine", "Charleston", "Columbia"]);
+        b.add_set("c2", ["Blain", "Charlestown", "Columbias"]);
+        let mut repo = b.build();
+        let q = repo.intern_query_mut(["Blaine", "Charleston", "Columbia"]);
+        let sim = QGramJaccard::new(&repo, 3);
+        let idx = InvertedIndex::build(&repo);
+        let top = greedy_topk(&repo, &idx, &sim, &q, 2, 0.3);
+        assert_eq!(top.len(), 2);
+        for &(set, g) in &top {
+            let so = semantic_overlap(&repo, &sim, 0.3, &q, set);
+            assert!(g <= so + 1e-9);
+            assert!(g >= so / 2.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_match_set_ranks_first() {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("exact", ["alpha", "beta", "gamma"]);
+        b.add_set("far", ["delta", "epsilon"]);
+        let repo = b.build();
+        let q = repo.intern_query(["alpha", "beta", "gamma"]);
+        let sim = QGramJaccard::new(&repo, 3);
+        let idx = InvertedIndex::build(&repo);
+        let top = greedy_topk(&repo, &idx, &sim, &q, 1, 0.5);
+        assert_eq!(top[0].0, SetId(0));
+        assert!((top[0].1 - 3.0).abs() < 1e-9);
+    }
+}

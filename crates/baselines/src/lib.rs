@@ -1,0 +1,24 @@
+//! Comparators for the Koios evaluation (paper §VIII).
+//!
+//! * [`exhaustive`] — the paper's **Baseline** (token stream → verify every
+//!   candidate with the Hungarian algorithm, thread-pooled) and
+//!   **Baseline+** (adds the iUB filter), §VIII-A4.
+//! * [`vanilla`] — exact top-k search under vanilla overlap `|Q ∩ C|`
+//!   (the syntactic comparator of the quality experiment, Fig. 8).
+//! * [`greedy_search`] — top-k by greedy matching score, the non-exact
+//!   comparator of Example 2 (it mis-ranks rearrangement cases).
+//! * [`silkmoth`] — a SilkMoth-style fuzzy set search (signature →
+//!   candidate → verify) in the two variants of §VIII-B: `Syntactic`
+//!   (prefix-filter signatures, similarity-specific) and `Semantic` (the
+//!   generic framework with full-token signatures), plus the θ-fed top-k
+//!   adaptation the paper uses for the comparison.
+
+pub mod exhaustive;
+pub mod greedy_search;
+pub mod silkmoth;
+pub mod vanilla;
+
+pub use exhaustive::{baseline_plus_search, baseline_search};
+pub use greedy_search::greedy_topk;
+pub use silkmoth::{SilkMoth, SilkMothStats, SilkMothVariant};
+pub use vanilla::vanilla_topk;

@@ -1,0 +1,361 @@
+//! A SilkMoth-style fuzzy set search comparator (paper §VIII-B).
+//!
+//! SilkMoth (Deng et al., PVLDB'17) finds related sets under a
+//! maximum-matching measure with a *threshold* `δ` via a three-stage
+//! pipeline: per-element **signatures** → inverted-index **candidate
+//! generation** → **check/verify**. The paper compares Koios against two
+//! adaptations:
+//!
+//! * [`SilkMothVariant::Syntactic`] — full machinery, including the
+//!   similarity-specific *prefix-filter* signatures (valid for Jaccard on
+//!   q-gram sets: two elements with `J ≥ α` must collide inside their
+//!   frequency-ordered prefixes of length `⌊(1−α)·|T|⌋ + 1`).
+//! * [`SilkMothVariant::Semantic`] — the generic framework suggested by the
+//!   SilkMoth authors: no similarity-specific filters, i.e. signatures
+//!   degrade to *all* element tokens, inflating the candidate set.
+//!
+//! Threshold search cannot answer top-k directly (`θ*k` is unknown
+//! upfront — one of the problems Koios solves); the paper feeds SilkMoth
+//! the true `θ*k` and keeps a top-k priority queue, which
+//! [`SilkMoth::search_topk`] reproduces.
+
+use koios_common::{SetId, TokenId};
+use koios_core::overlap::similarity_matrix;
+use koios_embed::repository::Repository;
+use koios_embed::sim::QGramJaccard;
+use koios_index::inverted::InvertedIndex;
+use koios_matching::solve_max_matching;
+use std::collections::{HashMap, HashSet};
+
+/// Which SilkMoth adaptation to run (§VIII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SilkMothVariant {
+    /// Similarity-specific prefix-filter signatures.
+    Syntactic,
+    /// Generic framework: signatures are all element tokens.
+    Semantic,
+}
+
+/// Counters of one SilkMoth search.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilkMothStats {
+    /// Candidate sets produced by signature collisions.
+    pub candidate_sets: usize,
+    /// Candidates surviving the cheap check-phase upper bound.
+    pub checked: usize,
+    /// Exact matchings computed.
+    pub verified: usize,
+    /// Sets meeting the threshold.
+    pub kept: usize,
+}
+
+/// A SilkMoth search engine over q-gram Jaccard element similarity.
+pub struct SilkMoth<'r> {
+    repo: &'r Repository,
+    variant: SilkMothVariant,
+    alpha: f64,
+    sim: QGramJaccard,
+    index: InvertedIndex,
+    /// Per-token q-grams in canonical (ascending global frequency) order.
+    ordered_grams: Vec<Box<[u32]>>,
+    /// Signature gram → corpus elements whose signature contains it.
+    signature_index: HashMap<u32, Vec<TokenId>>,
+}
+
+impl<'r> SilkMoth<'r> {
+    /// Builds the signature machinery over the **current** vocabulary of
+    /// `repo` (intern query strings first, as with [`QGramJaccard`]).
+    pub fn new(repo: &'r Repository, variant: SilkMothVariant, q: usize, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        let sim = QGramJaccard::new(repo, q);
+        let index = InvertedIndex::build(repo);
+
+        // Dense gram universe + document frequency over vocabulary elements.
+        let mut gram_ids: HashMap<u64, u32> = HashMap::new();
+        let mut raw: Vec<Vec<u32>> = Vec::with_capacity(repo.vocab_size());
+        for t in 0..repo.vocab_size() {
+            let gs = gram_hashes(repo.token_str(TokenId(t as u32)), q);
+            let mut ids: Vec<u32> = gs
+                .into_iter()
+                .map(|h| {
+                    let next = gram_ids.len() as u32;
+                    *gram_ids.entry(h).or_insert(next)
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            raw.push(ids);
+        }
+        let mut freq = vec![0u32; gram_ids.len()];
+        for ids in &raw {
+            for &g in ids {
+                freq[g as usize] += 1;
+            }
+        }
+        // Canonical order: rare grams first (standard prefix filtering).
+        let mut rank = vec![0u32; freq.len()];
+        let mut order: Vec<u32> = (0..freq.len() as u32).collect();
+        order.sort_by_key(|&g| (freq[g as usize], g));
+        for (r, &g) in order.iter().enumerate() {
+            rank[g as usize] = r as u32;
+        }
+        let ordered_grams: Vec<Box<[u32]>> = raw
+            .into_iter()
+            .map(|mut ids| {
+                ids.sort_by_key(|&g| rank[g as usize]);
+                ids.into_boxed_slice()
+            })
+            .collect();
+
+        // Signature index over corpus elements (tokens occurring in sets).
+        let mut signature_index: HashMap<u32, Vec<TokenId>> = HashMap::new();
+        for t in 0..repo.vocab_size() as u32 {
+            let t = TokenId(t);
+            if index.postings(t).is_empty() {
+                continue;
+            }
+            let grams = &ordered_grams[t.idx()];
+            let sig_len = signature_len(grams.len(), alpha, variant);
+            for &g in grams.iter().take(sig_len) {
+                signature_index.entry(g).or_default().push(t);
+            }
+        }
+
+        SilkMoth {
+            repo,
+            variant,
+            alpha,
+            sim,
+            index,
+            ordered_grams,
+            signature_index,
+        }
+    }
+
+    /// The variant this engine runs.
+    pub fn variant(&self) -> SilkMothVariant {
+        self.variant
+    }
+
+    /// All sets with semantic (q-gram fuzzy) overlap ≥ `delta`, with their
+    /// exact scores (threshold search — SilkMoth's native mode).
+    pub fn search_threshold(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+    ) -> (Vec<(SetId, f64)>, SilkMothStats) {
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        let mut stats = SilkMothStats::default();
+
+        // Stage 1+2: signature collisions → candidate sets.
+        let mut cand_sets: HashSet<SetId> = HashSet::new();
+        for &qe in &q {
+            let grams = self
+                .ordered_grams
+                .get(qe.idx())
+                .map(|g| &**g)
+                .unwrap_or(&[]);
+            let sig_len = signature_len(grams.len(), self.alpha, self.variant);
+            for &g in grams.iter().take(sig_len) {
+                if let Some(elems) = self.signature_index.get(&g) {
+                    for &e in elems {
+                        cand_sets.extend(self.index.postings(e).iter().copied());
+                    }
+                }
+            }
+            // Identical elements match at similarity 1 even without grams
+            // (empty strings): cover them through the inverted index.
+            cand_sets.extend(self.index.postings(qe).iter().copied());
+        }
+        stats.candidate_sets = cand_sets.len();
+
+        // Stage 3: check (row-max upper bound), then verify (Hungarian).
+        let mut results = Vec::new();
+        let mut cands: Vec<SetId> = cand_sets.into_iter().collect();
+        cands.sort_unstable();
+        for set in cands {
+            let m = similarity_matrix(&self.sim, self.alpha, &q, self.repo.set(set));
+            let cap = m.rows().min(m.cols());
+            let mut rowmax: Vec<f64> = (0..m.rows()).map(|i| m.row_max(i)).collect();
+            rowmax.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            let ub: f64 = rowmax.iter().take(cap).sum();
+            if ub < delta - 1e-9 {
+                continue;
+            }
+            stats.checked += 1;
+            let so = solve_max_matching(&m, None).score();
+            stats.verified += 1;
+            if so >= delta - 1e-9 && so > 0.0 {
+                results.push((set, so));
+            }
+        }
+        stats.kept = results.len();
+        results.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("no NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        (results, stats)
+    }
+
+    /// The paper's top-k adaptation: threshold search at `theta` (the true
+    /// `θ*k`, which the paper feeds SilkMoth as an advantage) followed by a
+    /// top-k selection. Falls back to `delta = 0` if `theta` over-prunes.
+    pub fn search_topk(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        theta: f64,
+    ) -> (Vec<(SetId, f64)>, SilkMothStats) {
+        let (mut results, stats) = self.search_threshold(query, theta);
+        if results.len() < k {
+            let (all, stats) = self.search_threshold(query, 0.0);
+            let mut all = all;
+            all.truncate(k);
+            return (all, stats);
+        }
+        results.truncate(k);
+        (results, stats)
+    }
+}
+
+/// Signature length: prefix filtering for Jaccard in the syntactic variant,
+/// everything in the similarity-agnostic one.
+fn signature_len(n_grams: usize, alpha: f64, variant: SilkMothVariant) -> usize {
+    match variant {
+        SilkMothVariant::Syntactic => {
+            if n_grams == 0 {
+                0
+            } else {
+                // J(A, B) ≥ α ⇒ |A∩B| ≥ ⌈α·|A|⌉, so a prefix of length
+                // |A| − ⌈α·|A|⌉ + 1 must collide (computed in exact-ceil
+                // arithmetic — float `(1−α)·n` is one short at α = 0.8).
+                let t = (alpha * n_grams as f64 - 1e-9).ceil() as usize;
+                (n_grams - t.min(n_grams) + 1).min(n_grams)
+            }
+        }
+        SilkMothVariant::Semantic => n_grams,
+    }
+}
+
+/// Lowercase q-gram hash multiset of a string (matching
+/// [`QGramJaccard`]'s tokenisation).
+fn gram_hashes(s: &str, q: usize) -> Vec<u64> {
+    let chars: Vec<char> = s.to_lowercase().chars().collect();
+    let hash = |cs: &[char]| {
+        let mut h = 0xcbf29ce484222325u64;
+        for &c in cs {
+            h ^= c as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    };
+    if chars.is_empty() {
+        Vec::new()
+    } else if chars.len() < q {
+        vec![hash(&chars)]
+    } else {
+        chars.windows(q).map(hash).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_core::overlap::semantic_overlap;
+    use koios_embed::repository::RepositoryBuilder;
+
+    fn repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("clean", ["Blaine", "Charleston", "Columbia"]);
+        b.add_set("dirty", ["Blain", "Charlestown", "Columbias"]);
+        b.add_set("partial", ["Blaine", "Zebra", "Xylophone"]);
+        b.add_set("far", ["Quokka", "Wombat"]);
+        b.build()
+    }
+
+    #[test]
+    fn threshold_search_is_exact_vs_oracle() {
+        let r = repo();
+        let q = r.intern_query(["Blaine", "Charleston", "Columbia"]);
+        let sim = QGramJaccard::new(&r, 3);
+        for variant in [SilkMothVariant::Syntactic, SilkMothVariant::Semantic] {
+            for delta in [0.5, 1.0, 2.0] {
+                let sm = SilkMoth::new(&r, variant, 3, 0.5);
+                let (res, _) = sm.search_threshold(&q, delta);
+                // Oracle: all sets with SO >= delta.
+                let mut expected: Vec<(SetId, f64)> = r
+                    .iter_sets()
+                    .map(|(id, _)| (id, semantic_overlap(&r, &sim, 0.5, &q, id)))
+                    .filter(|(_, s)| *s >= delta - 1e-9 && *s > 0.0)
+                    .collect();
+                expected.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+                });
+                assert_eq!(
+                    res.len(),
+                    expected.len(),
+                    "{variant:?} delta={delta}: {res:?} vs {expected:?}"
+                );
+                for ((s1, v1), (s2, v2)) in res.iter().zip(&expected) {
+                    assert_eq!(s1, s2);
+                    assert!((v1 - v2).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syntactic_generates_fewer_or_equal_candidates() {
+        let r = repo();
+        let q = r.intern_query(["Blaine", "Charleston", "Columbia"]);
+        let syn = SilkMoth::new(&r, SilkMothVariant::Syntactic, 3, 0.5);
+        let sem = SilkMoth::new(&r, SilkMothVariant::Semantic, 3, 0.5);
+        let (_, s1) = syn.search_threshold(&q, 1.0);
+        let (_, s2) = sem.search_threshold(&q, 1.0);
+        assert!(s1.candidate_sets <= s2.candidate_sets);
+    }
+
+    #[test]
+    fn topk_with_true_theta_matches_plain_topk() {
+        let r = repo();
+        let q = r.intern_query(["Blaine", "Charleston", "Columbia"]);
+        let sim = QGramJaccard::new(&r, 3);
+        let k = 2;
+        // Oracle top-k and θ*k.
+        let mut oracle: Vec<(SetId, f64)> = r
+            .iter_sets()
+            .map(|(id, _)| (id, semantic_overlap(&r, &sim, 0.5, &q, id)))
+            .filter(|(_, s)| *s > 0.0)
+            .collect();
+        oracle.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let theta_k = oracle[k - 1].1;
+        let sm = SilkMoth::new(&r, SilkMothVariant::Syntactic, 3, 0.5);
+        let (res, _) = sm.search_topk(&q, k, theta_k);
+        assert_eq!(res.len(), k);
+        for (got, want) in res.iter().zip(&oracle) {
+            assert!((got.1 - want.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn topk_falls_back_when_theta_too_high() {
+        let r = repo();
+        let q = r.intern_query(["Blaine"]);
+        let sm = SilkMoth::new(&r, SilkMothVariant::Syntactic, 3, 0.5);
+        let (res, _) = sm.search_topk(&q, 2, 100.0);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn signature_len_boundaries() {
+        assert_eq!(signature_len(0, 0.8, SilkMothVariant::Syntactic), 0);
+        // n=10, α=0.8: required overlap ⌈8⌉ = 8 → prefix 10−8+1 = 3.
+        assert_eq!(signature_len(10, 0.8, SilkMothVariant::Syntactic), 3);
+        assert_eq!(signature_len(10, 1.0, SilkMothVariant::Syntactic), 1);
+        assert_eq!(signature_len(7, 0.5, SilkMothVariant::Syntactic), 4);
+        assert_eq!(signature_len(10, 0.8, SilkMothVariant::Semantic), 10);
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact top-k vanilla overlap search (`|Q ∩ C|`).
+//!
+//! The syntactic comparator of the quality experiment (Fig. 8) and the
+//! degenerate case of semantic overlap under [`EqualitySimilarity`]
+//! (Def. 1). Implemented JOSIE-style as posting-list counting: one pass
+//! over the query tokens' posting lists accumulates per-set intersection
+//! counts, then a linear top-k selection.
+//!
+//! [`EqualitySimilarity`]: koios_embed::sim::EqualitySimilarity
+
+use koios_common::{SetId, TokenId};
+use koios_embed::repository::Repository;
+use koios_index::inverted::InvertedIndex;
+use std::collections::HashMap;
+
+/// Returns up to `k` sets with the largest vanilla overlap with `query`
+/// (descending count, ties by ascending set id). Sets with zero overlap are
+/// never returned.
+pub fn vanilla_topk(
+    repo: &Repository,
+    index: &InvertedIndex,
+    query: &[TokenId],
+    k: usize,
+) -> Vec<(SetId, usize)> {
+    let mut q = query.to_vec();
+    q.sort_unstable();
+    q.dedup();
+    let mut counts: HashMap<SetId, usize> = HashMap::new();
+    for &t in &q {
+        for &set in index.postings(t) {
+            *counts.entry(set).or_insert(0) += 1;
+        }
+    }
+    let mut scored: Vec<(SetId, usize)> = counts.into_iter().collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(k);
+    let _ = repo; // signature kept symmetric with the other baselines
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+
+    fn setup() -> (Repository, InvertedIndex) {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b", "c", "d"]);
+        b.add_set("s1", ["a", "b", "c"]);
+        b.add_set("s2", ["a", "x"]);
+        b.add_set("s3", ["y", "z"]);
+        let repo = b.build();
+        let idx = InvertedIndex::build(&repo);
+        (repo, idx)
+    }
+
+    #[test]
+    fn counts_and_ranks_correctly() {
+        let (repo, idx) = setup();
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        let top = vanilla_topk(&repo, &idx, &q, 10);
+        assert_eq!(
+            top,
+            vec![(SetId(0), 4), (SetId(1), 3), (SetId(2), 1)]
+        );
+    }
+
+    #[test]
+    fn zero_overlap_sets_excluded() {
+        let (repo, idx) = setup();
+        let q = repo.intern_query(["y"]);
+        let top = vanilla_topk(&repo, &idx, &q, 10);
+        assert_eq!(top, vec![(SetId(3), 1)]);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let (repo, idx) = setup();
+        let q = repo.intern_query(["a"]);
+        let top = vanilla_topk(&repo, &idx, &q, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, SetId(0)); // tie on count=1 → lowest id first
+    }
+
+    #[test]
+    fn duplicate_query_tokens_count_once() {
+        let (repo, idx) = setup();
+        let mut q = repo.intern_query(["a", "b"]);
+        let a = q[0];
+        q.push(a); // duplicate
+        let top = vanilla_topk(&repo, &idx, &q, 1);
+        assert_eq!(top[0].1, 2);
+    }
+
+    #[test]
+    fn matches_repository_vanilla_overlap() {
+        let (repo, idx) = setup();
+        let q = repo.intern_query(["a", "b", "c"]);
+        for (set, count) in vanilla_topk(&repo, &idx, &q, 10) {
+            assert_eq!(count, repo.vanilla_overlap(&q, set));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end Koios vs Baseline vs Baseline+ on every dataset profile
+//! (the criterion companion of Table III; the harness regenerates the
+//! full table with partitions and timeouts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use koios_bench::setup_profile;
+use koios_core::{Koios, KoiosConfig};
+use koios_datagen::profiles::DatasetProfile;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for profile in DatasetProfile::all(0.02) {
+        let name = profile.spec.name.clone();
+        let run = setup_profile(profile, 4);
+        let query = run.benchmark.queries[0].tokens.clone();
+        let koios = Koios::new(
+            &run.corpus.repository,
+            Arc::clone(&run.sim),
+            KoiosConfig::new(10, 0.8),
+        );
+        g.bench_with_input(BenchmarkId::new("koios", &name), &query, |b, q| {
+            b.iter(|| black_box(koios.search(q).hits.len()))
+        });
+        let baseline = Koios::new(
+            &run.corpus.repository,
+            Arc::clone(&run.sim),
+            KoiosConfig::new(10, 0.8).baseline(),
+        );
+        g.bench_with_input(BenchmarkId::new("baseline", &name), &query, |b, q| {
+            b.iter(|| black_box(baseline.search(q).hits.len()))
+        });
+        let plus = Koios::new(
+            &run.corpus.repository,
+            Arc::clone(&run.sim),
+            KoiosConfig::new(10, 0.8).baseline_plus(),
+        );
+        g.bench_with_input(BenchmarkId::new("baseline_plus", &name), &query, |b, q| {
+            b.iter(|| black_box(plus.search(q).hits.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

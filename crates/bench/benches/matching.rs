@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the matching substrate: the `O(r²·c)` Hungarian
+//! scaling that motivates the whole filter stack (§I: verification is cubic
+//! versus linear for syntactic overlap), the cheap greedy lower bound, and
+//! the effect of label-sum early termination (Lemma 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use koios_matching::{greedy_matching, solve_max_matching, WeightMatrix};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random α-thresholded similarity matrix.
+fn matrix(n: usize, density: f64, seed: u64) -> WeightMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    WeightMatrix::from_fn(n, n, |_, _| {
+        if next() < density {
+            0.8 + 0.2 * next()
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_hungarian_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hungarian");
+    g.sample_size(10);
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let m = matrix(n, 0.2, 7);
+        g.bench_with_input(BenchmarkId::new("exact", n), &m, |b, m| {
+            b.iter(|| black_box(solve_max_matching(m, None).score()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy_vs_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_vs_exact");
+    g.sample_size(10);
+    let m = matrix(96, 0.25, 11);
+    g.bench_function("greedy_96", |b| b.iter(|| black_box(greedy_matching(&m).score)));
+    g.bench_function("exact_96", |b| {
+        b.iter(|| black_box(solve_max_matching(&m, None).score()))
+    });
+    g.finish();
+}
+
+fn bench_early_termination(c: &mut Criterion) {
+    let mut g = c.benchmark_group("em_early_termination");
+    g.sample_size(10);
+    let m = matrix(128, 0.2, 13);
+    let opt = solve_max_matching(&m, None).score();
+    // A threshold just above the optimum terminates the run early
+    // (the post-processing situation once θlb beats the candidate).
+    g.bench_function("terminated", |b| {
+        b.iter(|| black_box(solve_max_matching(&m, Some(opt * 1.05))))
+    });
+    g.bench_function("completed", |b| {
+        b.iter(|| black_box(solve_max_matching(&m, Some(opt * 0.5))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hungarian_scaling,
+    bench_greedy_vs_exact,
+    bench_early_termination
+);
+criterion_main!(benches);

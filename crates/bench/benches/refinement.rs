@@ -1,0 +1,45 @@
+//! Refinement-phase filter ablation: plain UB-filter vs the full bucketised
+//! iUB filter (§V), and the cost of per-tuple vs batched prune sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koios_bench::setup_profile;
+use koios_core::{Koios, KoiosConfig};
+use koios_datagen::profiles;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_filter_ablation(c: &mut Criterion) {
+    let run = setup_profile(profiles::opendata(0.05), 3);
+    let query = run.benchmark.queries[run.benchmark.queries.len() / 2]
+        .tokens
+        .clone();
+    let mut g = c.benchmark_group("refinement_filters");
+    g.sample_size(10);
+
+    let engine_full = Koios::new(
+        &run.corpus.repository,
+        Arc::clone(&run.sim),
+        KoiosConfig::new(10, 0.8),
+    );
+    g.bench_function("koios_full_filters", |b| {
+        b.iter(|| black_box(engine_full.search(&query).hits.len()))
+    });
+
+    let mut cfg = KoiosConfig::new(10, 0.8);
+    cfg.iub_filter = false;
+    let engine_no_iub = Koios::new(&run.corpus.repository, Arc::clone(&run.sim), cfg);
+    g.bench_function("koios_without_iub", |b| {
+        b.iter(|| black_box(engine_no_iub.search(&query).hits.len()))
+    });
+
+    let mut cfg = KoiosConfig::new(10, 0.8);
+    cfg.sweep_interval = 64;
+    let engine_batched = Koios::new(&run.corpus.repository, Arc::clone(&run.sim), cfg);
+    g.bench_function("koios_sweep_every_64", |b| {
+        b.iter(|| black_box(engine_batched.search(&query).hits.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter_ablation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmarks of the index substrate: inverted-index construction (the
+//! paper reports 1.3–80 s per dataset) and token-stream throughput (the
+//! refinement phase consumes the whole `≥ α` stream).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koios_bench::setup_profile;
+use koios_datagen::profiles;
+use koios_index::inverted::InvertedIndex;
+use koios_index::knn::{ExactScanKnn, HeapKnn};
+use koios_index::token_stream::TokenStream;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_inverted_index_build(c: &mut Criterion) {
+    let run = setup_profile(profiles::twitter(0.05), 1);
+    let mut g = c.benchmark_group("inverted_index");
+    g.sample_size(10);
+    g.bench_function("build_twitter_0.05", |b| {
+        b.iter(|| black_box(InvertedIndex::build(&run.corpus.repository)))
+    });
+    g.finish();
+}
+
+fn bench_stream_drain(c: &mut Criterion) {
+    let run = setup_profile(profiles::twitter(0.05), 2);
+    let query = run.benchmark.queries[0].tokens.clone();
+    let vocab = run.corpus.repository.vocab_size();
+    let mut g = c.benchmark_group("token_stream");
+    g.sample_size(10);
+    g.bench_function("drain_exact_scan", |b| {
+        b.iter(|| {
+            let knn = ExactScanKnn::new(Arc::clone(&run.sim), query.clone(), vocab, 0.8);
+            let mut ts = TokenStream::new(knn, query.len());
+            let mut n = 0usize;
+            while ts.next().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("drain_heap", |b| {
+        b.iter(|| {
+            let knn = HeapKnn::new(Arc::clone(&run.sim), query.clone(), vocab, 0.8);
+            let mut ts = TokenStream::new(knn, query.len());
+            let mut n = 0usize;
+            while ts.next().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inverted_index_build, bench_stream_drain);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation bench for DESIGN §2: the sound row-max iUB vs the paper's
+//! greedy iUB (identical `S_i + m·s` shape, different `S_i` update rule).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use koios_bench::setup_profile;
+use koios_core::{Koios, KoiosConfig, UbMode};
+use koios_datagen::profiles;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_ub_modes(c: &mut Criterion) {
+    let run = setup_profile(profiles::opendata(0.05), 5);
+    let query = run.benchmark.queries[run.benchmark.queries.len() / 2]
+        .tokens
+        .clone();
+    let mut g = c.benchmark_group("ub_modes");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("sound_rowmax", UbMode::SoundRowMax),
+        ("paper_greedy", UbMode::PaperGreedy),
+    ] {
+        let engine = Koios::new(
+            &run.corpus.repository,
+            Arc::clone(&run.sim),
+            KoiosConfig::new(10, 0.8).with_ub_mode(mode),
+        );
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(engine.search(&query).hits.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ub_modes);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Shared infrastructure for the Koios experiment harness and benches.
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation section (§VIII) as formatted text; the `harness` binary is a
+//! thin CLI over it, and `EXPERIMENTS.md` records one full run. [`setup`]
+//! holds the corpus/benchmark plumbing shared with the criterion benches.
+
+pub mod experiments;
+pub mod setup;
+pub mod table;
+
+pub use setup::{setup_profile, ProfileRun};
+pub use table::TextTable;

@@ -1,0 +1,78 @@
+//! Corpus/benchmark plumbing shared by the harness and the criterion
+//! benches.
+
+use koios_datagen::benchmark::QueryBenchmark;
+use koios_datagen::corpus::Corpus;
+use koios_datagen::profiles::DatasetProfile;
+use koios_embed::sim::{CosineSimilarity, ElementSimilarity};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A generated profile ready to run: corpus, cosine similarity over its
+/// synthetic embeddings, query benchmark, and the build times the paper
+/// reports separately from query response times (§VIII-A3).
+pub struct ProfileRun {
+    /// The profile that produced this run.
+    pub profile: DatasetProfile,
+    /// The generated corpus.
+    pub corpus: Corpus,
+    /// Cosine element similarity over the corpus embeddings.
+    pub sim: Arc<dyn ElementSimilarity>,
+    /// The query workload.
+    pub benchmark: QueryBenchmark,
+    /// Corpus generation time (excluded from response times).
+    pub generation_time: std::time::Duration,
+}
+
+/// Generates a profile's corpus, embeddings and benchmark.
+pub fn setup_profile(profile: DatasetProfile, query_seed: u64) -> ProfileRun {
+    let t0 = Instant::now();
+    let corpus = profile.generate();
+    let generation_time = t0.elapsed();
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings.clone())));
+    let benchmark = profile.benchmark(&corpus, query_seed);
+    ProfileRun {
+        profile,
+        corpus,
+        sim,
+        benchmark,
+        generation_time,
+    }
+}
+
+/// Caps the number of queries per interval (harness time control).
+pub fn cap_queries(bench: &mut QueryBenchmark, per_interval: usize) {
+    let n_intervals = bench.intervals.len().max(1);
+    let mut kept = Vec::new();
+    let mut counts = vec![0usize; n_intervals];
+    for q in bench.queries.drain(..) {
+        if counts[q.interval] < per_interval {
+            counts[q.interval] += 1;
+            kept.push(q);
+        }
+    }
+    bench.queries = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_datagen::profiles;
+
+    #[test]
+    fn setup_produces_queries_and_sim() {
+        let run = setup_profile(profiles::twitter(0.01), 1);
+        assert!(run.corpus.repository.num_sets() > 0);
+        assert!(!run.benchmark.is_empty());
+        assert!(run.generation_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn cap_queries_limits_per_interval() {
+        let run = setup_profile(profiles::twitter(0.01), 2);
+        let mut b = run.benchmark.clone();
+        cap_queries(&mut b, 3);
+        assert!(b.len() <= 3);
+    }
+}

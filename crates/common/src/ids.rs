@@ -1,0 +1,107 @@
+//! Compact identifiers for tokens (set elements) and sets.
+//!
+//! Both wrap `u32`: the paper's largest corpus (WDC) has ~1M sets and ~330k
+//! distinct tokens, so 32 bits leave ample headroom while halving the
+//! footprint of posting lists and candidate tables compared to `usize`.
+
+use std::fmt;
+
+/// Identifier of a distinct set element (a *token* when elements are strings).
+///
+/// Token ids are assigned densely from 0 by the [`crate::Interner`]; they
+/// index directly into vocabulary-aligned arrays (embedding tables, q-gram
+/// caches, posting lists).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u32);
+
+/// Identifier of a set in the repository `L`.
+///
+/// Set ids are dense indices into the repository's set table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(pub u32);
+
+impl TokenId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SetId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for SetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for TokenId {
+    fn from(v: u32) -> Self {
+        TokenId(v)
+    }
+}
+
+impl From<u32> for SetId {
+    fn from(v: u32) -> Self {
+        SetId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_id_roundtrip() {
+        let t = TokenId(42);
+        assert_eq!(t.idx(), 42);
+        assert_eq!(format!("{t:?}"), "t42");
+        assert_eq!(format!("{t}"), "42");
+        assert_eq!(TokenId::from(42u32), t);
+    }
+
+    #[test]
+    fn set_id_roundtrip() {
+        let s = SetId(7);
+        assert_eq!(s.idx(), 7);
+        assert_eq!(format!("{s:?}"), "s7");
+        assert_eq!(SetId::from(7u32), s);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TokenId(1) < TokenId(2));
+        assert!(SetId(0) < SetId(100));
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<TokenId>(), 4);
+        assert_eq!(std::mem::size_of::<SetId>(), 4);
+    }
+}

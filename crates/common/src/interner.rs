@@ -1,0 +1,136 @@
+//! String interning for set elements.
+//!
+//! All crates refer to tokens by [`TokenId`]; the interner owns the actual
+//! strings. Queries and the repository must share one interner so that
+//! "identical element" (similarity 1, even out-of-vocabulary — §V of the
+//! paper) is a simple id comparison.
+
+use crate::ids::TokenId;
+use crate::memsize::HeapSize;
+use std::collections::HashMap;
+
+/// A bidirectional map between token strings and dense [`TokenId`]s.
+#[derive(Default, Debug, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, TokenId>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `n` distinct tokens.
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            map: HashMap::with_capacity(n),
+            strings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `s`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = TokenId(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Looks up the id of `s` without interning.
+    pub fn get(&self, s: &str) -> Option<TokenId> {
+        self.map.get(s).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        &self.strings[id.idx()]
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TokenId(i as u32), &**s))
+    }
+}
+
+impl HeapSize for Interner {
+    fn heap_size(&self) -> usize {
+        let strings: usize = self
+            .strings
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
+            .sum();
+        // Map keys are separate boxes sharing no storage with `strings`.
+        let map_overhead = self.map.capacity()
+            * (std::mem::size_of::<(Box<str>, TokenId)>() + 1)
+            + self.strings.iter().map(|s| s.len()).sum::<usize>();
+        strings + map_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("hello");
+        let b = i.intern("world");
+        let a2 = i.intern("hello");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = Interner::new();
+        let id = i.intern("Charleston");
+        assert_eq!(i.resolve(id), "Charleston");
+        assert_eq!(i.get("Charleston"), Some(id));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut i = Interner::new();
+        for (n, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(i.intern(w), TokenId(n as u32));
+        }
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn heap_size_grows() {
+        let mut i = Interner::new();
+        let empty = i.heap_size();
+        for n in 0..1000 {
+            i.intern(&format!("token-{n}"));
+        }
+        assert!(i.heap_size() > empty);
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared primitives for the Koios workspace.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`TokenId`] / [`SetId`] — compact newtype identifiers for set elements
+//!   (tokens) and sets.
+//! * [`Sim`] — a total-ordered, NaN-free similarity value in `[0, 1]`
+//!   (edge weights of the semantic-overlap bipartite graph).
+//! * [`Interner`] — a string interner mapping tokens to [`TokenId`]s.
+//! * [`topk::TopKList`] — the bounded score lists the paper calls `Llb` and
+//!   `Lub` (running top-k lower/upper bounds, `θ` = bottom of the list).
+//! * [`memsize::HeapSize`] — heap-footprint accounting used to reproduce the
+//!   paper's memory experiments (Table III, Fig. 5d/6d/7d).
+//! * [`sparse::IdxSet`] — a small sorted integer set used for per-candidate
+//!   matched/seen element tracking during refinement.
+
+pub mod ids;
+pub mod interner;
+pub mod memsize;
+pub mod sim;
+pub mod sparse;
+pub mod topk;
+
+pub use ids::{SetId, TokenId};
+pub use interner::Interner;
+pub use memsize::HeapSize;
+pub use sim::Sim;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use crate::ids::{SetId, TokenId};
+    pub use crate::interner::Interner;
+    pub use crate::memsize::HeapSize;
+    pub use crate::sim::Sim;
+    pub use crate::topk::TopKList;
+}

@@ -1,0 +1,165 @@
+//! Total-ordered similarity values.
+//!
+//! Semantic-overlap edge weights live in `[0, 1]` (Def. 1 of the paper:
+//! `sim` returns 1 for identical elements and a value in `[0, 1]`
+//! otherwise). [`Sim`] wraps `f64`, rejects NaN at construction, and
+//! implements `Ord`, so bounds can be used as keys of ordered collections
+//! (the paper's `Llb`/`Lub` lists, the bucket maps of the iUB filter)
+//! without `unsafe` or panicking comparators.
+//!
+//! Scores (sums of similarities) can exceed 1; `Sim` therefore only clamps
+//! negatives and NaN, not the upper range.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A non-NaN, non-negative similarity or score value with a total order.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Sim(f64);
+
+impl Sim {
+    /// The zero score.
+    pub const ZERO: Sim = Sim(0.0);
+    /// The maximal single-edge similarity (identical elements).
+    pub const ONE: Sim = Sim(1.0);
+
+    /// Creates a new `Sim`, clamping negatives to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN — similarity functions must never produce NaN;
+    /// failing fast here is preferable to corrupting ordered structures.
+    #[inline]
+    pub fn new(v: f64) -> Sim {
+        assert!(!v.is_nan(), "similarity must not be NaN");
+        Sim(v.max(0.0))
+    }
+
+    /// The raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the value is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Saturating subtraction: `max(self - rhs, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Sim) -> Sim {
+        Sim((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Multiplies a score by a cardinality (used by the UB filters:
+    /// `min(|Q|,|C|) · sim`).
+    #[inline]
+    pub fn times(self, n: usize) -> Sim {
+        Sim(self.0 * n as f64)
+    }
+}
+
+impl Eq for Sim {}
+
+impl PartialOrd for Sim {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sim {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are never NaN by construction.
+        self.0.partial_cmp(&other.0).expect("Sim is never NaN")
+    }
+}
+
+impl Add for Sim {
+    type Output = Sim;
+    #[inline]
+    fn add(self, rhs: Sim) -> Sim {
+        Sim(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Sim {
+    #[inline]
+    fn add_assign(&mut self, rhs: Sim) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Sim {
+    type Output = Sim;
+    /// Saturating at zero: scores are never negative.
+    #[inline]
+    fn sub(self, rhs: Sim) -> Sim {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl fmt::Display for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<f64> for Sim {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Sim::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_negative() {
+        assert_eq!(Sim::new(-0.5), Sim::ZERO);
+        assert_eq!(Sim::new(0.25).get(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn construction_rejects_nan() {
+        let _ = Sim::new(f64::NAN);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![Sim::new(0.9), Sim::ZERO, Sim::new(0.5), Sim::ONE];
+        v.sort();
+        assert_eq!(v, vec![Sim::ZERO, Sim::new(0.5), Sim::new(0.9), Sim::ONE]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Sim::new(0.4) + Sim::new(0.6), Sim::ONE);
+        assert_eq!(Sim::new(0.4) - Sim::new(0.6), Sim::ZERO);
+        assert_eq!(Sim::new(0.6) - Sim::new(0.4), Sim::new(0.6 - 0.4));
+        assert_eq!(Sim::new(0.5).times(4), Sim::new(2.0));
+        let mut s = Sim::ZERO;
+        s += Sim::new(1.5);
+        assert_eq!(s.get(), 1.5);
+    }
+
+    #[test]
+    fn scores_above_one_are_allowed() {
+        let s = Sim::new(3.75);
+        assert_eq!(s.get(), 3.75);
+        assert!(s > Sim::ONE);
+    }
+}

@@ -1,0 +1,132 @@
+//! Small sorted integer sets.
+//!
+//! During refinement every candidate set tracks which query elements it has
+//! matched (greedy iLB), which query rows it has seen (sound iUB), and which
+//! of its own tokens are matched. These sets are tiny for the overwhelming
+//! majority of candidates (most candidates receive a handful of stream
+//! tuples before being pruned), so a sorted `Vec<u32>` with binary-search
+//! insertion beats both hash sets and bitmaps on memory — the dominant cost
+//! at WDC scale where hundreds of thousands of candidates are live at once.
+
+use crate::memsize::HeapSize;
+
+/// A sorted, deduplicated set of `u32` indices optimised for small sizes.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct IdxSet {
+    items: Vec<u32>,
+}
+
+impl IdxSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `v` is present.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.items.binary_search(&v).is_ok()
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        match self.items.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: u32) -> bool {
+        match self.items.binary_search(&v) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Removes all elements but keeps the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl FromIterator<u32> for IdxSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut items: Vec<u32> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        IdxSet { items }
+    }
+}
+
+impl HeapSize for IdxSet {
+    fn heap_size(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_sorts() {
+        let mut s = IdxSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(!s.insert(5));
+        assert!(s.insert(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut s: IdxSet = [4, 2, 9].into_iter().collect();
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert!(s.remove(4));
+        assert!(!s.remove(4));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_iter_dedups() {
+        let s: IdxSet = [3, 3, 1, 2, 1].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut s: IdxSet = (0..100).collect();
+        let cap = s.heap_size();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.heap_size(), cap);
+    }
+}

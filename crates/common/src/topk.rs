@@ -1,0 +1,242 @@
+//! Bounded top-k score lists.
+//!
+//! [`TopKList`] implements the running lists the paper maintains during both
+//! phases: `Llb`, the top-k *lower bounds* whose minimum is `θlb` (Lemma 4),
+//! and `Lub`, the top-k *upper bounds* whose minimum is `θub` (Lemma 7).
+//! Scores can be updated in either direction and entries evicted by better
+//! ones can re-enter later with a higher score.
+
+use crate::ids::SetId;
+use crate::memsize::HeapSize;
+use crate::sim::Sim;
+use std::collections::{BTreeSet, HashMap};
+
+/// A list of at most `k` `(SetId, Sim)` entries keeping the largest scores.
+///
+/// `bottom()` is the paper's `θ` for the respective list: the k-th largest
+/// score, or `None` while fewer than `k` entries are present (treated as 0
+/// by the filters — no pruning can happen before `k` candidates exist).
+#[derive(Debug, Clone)]
+pub struct TopKList {
+    k: usize,
+    by_score: BTreeSet<(Sim, SetId)>,
+    scores: HashMap<SetId, Sim>,
+}
+
+impl TopKList {
+    /// Creates an empty list with capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k list requires k >= 1");
+        TopKList {
+            k,
+            by_score: BTreeSet::new(),
+            scores: HashMap::new(),
+        }
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of entries (≤ k).
+    pub fn len(&self) -> usize {
+        self.by_score.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_score.is_empty()
+    }
+
+    /// Whether the list holds `k` entries.
+    pub fn is_full(&self) -> bool {
+        self.by_score.len() == self.k
+    }
+
+    /// The k-th largest score (the minimum of the list) once full.
+    pub fn bottom(&self) -> Option<Sim> {
+        if self.is_full() {
+            self.by_score.first().map(|&(s, _)| s)
+        } else {
+            None
+        }
+    }
+
+    /// `bottom()` as a plain threshold: 0 until the list is full.
+    pub fn threshold(&self) -> Sim {
+        self.bottom().unwrap_or(Sim::ZERO)
+    }
+
+    /// The current score of `id`, if listed.
+    pub fn score_of(&self, id: SetId) -> Option<Sim> {
+        self.scores.get(&id).copied()
+    }
+
+    /// Whether `id` is currently listed.
+    pub fn contains(&self, id: SetId) -> bool {
+        self.scores.contains_key(&id)
+    }
+
+    /// Offers `(id, score)` to the list.
+    ///
+    /// * A listed `id` has its score replaced (either direction); if the new
+    ///   score falls below a previously evicted competitor that competitor is
+    ///   *not* resurrected — callers that need that behaviour (none in Koios:
+    ///   `Llb` scores only grow, `Lub` evictions go through [`Self::remove`])
+    ///   must re-offer it.
+    /// * An unlisted `id` enters if the list is not full or `score` beats the
+    ///   current bottom, evicting the bottom entry.
+    ///
+    /// Returns `true` if the list content or ordering changed.
+    pub fn offer(&mut self, id: SetId, score: Sim) -> bool {
+        if let Some(&old) = self.scores.get(&id) {
+            if old == score {
+                return false;
+            }
+            self.by_score.remove(&(old, id));
+            self.by_score.insert((score, id));
+            self.scores.insert(id, score);
+            return true;
+        }
+        if self.by_score.len() < self.k {
+            self.by_score.insert((score, id));
+            self.scores.insert(id, score);
+            return true;
+        }
+        let &(bottom_score, bottom_id) = self.by_score.first().expect("list is full");
+        if score <= bottom_score {
+            return false;
+        }
+        self.by_score.remove(&(bottom_score, bottom_id));
+        self.scores.remove(&bottom_id);
+        self.by_score.insert((score, id));
+        self.scores.insert(id, score);
+        true
+    }
+
+    /// Removes `id` from the list; returns its score if it was present.
+    pub fn remove(&mut self, id: SetId) -> Option<Sim> {
+        let score = self.scores.remove(&id)?;
+        self.by_score.remove(&(score, id));
+        Some(score)
+    }
+
+    /// Entries in descending score order (ties by descending id).
+    pub fn iter_desc(&self) -> impl Iterator<Item = (SetId, Sim)> + '_ {
+        self.by_score.iter().rev().map(|&(s, id)| (id, s))
+    }
+
+    /// The entry with the largest score.
+    pub fn top(&self) -> Option<(SetId, Sim)> {
+        self.by_score.last().map(|&(s, id)| (id, s))
+    }
+}
+
+impl HeapSize for TopKList {
+    fn heap_size(&self) -> usize {
+        self.by_score.heap_size() + self.scores.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(v: u32) -> SetId {
+        SetId(v)
+    }
+
+    #[test]
+    fn fills_then_evicts_bottom() {
+        let mut l = TopKList::new(2);
+        assert_eq!(l.bottom(), None);
+        assert_eq!(l.threshold(), Sim::ZERO);
+        l.offer(sid(1), Sim::new(0.5));
+        assert_eq!(l.bottom(), None); // not full yet
+        l.offer(sid(2), Sim::new(0.9));
+        assert_eq!(l.bottom(), Some(Sim::new(0.5)));
+        // Too small: rejected.
+        assert!(!l.offer(sid(3), Sim::new(0.4)));
+        assert!(l.contains(sid(1)));
+        // Beats bottom: evicts set 1.
+        assert!(l.offer(sid(4), Sim::new(0.7)));
+        assert!(!l.contains(sid(1)));
+        assert_eq!(l.bottom(), Some(Sim::new(0.7)));
+    }
+
+    #[test]
+    fn update_existing_score() {
+        let mut l = TopKList::new(2);
+        l.offer(sid(1), Sim::new(0.5));
+        l.offer(sid(2), Sim::new(0.6));
+        assert!(l.offer(sid(1), Sim::new(0.8)));
+        assert_eq!(l.score_of(sid(1)), Some(Sim::new(0.8)));
+        assert_eq!(l.bottom(), Some(Sim::new(0.6)));
+        // Same score: no change reported.
+        assert!(!l.offer(sid(1), Sim::new(0.8)));
+    }
+
+    #[test]
+    fn evicted_entry_can_reenter() {
+        let mut l = TopKList::new(1);
+        l.offer(sid(1), Sim::new(0.5));
+        l.offer(sid(2), Sim::new(0.9)); // evicts 1
+        assert!(!l.contains(sid(1)));
+        l.offer(sid(1), Sim::new(1.5));
+        assert!(l.contains(sid(1)));
+        assert!(!l.contains(sid(2)));
+    }
+
+    #[test]
+    fn iter_desc_is_sorted() {
+        let mut l = TopKList::new(3);
+        l.offer(sid(1), Sim::new(0.3));
+        l.offer(sid(2), Sim::new(0.9));
+        l.offer(sid(3), Sim::new(0.6));
+        let scores: Vec<f64> = l.iter_desc().map(|(_, s)| s.get()).collect();
+        assert_eq!(scores, vec![0.9, 0.6, 0.3]);
+        assert_eq!(l.top().unwrap().0, sid(2));
+    }
+
+    #[test]
+    fn remove_unlists() {
+        let mut l = TopKList::new(2);
+        l.offer(sid(1), Sim::new(0.5));
+        assert_eq!(l.remove(sid(1)), Some(Sim::new(0.5)));
+        assert_eq!(l.remove(sid(1)), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        let _ = TopKList::new(0);
+    }
+
+    #[test]
+    fn threshold_is_monotone_under_growing_offers() {
+        // Llb usage pattern: scores only grow => θlb never decreases.
+        let mut l = TopKList::new(3);
+        let mut last = Sim::ZERO;
+        let offers = [
+            (1, 0.1),
+            (2, 0.2),
+            (3, 0.3),
+            (1, 0.5),
+            (4, 0.4),
+            (2, 0.9),
+            (5, 0.35),
+        ];
+        for (id, s) in offers {
+            l.offer(sid(id), Sim::new(s));
+            let t = l.threshold();
+            assert!(t >= last, "θlb must not decrease: {t:?} < {last:?}");
+            last = t;
+        }
+    }
+}

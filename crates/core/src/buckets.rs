@@ -1,0 +1,205 @@
+//! The bucketised iUB filter (paper §V).
+//!
+//! Updating `iUB(C) = S_i + m_i·s` for every candidate on every stream
+//! tuple would be quadratic. Koios instead groups candidates into buckets by
+//! their remaining capacity `m`; inside a bucket, candidates are ordered by
+//! ascending `S_i`. On a prune sweep with current stream similarity `s` and
+//! threshold `θlb`, bucket `m` evicts candidates from its ascending front
+//! while `S_i < θlb − m·s`; the first survivor proves the rest of the bucket
+//! safe, so a sweep touching no prunable candidate costs one comparison per
+//! bucket. Candidates move to bucket `m−1` exactly when a stream tuple hits
+//! them, so maintenance is proportional to actual stream traffic.
+
+use koios_common::{HeapSize, SetId, Sim};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Buckets of `(S_i, set)` keyed by remaining capacity `m`.
+#[derive(Debug, Default)]
+pub struct BucketIndex {
+    buckets: BTreeMap<u32, BTreeSet<(Sim, SetId)>>,
+    len: usize,
+}
+
+impl BucketIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidates tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no candidate is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a candidate with remaining capacity `m` and matched score
+    /// base `base`.
+    pub fn insert(&mut self, m: u32, base: f64, set: SetId) {
+        let added = self
+            .buckets
+            .entry(m)
+            .or_default()
+            .insert((Sim::new(base), set));
+        debug_assert!(added, "candidate {set:?} already in bucket {m}");
+        self.len += 1;
+    }
+
+    /// Removes a candidate (exact key required); returns whether it was
+    /// present.
+    pub fn remove(&mut self, m: u32, base: f64, set: SetId) -> bool {
+        let Some(bucket) = self.buckets.get_mut(&m) else {
+            return false;
+        };
+        let removed = bucket.remove(&(Sim::new(base), set));
+        if removed {
+            self.len -= 1;
+            if bucket.is_empty() {
+                self.buckets.remove(&m);
+            }
+        }
+        removed
+    }
+
+    /// Moves a candidate to a new `(m, base)` key (a stream tuple matched
+    /// one of its elements).
+    pub fn reinsert(&mut self, old_m: u32, old_base: f64, new_m: u32, new_base: f64, set: SetId) {
+        let was_present = self.remove(old_m, old_base, set);
+        debug_assert!(was_present, "reinsert of untracked candidate {set:?}");
+        self.insert(new_m, new_base, set);
+    }
+
+    /// Prunes every candidate whose upper bound `base + m·s` is strictly
+    /// below `theta`, invoking `prune` for each; returns the number pruned.
+    ///
+    /// Strict comparison keeps ties alive, which guarantees at least the
+    /// `θlb`-defining candidates survive (their `UB ≥ LB ≥ θlb`).
+    pub fn sweep(&mut self, s: f64, theta: f64, mut prune: impl FnMut(SetId)) -> usize {
+        let mut pruned = 0;
+        let mut emptied: Vec<u32> = Vec::new();
+        for (&m, bucket) in self.buckets.iter_mut() {
+            let threshold = theta - m as f64 * s;
+            while let Some(&(base, set)) = bucket.first() {
+                if base.get() < threshold {
+                    bucket.pop_first();
+                    self.len -= 1;
+                    pruned += 1;
+                    prune(set);
+                } else {
+                    break;
+                }
+            }
+            if bucket.is_empty() {
+                emptied.push(m);
+            }
+        }
+        for m in emptied {
+            self.buckets.remove(&m);
+        }
+        pruned
+    }
+
+    /// Drains all remaining candidates (end of refinement).
+    pub fn drain(&mut self) -> Vec<(u32, Sim, SetId)> {
+        let mut out = Vec::with_capacity(self.len);
+        for (&m, bucket) in self.buckets.iter() {
+            for &(base, set) in bucket.iter() {
+                out.push((m, base, set));
+            }
+        }
+        self.buckets.clear();
+        self.len = 0;
+        out
+    }
+}
+
+impl HeapSize for BucketIndex {
+    fn heap_size(&self) -> usize {
+        // B-tree map of B-tree sets; approximate entries at 1.5× payload.
+        let entry = std::mem::size_of::<(Sim, SetId)>();
+        self.len * entry * 3 / 2 + self.buckets.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(v: u32) -> SetId {
+        SetId(v)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut b = BucketIndex::new();
+        b.insert(3, 1.0, sid(1));
+        b.insert(3, 2.0, sid(2));
+        b.insert(5, 0.5, sid(3));
+        assert_eq!(b.len(), 3);
+        assert!(b.remove(3, 1.0, sid(1)));
+        assert!(!b.remove(3, 1.0, sid(1)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn sweep_prunes_only_below_threshold() {
+        let mut b = BucketIndex::new();
+        // Bucket m=2: UB = base + 2s.
+        b.insert(2, 0.5, sid(1)); // UB at s=0.5 → 1.5
+        b.insert(2, 2.0, sid(2)); // UB → 3.0
+        b.insert(0, 1.9, sid(3)); // UB → 1.9 regardless of s
+        let mut pruned = Vec::new();
+        let n = b.sweep(0.5, 2.0, |s| pruned.push(s));
+        assert_eq!(n, 2);
+        assert_eq!(pruned, vec![sid(3), sid(1)]); // bucket 0 first (BTree order)
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn sweep_is_strict_on_ties() {
+        let mut b = BucketIndex::new();
+        b.insert(1, 1.0, sid(1)); // UB = 1.0 + 1·1.0 = 2.0 == theta → kept
+        let n = b.sweep(1.0, 2.0, |_| panic!("tie must survive"));
+        assert_eq!(n, 0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_moves_between_buckets() {
+        let mut b = BucketIndex::new();
+        b.insert(4, 0.0, sid(7));
+        b.reinsert(4, 0.0, 3, 0.9, sid(7));
+        assert_eq!(b.len(), 1);
+        // Now prunable only under the new key.
+        let mut hits = 0;
+        b.sweep(0.1, 1.3, |_| hits += 1); // UB = 0.9 + 0.3 = 1.2 < 1.3
+        assert_eq!(hits, 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_everything_sorted_by_bucket() {
+        let mut b = BucketIndex::new();
+        b.insert(2, 1.0, sid(1));
+        b.insert(1, 3.0, sid(2));
+        let drained = b.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(drained[0].2, sid(2)); // bucket 1 before bucket 2
+    }
+
+    #[test]
+    fn sweep_early_exits_per_bucket() {
+        let mut b = BucketIndex::new();
+        for i in 0..100 {
+            b.insert(1, 1.0 + i as f64, sid(i));
+        }
+        // theta - m*s = 1.5: only base 1.0 is below.
+        let n = b.sweep(0.0, 1.5, |_| {});
+        assert_eq!(n, 1);
+        assert_eq!(b.len(), 99);
+    }
+}

@@ -1,0 +1,165 @@
+//! Search configuration.
+
+use std::time::Duration;
+
+/// Which incremental upper bound drives the refinement buckets (DESIGN §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UbMode {
+    /// The sound row-max relaxation: `Si` is the sum of the first emitted
+    /// edge per query element into the candidate (capped at
+    /// `min(|Q|,|C|)` rows). Guarantees exact results. **Default.**
+    #[default]
+    SoundRowMax,
+    /// The paper's Lemma 6 verbatim: `Si` is the score of the partial
+    /// *greedy matching*. Tighter on some inputs but admits rare false
+    /// negatives under matching rearrangement (counterexample in DESIGN §2);
+    /// provided for ablation against the published pruning numbers.
+    PaperGreedy,
+}
+
+/// Tunable parameters of a Koios search.
+#[derive(Debug, Clone)]
+pub struct KoiosConfig {
+    /// Number of results (`k`).
+    pub k: usize,
+    /// Element-similarity threshold `α` (edges below it weigh 0; Def. 1).
+    pub alpha: f64,
+    /// Upper-bound rule for the refinement filters.
+    pub ub_mode: UbMode,
+    /// Enable the EM-Early-Terminated filter (Lemma 8). On by default.
+    pub em_early_termination: bool,
+    /// Enable the No-EM filter (Lemma 7). On by default. When disabled,
+    /// every reported hit carries an exact score (useful for oracles).
+    pub no_em_filter: bool,
+    /// Enable the iUB bucket filter (§V). On by default; disabling it
+    /// degrades refinement to the plain UB-filter (the `Baseline+`→Baseline
+    /// spectrum of §VIII-A4).
+    pub iub_filter: bool,
+    /// Number of exact matchings verified concurrently during
+    /// post-processing (1 = sequential; the paper uses a thread pool).
+    pub parallel_em: usize,
+    /// Run the bucket prune sweep every this many stream tuples (sweeps also
+    /// run whenever `θlb` rises). 1 reproduces the paper's per-tuple sweep.
+    pub sweep_interval: usize,
+    /// Verify **every** unpruned candidate with a full exact matching
+    /// instead of pulling by upper bound — the cost model of the paper's
+    /// exhaustive Baseline/Baseline+ (§VIII-A4). Off for Koios proper.
+    pub verify_all: bool,
+    /// Abort the query after this wall-clock budget (the paper times out
+    /// queries at 2500 s); partial results are returned with
+    /// `stats.timed_out = true`.
+    pub time_budget: Option<Duration>,
+}
+
+impl KoiosConfig {
+    /// A configuration with the paper's defaults (`em_early_termination`,
+    /// `no_em_filter`, `iub_filter` on; sequential EM; sound UB mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `alpha` is not in `(0, 1]`.
+    pub fn new(k: usize, alpha: f64) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        KoiosConfig {
+            k,
+            alpha,
+            ub_mode: UbMode::default(),
+            em_early_termination: true,
+            no_em_filter: true,
+            iub_filter: true,
+            parallel_em: 1,
+            sweep_interval: 1,
+            verify_all: false,
+            time_budget: None,
+        }
+    }
+
+    /// Sets the UB mode (builder style).
+    pub fn with_ub_mode(mut self, mode: UbMode) -> Self {
+        self.ub_mode = mode;
+        self
+    }
+
+    /// Sets the number of parallel exact matchings.
+    pub fn with_parallel_em(mut self, n: usize) -> Self {
+        self.parallel_em = n.max(1);
+        self
+    }
+
+    /// Sets the time budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Disables all advanced filters — the exhaustive **Baseline** of
+    /// §VIII-A4 (token stream + exact matching of every candidate).
+    pub fn baseline(mut self) -> Self {
+        self.em_early_termination = false;
+        self.no_em_filter = false;
+        self.iub_filter = false;
+        self.verify_all = true;
+        self
+    }
+
+    /// Baseline plus the iUB filter — the paper's **Baseline+**.
+    pub fn baseline_plus(mut self) -> Self {
+        self.em_early_termination = false;
+        self.no_em_filter = false;
+        self.iub_filter = true;
+        self.verify_all = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_filters() {
+        let c = KoiosConfig::new(10, 0.8);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.alpha, 0.8);
+        assert!(c.em_early_termination && c.no_em_filter && c.iub_filter);
+        assert!(!c.verify_all);
+        assert_eq!(c.ub_mode, UbMode::SoundRowMax);
+        assert_eq!(c.parallel_em, 1);
+    }
+
+    #[test]
+    fn baseline_disables_filters() {
+        let c = KoiosConfig::new(5, 0.7).baseline();
+        assert!(!c.em_early_termination && !c.no_em_filter && !c.iub_filter);
+        assert!(c.verify_all);
+        let cp = KoiosConfig::new(5, 0.7).baseline_plus();
+        assert!(cp.iub_filter && !cp.no_em_filter && cp.verify_all);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_rejected() {
+        let _ = KoiosConfig::new(0, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = KoiosConfig::new(1, 0.0);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = KoiosConfig::new(1, 0.5)
+            .with_ub_mode(UbMode::PaperGreedy)
+            .with_parallel_em(0)
+            .with_time_budget(Duration::from_secs(1));
+        assert_eq!(c.ub_mode, UbMode::PaperGreedy);
+        assert_eq!(c.parallel_em, 1); // clamped
+        assert!(c.time_budget.is_some());
+    }
+}

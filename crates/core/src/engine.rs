@@ -1,0 +1,272 @@
+//! The Koios search engine: refinement + post-processing glued together.
+
+use crate::config::KoiosConfig;
+use crate::overlap::semantic_overlap;
+use crate::postprocess::postprocess;
+use crate::refine::{refine, RefineOutput};
+use crate::result::SearchResult;
+use crate::stats::SearchStats;
+use crate::theta::SharedTheta;
+use koios_common::{HeapSize, SetId, TokenId};
+use koios_embed::repository::Repository;
+use koios_embed::sim::ElementSimilarity;
+use koios_index::inverted::InvertedIndex;
+use koios_index::knn::ExactScanKnn;
+use koios_index::token_stream::TokenStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An exact top-k semantic overlap search engine over one repository
+/// (paper Fig. 2: token stream → refinement filters → post-processing).
+///
+/// The engine is cheap to clone conceptually — it borrows the repository and
+/// shares the inverted index and similarity function behind `Arc`s — and a
+/// single engine serves any number of queries.
+pub struct Koios<'r> {
+    repo: &'r Repository,
+    sim: Arc<dyn ElementSimilarity>,
+    index: Arc<InvertedIndex>,
+    cfg: KoiosConfig,
+}
+
+impl<'r> Koios<'r> {
+    /// Builds the inverted index and wires up an engine.
+    pub fn new(repo: &'r Repository, sim: Arc<dyn ElementSimilarity>, cfg: KoiosConfig) -> Self {
+        let index = Arc::new(InvertedIndex::build(repo));
+        Self::with_index(repo, sim, index, cfg)
+    }
+
+    /// Wires up an engine over a pre-built (possibly partition-restricted)
+    /// inverted index.
+    pub fn with_index(
+        repo: &'r Repository,
+        sim: Arc<dyn ElementSimilarity>,
+        index: Arc<InvertedIndex>,
+        cfg: KoiosConfig,
+    ) -> Self {
+        Koios {
+            repo,
+            sim,
+            index,
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &KoiosConfig {
+        &self.cfg
+    }
+
+    /// The inverted index (shared with partition siblings).
+    pub fn index(&self) -> &Arc<InvertedIndex> {
+        &self.index
+    }
+
+    /// The repository.
+    pub fn repository(&self) -> &'r Repository {
+        self.repo
+    }
+
+    /// Runs a top-k search for `query` (token ids from
+    /// [`Repository::intern_query`]).
+    pub fn search(&self, query: &[TokenId]) -> SearchResult {
+        self.search_shared(query, &SharedTheta::new())
+    }
+
+    /// Runs a search that publishes and consumes the shared pruning
+    /// threshold `θlb` — the partitioned-search entry point (§VI).
+    pub fn search_shared(&self, query: &[TokenId], theta: &SharedTheta) -> SearchResult {
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        let knn = ExactScanKnn::new(
+            Arc::clone(&self.sim),
+            q.clone(),
+            self.repo.vocab_size(),
+            self.cfg.alpha,
+        );
+        self.search_with_source(q, knn, theta)
+    }
+
+    /// Runs a search over a caller-provided kNN source (§IV: "any index
+    /// that enables efficient threshold-based similarity search is
+    /// suitable" — e.g. [`koios_index::minhash::MinHashKnn`]). The source
+    /// must stream descending similarities consistent with the engine's
+    /// similarity function; results are exact with respect to the source's
+    /// recall. `query` must be sorted and deduplicated, and the source must
+    /// have been built for exactly this query vector.
+    pub fn search_with_source<K: koios_index::knn::KnnSource>(
+        &self,
+        q: Vec<TokenId>,
+        source: K,
+        theta: &SharedTheta,
+    ) -> SearchResult {
+        debug_assert!(q.windows(2).all(|w| w[0] < w[1]), "query must be sorted");
+        let mut stats = SearchStats::default();
+        if q.is_empty() {
+            return SearchResult {
+                hits: Vec::new(),
+                stats,
+            };
+        }
+        let deadline = self.cfg.time_budget.map(|b| Instant::now() + b);
+
+        let t0 = Instant::now();
+        let mut stream = TokenStream::new(source, q.len());
+        let RefineOutput {
+            survivors,
+            mut llb,
+        } = refine(
+            self.repo,
+            &self.index,
+            &q,
+            &self.cfg,
+            theta,
+            &mut stream,
+            &mut stats,
+            deadline,
+        );
+        stats.refine_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let hits = postprocess(
+            self.repo,
+            &self.sim,
+            &q,
+            &self.cfg,
+            theta,
+            &mut llb,
+            survivors,
+            &mut stats,
+            deadline,
+        );
+        stats.postprocess_time = t1.elapsed();
+        stats.memory.add("inverted index", self.index.heap_size());
+
+        let mut result = SearchResult { hits, stats };
+        result.sort_hits();
+        result
+    }
+
+    /// The exact semantic overlap of `query` with one set (verification
+    /// without any filtering; used by oracles and result auditing).
+    pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        semantic_overlap(self.repo, self.sim.as_ref(), self.cfg.alpha, &q, set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UbMode;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::{EqualitySimilarity, QGramJaccard};
+
+    fn vanilla_repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b", "c", "d"]);
+        b.add_set("s1", ["a", "b", "c", "x"]);
+        b.add_set("s2", ["a", "b", "y", "z"]);
+        b.add_set("s3", ["a", "m", "n", "o"]);
+        b.add_set("s4", ["w", "v", "u", "t"]);
+        b.build()
+    }
+
+    #[test]
+    fn equality_similarity_matches_vanilla_topk() {
+        let repo = vanilla_repo();
+        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(3, 0.99));
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        let res = engine.search(&q);
+        assert_eq!(res.set_ids(), vec![SetId(0), SetId(1), SetId(2)]);
+        // Candidate accounting: s4 shares no token, never discovered.
+        assert_eq!(res.stats.candidates, 4);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let repo = vanilla_repo();
+        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(2, 0.9));
+        let q = repo.intern_query(["a", "b", "c"]);
+        let a = engine.search(&q);
+        let b = engine.search(&q);
+        assert_eq!(a.set_ids(), b.set_ids());
+    }
+
+    #[test]
+    fn empty_query_returns_empty() {
+        let repo = vanilla_repo();
+        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(2, 0.9));
+        let res = engine.search(&[]);
+        assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn qgram_similarity_finds_fuzzy_matches() {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("clean", ["Blaine", "Charleston"]);
+        b.add_set("dirty", ["Blain", "Charlestown"]);
+        b.add_set("other", ["Zebra", "Yak"]);
+        let repo = b.build();
+        let sim = Arc::new(QGramJaccard::new(&repo, 3));
+        let engine = Koios::new(&repo, sim, KoiosConfig::new(2, 0.5));
+        let q = repo.intern_query(["Blaine", "Charleston"]);
+        let res = engine.search(&q);
+        assert_eq!(res.hits.len(), 2);
+        assert_eq!(res.hits[0].set, SetId(0)); // exact match: SO = 2
+        assert_eq!(res.hits[1].set, SetId(1)); // fuzzy: 3/4 + 8/11
+        let so = engine.exact_overlap(&q, SetId(1));
+        assert!((res.hits[1].score.lb() - so).abs() < 1e-9 || res.hits[1].score.ub() >= so);
+    }
+
+    #[test]
+    fn both_ub_modes_agree_here() {
+        let repo = vanilla_repo();
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        let sound = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9),
+        )
+        .search(&q);
+        let paper = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9).with_ub_mode(UbMode::PaperGreedy),
+        )
+        .search(&q);
+        assert_eq!(sound.set_ids(), paper.set_ids());
+    }
+
+    #[test]
+    fn baseline_config_verifies_everything() {
+        let repo = vanilla_repo();
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9).baseline(),
+        );
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        let res = engine.search(&q);
+        assert_eq!(res.set_ids().len(), 2);
+        // Baseline: every candidate reaches post-processing and is verified.
+        assert_eq!(res.stats.to_postprocess, res.stats.candidates);
+        assert_eq!(res.stats.iub_pruned, 0);
+        assert_eq!(res.stats.no_em, 0);
+        assert_eq!(res.stats.em_full, res.stats.candidates);
+    }
+
+    #[test]
+    fn stats_phases_are_populated() {
+        let repo = vanilla_repo();
+        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(1, 0.9));
+        let q = repo.intern_query(["a", "b"]);
+        let res = engine.search(&q);
+        assert!(res.stats.stream_tuples > 0);
+        assert!(res.stats.memory.total() > 0);
+        assert!(!res.stats.timed_out);
+    }
+}

@@ -1,0 +1,175 @@
+//! Direct semantic-overlap computation (Def. 1).
+//!
+//! These helpers build the α-thresholded similarity matrix between a query
+//! and a candidate set and hand it to the Hungarian solver. They are the
+//! verification step of Koios, the whole inner loop of the exhaustive
+//! baseline, and the oracle for the exactness tests.
+
+use koios_common::{SetId, TokenId};
+use koios_embed::repository::Repository;
+use koios_embed::sim::ElementSimilarity;
+use koios_matching::{greedy_matching, solve_max_matching, MatchOutcome, WeightMatrix};
+
+/// Builds the bipartite weight matrix of `simα(q_i, c_j)` (query rows,
+/// candidate columns).
+pub fn similarity_matrix(
+    sim: &dyn ElementSimilarity,
+    alpha: f64,
+    query: &[TokenId],
+    set: &[TokenId],
+) -> WeightMatrix {
+    let mut w = vec![0.0; query.len() * set.len()];
+    sim.fill_matrix(query, set, alpha, &mut w);
+    WeightMatrix::from_vec(query.len(), set.len(), w)
+}
+
+/// Drops all-zero rows and columns before solving: elements without a
+/// single `≥ α` edge can never contribute to the matching, so the optimum
+/// is unchanged while the `O(r²·c)` Hungarian instance shrinks to the
+/// non-zero support (typically a small fraction of `|Q| × |C|` — this is
+/// the sparsity the α threshold creates).
+fn solve_compacted(m: &WeightMatrix, theta: Option<f64>) -> MatchOutcome {
+    let rows: Vec<usize> = (0..m.rows())
+        .filter(|&i| m.row(i).iter().any(|&w| w > 0.0))
+        .collect();
+    if rows.is_empty() {
+        return MatchOutcome::Exact(koios_matching::Matching {
+            score: 0.0,
+            pairs: Vec::new(),
+        });
+    }
+    let cols: Vec<usize> = (0..m.cols())
+        .filter(|&j| rows.iter().any(|&i| m.get(i, j) > 0.0))
+        .collect();
+    if rows.len() == m.rows() && cols.len() == m.cols() {
+        return solve_max_matching(m, theta);
+    }
+    let compact = WeightMatrix::from_fn(rows.len(), cols.len(), |i, j| m.get(rows[i], cols[j]));
+    match solve_max_matching(&compact, theta) {
+        MatchOutcome::Exact(mut mm) => {
+            for p in mm.pairs.iter_mut() {
+                *p = (rows[p.0 as usize] as u32, cols[p.1 as usize] as u32);
+            }
+            MatchOutcome::Exact(mm)
+        }
+        e => e,
+    }
+}
+
+/// The exact semantic overlap `SO(Q, C)`.
+pub fn semantic_overlap(
+    repo: &Repository,
+    sim: &dyn ElementSimilarity,
+    alpha: f64,
+    query: &[TokenId],
+    set: SetId,
+) -> f64 {
+    let m = similarity_matrix(sim, alpha, query, repo.set(set));
+    solve_compacted(&m, None).score()
+}
+
+/// Exact semantic overlap with the Lemma-8 early-termination threshold:
+/// aborts (returning the certified bound) once `SO(Q, C) < theta` is proven.
+pub fn semantic_overlap_bounded(
+    repo: &Repository,
+    sim: &dyn ElementSimilarity,
+    alpha: f64,
+    query: &[TokenId],
+    set: SetId,
+    theta: Option<f64>,
+) -> MatchOutcome {
+    let m = similarity_matrix(sim, alpha, query, repo.set(set));
+    solve_compacted(&m, theta)
+}
+
+/// The greedy matching score (Lemma 3 lower bound; also the non-exact
+/// comparator of the paper's Example 2).
+pub fn greedy_overlap(
+    repo: &Repository,
+    sim: &dyn ElementSimilarity,
+    alpha: f64,
+    query: &[TokenId],
+    set: SetId,
+) -> f64 {
+    let m = similarity_matrix(sim, alpha, query, repo.set(set));
+    greedy_matching(&m).score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::{EqualitySimilarity, QGramJaccard};
+
+    fn repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("c1", ["LA", "Blain", "Appleton"]);
+        b.add_set("c2", ["LA", "Blain", "NewYork"]);
+        b.build()
+    }
+
+    #[test]
+    fn equality_sim_reduces_to_vanilla_overlap() {
+        let r = repo();
+        let q = r.intern_query(["LA", "Blain", "Missing"]);
+        for (id, _) in r.iter_sets() {
+            let so = semantic_overlap(&r, &EqualitySimilarity, 0.5, &q, id);
+            assert_eq!(so, r.vanilla_overlap(&q, id) as f64);
+        }
+    }
+
+    #[test]
+    fn vanilla_lower_bounds_semantic() {
+        // Lemma 1.
+        let mut b = RepositoryBuilder::new();
+        b.add_set("c", ["Blaine", "Charlestown"]);
+        let mut r = b.build();
+        let q = r.intern_query_mut(["Blain", "Charlestown"]);
+        let j = QGramJaccard::new(&r, 3);
+        for (id, _) in r.iter_sets() {
+            let so = semantic_overlap(&r, &j, 0.5, &q, id);
+            assert!(so >= r.vanilla_overlap(&q, id) as f64 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetry_of_semantic_overlap() {
+        // SO(Q, C) computed by swapping roles must agree (Def. 1 symmetry).
+        let mut b = RepositoryBuilder::new();
+        let c1 = b.add_set("c1", ["Blaine", "Charleston", "Columbia"]);
+        let c2 = b.add_set("c2", ["Blain", "Charlestown"]);
+        let r = b.build();
+        let j = QGramJaccard::new(&r, 3);
+        let q1: Vec<TokenId> = r.set(c1).to_vec();
+        let q2: Vec<TokenId> = r.set(c2).to_vec();
+        let a = semantic_overlap(&r, &j, 0.3, &q1, c2);
+        let b2 = semantic_overlap(&r, &j, 0.3, &q2, c1);
+        assert!((a - b2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_is_a_lower_bound() {
+        let mut b = RepositoryBuilder::new();
+        let id = b.add_set("c", ["Blaine", "Blainey", "Blains"]);
+        let r = b.build();
+        let j = QGramJaccard::new(&r, 3);
+        let q = r.intern_query(["Blaine", "Blains"]);
+        let g = greedy_overlap(&r, &j, 0.2, &q, id);
+        let so = semantic_overlap(&r, &j, 0.2, &q, id);
+        assert!(g <= so + 1e-12);
+        assert!(g >= so / 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn bounded_overlap_terminates_or_agrees() {
+        let r = repo();
+        let q = r.intern_query(["LA", "Blain"]);
+        let exact = semantic_overlap(&r, &EqualitySimilarity, 0.5, &q, SetId(0));
+        match semantic_overlap_bounded(&r, &EqualitySimilarity, 0.5, &q, SetId(0), Some(100.0)) {
+            MatchOutcome::EarlyTerminated { upper_bound } => {
+                assert!(upper_bound >= exact - 1e-12)
+            }
+            MatchOutcome::Exact(m) => assert_eq!(m.score, exact),
+        }
+    }
+}

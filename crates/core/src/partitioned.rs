@@ -1,0 +1,214 @@
+//! Partitioned (scale-out) search (paper §VI end, Fig. 7a).
+//!
+//! The repository is sharded pseudo-randomly into `p` partitions; each
+//! partition runs a full Koios top-k search in its own thread, and all
+//! partitions share the global monotone `θlb` ([`SharedTheta`]) — a lower
+//! bound proven by any partition prunes candidates in every other. The
+//! final result merges the `k·p` partial results; hits certified by the
+//! No-EM filter (interval scores) are verified exactly at merge time so the
+//! global ranking is well-defined.
+
+use crate::config::KoiosConfig;
+use crate::engine::Koios;
+use crate::overlap::semantic_overlap;
+use crate::result::{Hit, ScoreBound, SearchResult};
+use crate::stats::SearchStats;
+use crate::theta::SharedTheta;
+use koios_common::{SetId, TokenId};
+use koios_embed::repository::Repository;
+use koios_embed::sim::ElementSimilarity;
+use koios_index::inverted::InvertedIndex;
+use std::sync::Arc;
+
+/// A Koios engine fanned out over `p` repository partitions.
+pub struct PartitionedKoios<'r> {
+    repo: &'r Repository,
+    sim: Arc<dyn ElementSimilarity>,
+    cfg: KoiosConfig,
+    indexes: Vec<Arc<InvertedIndex>>,
+}
+
+/// Deterministic pseudo-random partition of a set id (splitmix64 finalizer;
+/// "randomly partition the repository" without dragging in an RNG state).
+fn partition_of(seed: u64, set: SetId, partitions: usize) -> usize {
+    let mut z = seed ^ (set.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((z ^ (z >> 31)) % partitions as u64) as usize
+}
+
+impl<'r> PartitionedKoios<'r> {
+    /// Shards `repo` into `partitions` pieces (seeded, deterministic) and
+    /// builds one inverted index per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`.
+    pub fn new(
+        repo: &'r Repository,
+        sim: Arc<dyn ElementSimilarity>,
+        cfg: KoiosConfig,
+        partitions: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let mut shards: Vec<Vec<SetId>> = vec![Vec::new(); partitions];
+        for (id, _) in repo.iter_sets() {
+            shards[partition_of(seed, id, partitions)].push(id);
+        }
+        let indexes = shards
+            .into_iter()
+            .map(|sets| Arc::new(InvertedIndex::build_subset(repo, sets)))
+            .collect();
+        PartitionedKoios {
+            repo,
+            sim,
+            cfg,
+            indexes,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Runs the query on all partitions in parallel and merges the results.
+    pub fn search(&self, query: &[TokenId]) -> SearchResult {
+        let theta = SharedTheta::new();
+        let partials: Vec<SearchResult> = crossbeam::thread::scope(|sc| {
+            let handles: Vec<_> = self
+                .indexes
+                .iter()
+                .map(|index| {
+                    let engine = Koios::with_index(
+                        self.repo,
+                        Arc::clone(&self.sim),
+                        Arc::clone(index),
+                        self.cfg.clone(),
+                    );
+                    let theta = &theta;
+                    sc.spawn(move |_| engine.search_shared(query, theta))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition search panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+
+        // Merge-sort the k·p partial hits by exact score (verify interval
+        // hits on demand — at most k·p cheap matchings).
+        let mut stats = SearchStats::default();
+        let mut merged: Vec<Hit> = Vec::new();
+        for partial in partials {
+            stats.merge_parallel(&partial.stats);
+            for hit in partial.hits {
+                let exact = match hit.score {
+                    ScoreBound::Exact(s) => s,
+                    ScoreBound::Range { .. } => {
+                        stats.em_full += 1; // merge-time verification
+                        semantic_overlap(self.repo, self.sim.as_ref(), self.cfg.alpha, &q, hit.set)
+                    }
+                };
+                merged.push(Hit {
+                    set: hit.set,
+                    score: ScoreBound::Exact(exact),
+                });
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.score
+                .ub()
+                .partial_cmp(&a.score.ub())
+                .expect("scores are never NaN")
+                .then_with(|| a.set.cmp(&b.set))
+        });
+        merged.truncate(self.cfg.k);
+        SearchResult {
+            hits: merged,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::EqualitySimilarity;
+
+    fn repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        for i in 0..40 {
+            // Sets with progressively less overlap with {t0, t1, t2, t3}.
+            let keep = 4 - (i % 4);
+            let mut elems: Vec<String> = (0..keep).map(|j| format!("t{j}")).collect();
+            for j in keep..4 {
+                elems.push(format!("filler{i}-{j}"));
+            }
+            b.add_set(&format!("s{i}"), elems);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partition_assignment_is_deterministic_and_total() {
+        let r = repo();
+        let p1 = PartitionedKoios::new(&r, Arc::new(EqualitySimilarity), KoiosConfig::new(3, 0.9), 4, 7);
+        let p2 = PartitionedKoios::new(&r, Arc::new(EqualitySimilarity), KoiosConfig::new(3, 0.9), 4, 7);
+        assert_eq!(p1.num_partitions(), 4);
+        let total: usize = p1.indexes.iter().map(|i| i.total_postings()).sum();
+        let total2: usize = p2.indexes.iter().map(|i| i.total_postings()).sum();
+        assert_eq!(total, total2);
+        assert_eq!(total, 40 * 4);
+    }
+
+    #[test]
+    fn partitioned_matches_single_engine_scores() {
+        let r = repo();
+        let q = r.intern_query(["t0", "t1", "t2", "t3"]);
+        let single = Koios::new(&r, Arc::new(EqualitySimilarity), KoiosConfig::new(5, 0.9));
+        let sres = single.search(&q);
+        for parts in [1, 2, 3, 8] {
+            let part = PartitionedKoios::new(
+                &r,
+                Arc::new(EqualitySimilarity),
+                KoiosConfig::new(5, 0.9),
+                parts,
+                42,
+            );
+            let pres = part.search(&q);
+            assert_eq!(pres.hits.len(), sres.hits.len());
+            // Scores (not necessarily ids — ties) must agree.
+            let s_scores: Vec<f64> = sres.hits.iter().map(|h| h.score.ub()).collect();
+            let p_scores: Vec<f64> = pres.hits.iter().map(|h| h.score.exact().unwrap()).collect();
+            for (a, b) in s_scores.iter().zip(&p_scores) {
+                assert!((a - b).abs() < 1e-9, "parts={parts}: {s_scores:?} vs {p_scores:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_hits_are_exact_and_sorted() {
+        let r = repo();
+        let q = r.intern_query(["t0", "t1", "t2", "t3"]);
+        let part = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(6, 0.9),
+            3,
+            1,
+        );
+        let res = part.search(&q);
+        assert!(res.hits.iter().all(|h| h.score.exact().is_some()));
+        for w in res.hits.windows(2) {
+            assert!(w[0].score.ub() >= w[1].score.ub());
+        }
+    }
+}

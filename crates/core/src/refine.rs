@@ -1,0 +1,370 @@
+//! The refinement phase (paper §IV–§V, Algorithm 1).
+//!
+//! Tuples from the token stream discover candidates through the inverted
+//! index and update two per-candidate quantities:
+//!
+//! * **iLB** (Lemma 5): the score of the partial greedy matching assembled
+//!   from the descending edge stream — seeded with the vanilla overlap
+//!   because identical tokens arrive first at similarity 1.
+//! * **iUB**: `S_i + m_i·s` with `s` the current stream similarity. In
+//!   [`UbMode::SoundRowMax`] (default) `S_i` sums the first emitted edge per
+//!   query element (sound; DESIGN §2); in [`UbMode::PaperGreedy`] it is the
+//!   greedy score, exactly as Lemma 6 states it.
+//!
+//! Candidates are pruned when their upper bound falls strictly below `θlb`,
+//! the k-th best lower bound seen so far (Lemma 4) — at discovery via the
+//! UB-filter (Lemma 2) and continuously via the bucket sweep (§V).
+
+use crate::buckets::BucketIndex;
+use crate::config::{KoiosConfig, UbMode};
+use crate::stats::SearchStats;
+use crate::theta::{slack, SharedTheta};
+use koios_common::sparse::IdxSet;
+use koios_common::topk::TopKList;
+use koios_common::{HeapSize, SetId, Sim, TokenId};
+use koios_embed::repository::Repository;
+use koios_index::inverted::InvertedIndex;
+use koios_index::knn::KnnSource;
+use koios_index::token_stream::TokenStream;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A candidate that survived refinement, with its final certified bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Survivor {
+    /// The candidate set.
+    pub set: SetId,
+    /// Final lower bound (greedy matching score over the full stream).
+    pub lb: f64,
+    /// Final upper bound (mode-dependent end-of-stream collapse).
+    pub ub: f64,
+}
+
+/// Output of the refinement phase.
+pub struct RefineOutput {
+    /// Unpruned candidates, descending by upper bound (ties by set id).
+    pub survivors: Vec<Survivor>,
+    /// The running top-k lower-bound list (continues into post-processing).
+    pub llb: TopKList,
+}
+
+/// Per-candidate bound state.
+struct Cand {
+    /// `min(|Q|, |C|)` — the maximum matching cardinality.
+    cap: u32,
+    /// Greedy partial matching score (iLB).
+    lb: f64,
+    /// Query element indices matched by the greedy matching.
+    matched_q: IdxSet,
+    /// Candidate tokens matched by the greedy matching.
+    matched_t: IdxSet,
+    /// Row-max sum (sound iUB base); unused in paper mode.
+    row_sum: f64,
+    /// Number of query rows counted into `row_sum` (capped at `cap`).
+    seen_rows: u32,
+    /// Query rows already counted (sound mode only).
+    seen_q: IdxSet,
+    /// Tombstone flag: pruned candidates are remembered so posting hits
+    /// cannot resurrect them (Algorithm 1 line 6).
+    pruned: bool,
+}
+
+impl Cand {
+    fn new(cap: u32) -> Self {
+        Cand {
+            cap,
+            lb: 0.0,
+            matched_q: IdxSet::new(),
+            matched_t: IdxSet::new(),
+            row_sum: 0.0,
+            seen_rows: 0,
+            seen_q: IdxSet::new(),
+            pruned: false,
+        }
+    }
+
+    fn tombstone(cap: u32) -> Self {
+        let mut c = Cand::new(cap);
+        c.pruned = true;
+        c
+    }
+
+    /// Applies a stream tuple `(q_idx, token, s)`; returns whether the lower
+    /// bound improved.
+    fn apply(&mut self, q_idx: u32, token: TokenId, s: f64, mode: UbMode) -> bool {
+        debug_assert!(!self.pruned);
+        // Sound iUB: first emitted edge per query row, capped at `cap` rows
+        // (the stream is descending, so the first `cap` rows carry the
+        // largest row maxima).
+        if mode == UbMode::SoundRowMax && self.seen_rows < self.cap && self.seen_q.insert(q_idx) {
+            self.row_sum += s;
+            self.seen_rows += 1;
+        }
+        // iLB: greedy matching accepts the edge iff both endpoints are free
+        // (Lemma 5 — any prefix of greedy choices is a valid matching).
+        if !self.matched_q.contains(q_idx) && !self.matched_t.contains(token.0) {
+            self.matched_q.insert(q_idx);
+            self.matched_t.insert(token.0);
+            self.lb += s;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The `(m, S_i)` bucket key for the configured UB mode.
+    fn bucket_key(&self, mode: UbMode) -> (u32, f64) {
+        match mode {
+            UbMode::SoundRowMax => (self.cap - self.seen_rows, self.row_sum),
+            UbMode::PaperGreedy => (self.cap - self.matched_q.len() as u32, self.lb),
+        }
+    }
+
+    /// The end-of-stream upper bound: all unseen edges are below `α`, so
+    /// unseen rows contribute 0 in the sound mode; the paper-mode bound
+    /// keeps the Lemma-6 form with `s = α`.
+    fn final_ub(&self, mode: UbMode, alpha: f64) -> f64 {
+        match mode {
+            UbMode::SoundRowMax => self.row_sum,
+            UbMode::PaperGreedy => {
+                self.lb + (self.cap - self.matched_q.len() as u32) as f64 * alpha
+            }
+        }
+    }
+
+    /// Tombstones the candidate, releasing its tracking memory.
+    fn prune(&mut self) {
+        self.pruned = true;
+        self.matched_q = IdxSet::new();
+        self.matched_t = IdxSet::new();
+        self.seen_q = IdxSet::new();
+    }
+
+    fn heap_size(&self) -> usize {
+        self.matched_q.heap_size() + self.matched_t.heap_size() + self.seen_q.heap_size()
+    }
+}
+
+/// Runs the refinement phase over `stream`.
+#[allow(clippy::too_many_arguments)]
+pub fn refine<K: KnnSource>(
+    repo: &Repository,
+    index: &InvertedIndex,
+    query: &[TokenId],
+    cfg: &KoiosConfig,
+    theta: &SharedTheta,
+    stream: &mut TokenStream<K>,
+    stats: &mut SearchStats,
+    deadline: Option<Instant>,
+) -> RefineOutput {
+    let qlen = query.len();
+    let mode = cfg.ub_mode;
+    let mut states: HashMap<SetId, Cand> = HashMap::new();
+    let mut buckets = BucketIndex::new();
+    let mut llb = TopKList::new(cfg.k);
+    let mut last_swept_theta = theta.get();
+    let mut since_sweep = 0usize;
+    let mut last_sim = 1.0f64;
+
+    while let Some(tuple) = stream.next() {
+        stats.stream_tuples += 1;
+        let s = tuple.sim;
+        last_sim = s;
+        for &set in index.postings(tuple.token) {
+            match states.entry(set) {
+                Entry::Occupied(mut e) => {
+                    let cand = e.get_mut();
+                    if cand.pruned {
+                        continue;
+                    }
+                    let old_key = cand.bucket_key(mode);
+                    let lb_improved = cand.apply(tuple.q_idx, tuple.token, s, mode);
+                    let new_key = cand.bucket_key(mode);
+                    if cfg.iub_filter && new_key != old_key {
+                        buckets.reinsert(old_key.0, old_key.1, new_key.0, new_key.1, set);
+                        stats.bucket_moves += 1;
+                    }
+                    if lb_improved {
+                        let lb = cand.lb;
+                        if llb.offer(set, Sim::new(lb)) {
+                            if let Some(b) = llb.bottom() {
+                                theta.raise(b.get());
+                            }
+                        }
+                    }
+                }
+                Entry::Vacant(v) => {
+                    stats.candidates += 1;
+                    let clen = repo.set_len(set) as u32;
+                    let cap = (qlen as u32).min(clen);
+                    // UB-filter at discovery (Lemma 2 with the §IV cap):
+                    // the first tuple carries the set's maximum similarity.
+                    // Gated with the iUB filter so the Baseline config
+                    // (§VIII-A4) verifies every candidate unpruned.
+                    if cfg.iub_filter && (cap as f64) * s < slack(theta.get()) {
+                        stats.ub_filter_pruned += 1;
+                        v.insert(Cand::tombstone(cap));
+                        continue;
+                    }
+                    let mut cand = Cand::new(cap);
+                    cand.apply(tuple.q_idx, tuple.token, s, mode);
+                    let key = cand.bucket_key(mode);
+                    let lb = cand.lb;
+                    v.insert(cand);
+                    if cfg.iub_filter {
+                        buckets.insert(key.0, key.1, set);
+                    }
+                    if llb.offer(set, Sim::new(lb)) {
+                        if let Some(b) = llb.bottom() {
+                            theta.raise(b.get());
+                        }
+                    }
+                }
+            }
+        }
+        // Prune sweep: whenever θlb rose, and periodically as `s` decays.
+        since_sweep += 1;
+        if cfg.iub_filter {
+            let th = theta.get();
+            if th > last_swept_theta || since_sweep >= cfg.sweep_interval {
+                stats.iub_pruned += buckets.sweep(s, slack(th), |set| {
+                    if let Some(c) = states.get_mut(&set) {
+                        c.prune();
+                    }
+                });
+                last_swept_theta = th;
+                since_sweep = 0;
+            }
+        }
+        if stats.stream_tuples.is_multiple_of(1024) {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    stats.timed_out = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // End-of-stream collapse: every edge ≥ α has been emitted, so the
+    // residual per-row potential drops to 0 (sound) / α (paper form).
+    if cfg.iub_filter {
+        let s_final = match mode {
+            UbMode::SoundRowMax => 0.0,
+            UbMode::PaperGreedy => cfg.alpha.min(last_sim),
+        };
+        stats.iub_pruned += buckets.sweep(s_final, slack(theta.get()), |set| {
+            if let Some(c) = states.get_mut(&set) {
+                c.prune();
+            }
+        });
+    }
+
+    // Memory snapshot of the refinement structures (paper §VIII-D sums the
+    // footprints of both phases' structures).
+    let states_bytes = states.capacity()
+        * (std::mem::size_of::<(SetId, Cand)>() + 1)
+        + states.values().map(Cand::heap_size).sum::<usize>();
+    stats.memory.add("token stream", stream.heap_bytes());
+    stats.memory.add("candidate states", states_bytes);
+    stats.memory.add("ub buckets", buckets.heap_size());
+    stats.memory.add("top-k lb list", llb.heap_size());
+
+    let mut survivors: Vec<Survivor> = states
+        .iter()
+        .filter(|(_, c)| !c.pruned)
+        .map(|(&set, c)| Survivor {
+            set,
+            lb: c.lb,
+            ub: c.final_ub(mode, cfg.alpha),
+        })
+        .collect();
+    survivors.sort_by(|a, b| {
+        b.ub.partial_cmp(&a.ub)
+            .expect("bounds are never NaN")
+            .then_with(|| a.set.cmp(&b.set))
+    });
+    stats.to_postprocess = survivors.len();
+    RefineOutput { survivors, llb }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cand_greedy_respects_one_to_one() {
+        let mut c = Cand::new(2);
+        assert!(c.apply(0, TokenId(10), 0.9, UbMode::SoundRowMax));
+        // Same query row: rejected by greedy.
+        assert!(!c.apply(0, TokenId(11), 0.8, UbMode::SoundRowMax));
+        // Same token: rejected by greedy.
+        assert!(!c.apply(1, TokenId(10), 0.7, UbMode::SoundRowMax));
+        // Fresh pair: accepted.
+        assert!(c.apply(1, TokenId(12), 0.6, UbMode::SoundRowMax));
+        assert!((c.lb - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sound_rowmax_counts_first_edge_per_row() {
+        let mut c = Cand::new(2);
+        c.apply(0, TokenId(10), 0.9, UbMode::SoundRowMax);
+        c.apply(0, TokenId(11), 0.8, UbMode::SoundRowMax); // row 0 already seen
+        c.apply(1, TokenId(10), 0.7, UbMode::SoundRowMax); // row 1 first edge
+        assert!((c.row_sum - 1.6).abs() < 1e-12);
+        assert_eq!(c.seen_rows, 2);
+        // Row capacity exhausted: further rows ignored.
+        c.apply(2, TokenId(12), 0.6, UbMode::SoundRowMax);
+        assert!((c.row_sum - 1.6).abs() < 1e-12);
+        assert_eq!(c.bucket_key(UbMode::SoundRowMax), (0, 1.6));
+        assert!((c.final_ub(UbMode::SoundRowMax, 0.5) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rowmax_dominates_greedy_lb() {
+        // DESIGN §2 injection argument: row_sum >= lb at all times.
+        // |C| = 3 tokens {10, 11, 12}, |Q| = 4 rows → cap = 3.
+        let tuples = [
+            (0u32, 10u32, 0.9),
+            (1, 10, 0.85),
+            (2, 11, 0.8),
+            (1, 11, 0.75),
+            (3, 12, 0.7),
+        ];
+        let mut c = Cand::new(3);
+        for (q, t, s) in tuples {
+            c.apply(q, TokenId(t), s, UbMode::SoundRowMax);
+            assert!(
+                c.row_sum + 1e-12 >= c.lb,
+                "row_sum {} < lb {}",
+                c.row_sum,
+                c.lb
+            );
+        }
+    }
+
+    #[test]
+    fn paper_mode_keys_track_greedy() {
+        let mut c = Cand::new(3);
+        c.apply(0, TokenId(10), 0.9, UbMode::PaperGreedy);
+        assert_eq!(c.bucket_key(UbMode::PaperGreedy), (2, 0.9));
+        // Rejected edge leaves the key unchanged.
+        c.apply(0, TokenId(11), 0.8, UbMode::PaperGreedy);
+        assert_eq!(c.bucket_key(UbMode::PaperGreedy), (2, 0.9));
+        let ub = c.final_ub(UbMode::PaperGreedy, 0.8);
+        assert!((ub - (0.9 + 2.0 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tombstone_releases_memory() {
+        let mut c = Cand::new(4);
+        for i in 0..50 {
+            c.apply(i, TokenId(i + 100), 0.9, UbMode::SoundRowMax);
+        }
+        assert!(c.heap_size() > 0);
+        c.prune();
+        assert!(c.pruned);
+        assert_eq!(c.heap_size(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Search results.
+
+use crate::stats::SearchStats;
+use koios_common::SetId;
+
+/// The score knowledge about a returned set.
+///
+/// Sets certified by the No-EM filter (Lemma 7) are *guaranteed top-k
+/// members* whose exact semantic overlap was never computed — they carry
+/// their final refinement bounds instead. Disable
+/// [`crate::KoiosConfig::no_em_filter`] to force exact scores everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreBound {
+    /// Exact semantic overlap (verified by graph matching).
+    Exact(f64),
+    /// Certified interval `lb ≤ SO ≤ ub`.
+    Range {
+        /// Certified lower bound.
+        lb: f64,
+        /// Certified upper bound.
+        ub: f64,
+    },
+}
+
+impl ScoreBound {
+    /// The exact score if known.
+    pub fn exact(&self) -> Option<f64> {
+        match *self {
+            ScoreBound::Exact(s) => Some(s),
+            ScoreBound::Range { .. } => None,
+        }
+    }
+
+    /// Certified lower bound on the semantic overlap.
+    pub fn lb(&self) -> f64 {
+        match *self {
+            ScoreBound::Exact(s) => s,
+            ScoreBound::Range { lb, .. } => lb,
+        }
+    }
+
+    /// Certified upper bound on the semantic overlap.
+    pub fn ub(&self) -> f64 {
+        match *self {
+            ScoreBound::Exact(s) => s,
+            ScoreBound::Range { ub, .. } => ub,
+        }
+    }
+}
+
+/// One result set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The set.
+    pub set: SetId,
+    /// What is known about its semantic overlap with the query.
+    pub score: ScoreBound,
+}
+
+/// A completed top-k search: hits in descending score order plus the
+/// instrumentation of the run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchResult {
+    /// Up to `k` sets, descending by (upper-bound) score, ties by set id.
+    pub hits: Vec<Hit>,
+    /// Counters, timings and memory of the run.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// The k-th (smallest) certified lower bound among the hits — the
+    /// search's final `θk` estimate.
+    pub fn theta_k(&self) -> f64 {
+        self.hits
+            .iter()
+            .map(|h| h.score.lb())
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+    }
+
+    /// The result set ids.
+    pub fn set_ids(&self) -> Vec<SetId> {
+        self.hits.iter().map(|h| h.set).collect()
+    }
+
+    /// Sorts hits descending by upper bound, ties by ascending set id
+    /// (the deterministic report order).
+    pub fn sort_hits(&mut self) {
+        self.hits.sort_by(|a, b| {
+            b.score
+                .ub()
+                .partial_cmp(&a.score.ub())
+                .expect("scores are never NaN")
+                .then_with(|| a.set.cmp(&b.set))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_bound_accessors() {
+        let e = ScoreBound::Exact(2.5);
+        assert_eq!(e.exact(), Some(2.5));
+        assert_eq!(e.lb(), 2.5);
+        assert_eq!(e.ub(), 2.5);
+        let r = ScoreBound::Range { lb: 1.0, ub: 2.0 };
+        assert_eq!(r.exact(), None);
+        assert_eq!(r.lb(), 1.0);
+        assert_eq!(r.ub(), 2.0);
+    }
+
+    #[test]
+    fn sort_hits_orders_by_ub_then_id() {
+        let mut res = SearchResult {
+            hits: vec![
+                Hit { set: SetId(3), score: ScoreBound::Exact(1.0) },
+                Hit { set: SetId(1), score: ScoreBound::Range { lb: 0.5, ub: 2.0 } },
+                Hit { set: SetId(2), score: ScoreBound::Exact(2.0) },
+            ],
+            stats: SearchStats::default(),
+        };
+        res.sort_hits();
+        assert_eq!(res.set_ids(), vec![SetId(1), SetId(2), SetId(3)]);
+    }
+
+    #[test]
+    fn theta_k_is_min_lb() {
+        let res = SearchResult {
+            hits: vec![
+                Hit { set: SetId(0), score: ScoreBound::Exact(3.0) },
+                Hit { set: SetId(1), score: ScoreBound::Range { lb: 1.5, ub: 4.0 } },
+            ],
+            stats: SearchStats::default(),
+        };
+        assert_eq!(res.theta_k(), 1.5);
+    }
+}

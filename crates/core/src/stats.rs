@@ -1,0 +1,138 @@
+//! Per-query instrumentation.
+//!
+//! Every counter maps to a column of the paper's evaluation tables:
+//! `candidates` / `ub_filter_pruned` + `iub_pruned` / `no_em` /
+//! `em_early_terminated` / `em_full` are Tables II, IV and V;
+//! `refine_time` / `postprocess_time` are the phase-breakdown panels of
+//! Figs. 5–7; `memory` feeds the footprint panels.
+
+use koios_common::memsize::MemoryReport;
+use std::time::Duration;
+
+/// Counters and timings collected by one search.
+#[derive(Debug, Default, Clone)]
+pub struct SearchStats {
+    /// Tuples consumed from the token stream `Ie`.
+    pub stream_tuples: usize,
+    /// Distinct candidate sets discovered (non-zero semantic overlap).
+    pub candidates: usize,
+    /// Candidates pruned at discovery by the UB-filter (Lemma 2).
+    pub ub_filter_pruned: usize,
+    /// Candidates pruned by the bucketised iUB filter during refinement
+    /// (including the end-of-stream upper-bound collapse).
+    pub iub_pruned: usize,
+    /// Candidates entering the post-processing phase.
+    pub to_postprocess: usize,
+    /// Post-processing sets discarded lazily because their upper bound fell
+    /// under `θlb` before any matching was attempted.
+    pub postprocess_ub_pruned: usize,
+    /// Sets certified into the top-k *without* exact matching (Lemma 7).
+    pub no_em: usize,
+    /// Exact matchings aborted by the label-sum filter (Lemma 8).
+    pub em_early_terminated: usize,
+    /// Exact matchings run to completion.
+    pub em_full: usize,
+    /// Moves between iUB buckets (filter maintenance cost, §V).
+    pub bucket_moves: usize,
+    /// Wall time of the refinement phase.
+    pub refine_time: Duration,
+    /// Wall time of the post-processing phase.
+    pub postprocess_time: Duration,
+    /// Whether the time budget expired (partial results).
+    pub timed_out: bool,
+    /// Peak footprint of the search data structures.
+    pub memory: MemoryReport,
+}
+
+impl SearchStats {
+    /// Total wall time across phases.
+    pub fn response_time(&self) -> Duration {
+        self.refine_time + self.postprocess_time
+    }
+
+    /// Fraction of candidates pruned during refinement (the paper's
+    /// "iUB-Filter" pruning-power column folds the discovery-time UB-filter
+    /// into the refinement count).
+    pub fn refinement_prune_ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        (self.ub_filter_pruned + self.iub_pruned) as f64 / self.candidates as f64
+    }
+
+    /// Fraction of post-processing sets resolved without a completed exact
+    /// matching (No-EM certified or early-terminated).
+    pub fn postprocess_prune_ratio(&self) -> f64 {
+        if self.to_postprocess == 0 {
+            return 0.0;
+        }
+        (self.no_em + self.em_early_terminated + self.postprocess_ub_pruned) as f64
+            / self.to_postprocess as f64
+    }
+
+    /// Merges counters from another search (used when aggregating partition
+    /// stats; timings take the max, since partitions run in parallel).
+    pub fn merge_parallel(&mut self, other: &SearchStats) {
+        self.stream_tuples += other.stream_tuples;
+        self.candidates += other.candidates;
+        self.ub_filter_pruned += other.ub_filter_pruned;
+        self.iub_pruned += other.iub_pruned;
+        self.to_postprocess += other.to_postprocess;
+        self.postprocess_ub_pruned += other.postprocess_ub_pruned;
+        self.no_em += other.no_em;
+        self.em_early_terminated += other.em_early_terminated;
+        self.em_full += other.em_full;
+        self.bucket_moves += other.bucket_moves;
+        self.refine_time = self.refine_time.max(other.refine_time);
+        self.postprocess_time = self.postprocess_time.max(other.postprocess_time);
+        self.timed_out |= other.timed_out;
+        self.memory.merge(&other.memory);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = SearchStats::default();
+        assert_eq!(s.refinement_prune_ratio(), 0.0);
+        assert_eq!(s.postprocess_prune_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = SearchStats {
+            candidates: 100,
+            ub_filter_pruned: 30,
+            iub_pruned: 50,
+            to_postprocess: 20,
+            no_em: 5,
+            em_early_terminated: 5,
+            em_full: 10,
+            ..Default::default()
+        };
+        assert!((s.refinement_prune_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.postprocess_prune_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_parallel_sums_counts_and_maxes_times() {
+        let mut a = SearchStats {
+            candidates: 10,
+            refine_time: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let b = SearchStats {
+            candidates: 5,
+            refine_time: Duration::from_millis(50),
+            timed_out: true,
+            ..Default::default()
+        };
+        a.merge_parallel(&b);
+        assert_eq!(a.candidates, 15);
+        assert_eq!(a.refine_time, Duration::from_millis(50));
+        assert!(a.timed_out);
+    }
+}

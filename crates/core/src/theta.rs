@@ -1,0 +1,99 @@
+//! The shared, monotone pruning threshold `θlb`.
+//!
+//! Partitioned search (paper §VI) runs Koios per partition in parallel with
+//! a *global* `θlb`: every partition publishes its local k-th best lower
+//! bound, and every filter reads the maximum published so far. Soundness
+//! only needs monotonicity — a published value certifies that k sets with at
+//! least that semantic overlap exist somewhere, so pruning any set whose
+//! upper bound falls strictly below it can never lose a top-k member.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relative slack applied to every pruning threshold.
+///
+/// Lower bounds are floating-point sums of the same edge weights the
+/// Hungarian algorithm adds in a different order, so `θlb` can exceed the
+/// true `θk` by a few ulps. Pruning against `slack(θ)` instead of `θ`
+/// absorbs that noise; the 1e-9 relative margin is orders of magnitude
+/// above accumulation error and orders of magnitude below any meaningful
+/// score difference.
+pub fn slack(theta: f64) -> f64 {
+    theta - 1e-9 * theta.max(1.0)
+}
+
+/// A lock-free, monotonically increasing `f64` threshold.
+///
+/// Non-negative IEEE-754 doubles compare like their bit patterns, so a
+/// `fetch_max` on the raw bits implements a monotone max register.
+#[derive(Debug, Default)]
+pub struct SharedTheta {
+    bits: AtomicU64,
+}
+
+impl SharedTheta {
+    /// A fresh threshold at 0.
+    pub fn new() -> Self {
+        SharedTheta {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The current threshold.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Raises the threshold to `value` if it is larger; returns the new
+    /// maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `value` is negative or NaN — thresholds are scores.
+    #[inline]
+    pub fn raise(&self, value: f64) -> f64 {
+        debug_assert!(value >= 0.0 && !value.is_nan());
+        let prev = self.bits.fetch_max(value.to_bits(), Ordering::AcqRel);
+        f64::from_bits(prev).max(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SharedTheta::new().get(), 0.0);
+    }
+
+    #[test]
+    fn raise_is_monotone() {
+        let t = SharedTheta::new();
+        assert_eq!(t.raise(1.5), 1.5);
+        assert_eq!(t.get(), 1.5);
+        assert_eq!(t.raise(0.7), 1.5); // lower value ignored
+        assert_eq!(t.get(), 1.5);
+        assert_eq!(t.raise(2.25), 2.25);
+        assert_eq!(t.get(), 2.25);
+    }
+
+    #[test]
+    fn concurrent_raises_keep_max() {
+        let t = Arc::new(SharedTheta::new());
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..1000u64 {
+                    t.raise((i * 1000 + j) as f64 / 100.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.get(), 7999.0 / 100.0);
+    }
+}

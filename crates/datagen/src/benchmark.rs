@@ -1,0 +1,162 @@
+//! Query benchmarks (paper §VIII-A2).
+//!
+//! A benchmark is a collection of query sets drawn from the repository
+//! itself. For strongly size-skewed corpora (OpenData, WDC) the paper
+//! samples uniformly *per cardinality interval* so large queries are not
+//! drowned out by the power-law mass of small sets; for DBLP and Twitter it
+//! samples uniformly overall.
+
+use koios_common::{SetId, TokenId};
+use koios_embed::repository::Repository;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One benchmark query: the tokens of a sampled repository set.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// The set the query was sampled from (searches typically want it
+    /// excluded from results or simply expect it at rank 1).
+    pub source: SetId,
+    /// Query tokens (sorted, deduplicated — they come from a set).
+    pub tokens: Vec<TokenId>,
+    /// Index of the cardinality interval this query belongs to
+    /// (0 for interval-less benchmarks).
+    pub interval: usize,
+}
+
+/// A collection of benchmark queries grouped by cardinality interval.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBenchmark {
+    /// The interval bounds `[lo, hi)`; empty when sampling was uniform.
+    pub intervals: Vec<(usize, usize)>,
+    /// The queries, in interval order.
+    pub queries: Vec<BenchQuery>,
+}
+
+impl QueryBenchmark {
+    /// Samples `per_interval` sets uniformly from each cardinality interval
+    /// `[lo, hi)`. Intervals short on eligible sets contribute what they
+    /// have.
+    pub fn by_intervals(
+        repo: &Repository,
+        intervals: &[(usize, usize)],
+        per_interval: usize,
+        seed: u64,
+    ) -> QueryBenchmark {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::new();
+        for (idx, &(lo, hi)) in intervals.iter().enumerate() {
+            let mut eligible: Vec<SetId> = repo
+                .iter_sets()
+                .filter(|(_, s)| s.len() >= lo && s.len() < hi)
+                .map(|(id, _)| id)
+                .collect();
+            eligible.shuffle(&mut rng);
+            for &id in eligible.iter().take(per_interval) {
+                queries.push(BenchQuery {
+                    source: id,
+                    tokens: repo.set(id).to_vec(),
+                    interval: idx,
+                });
+            }
+        }
+        QueryBenchmark {
+            intervals: intervals.to_vec(),
+            queries,
+        }
+    }
+
+    /// Samples `n` sets uniformly from the whole repository (the DBLP /
+    /// Twitter style benchmark).
+    pub fn uniform(repo: &Repository, n: usize, seed: u64) -> QueryBenchmark {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<SetId> = repo.iter_sets().map(|(id, _)| id).collect();
+        ids.shuffle(&mut rng);
+        let queries = ids
+            .into_iter()
+            .take(n)
+            .map(|id| BenchQuery {
+                source: id,
+                tokens: repo.set(id).to_vec(),
+                interval: 0,
+            })
+            .collect();
+        QueryBenchmark {
+            intervals: Vec::new(),
+            queries,
+        }
+    }
+
+    /// Queries belonging to interval `idx`.
+    pub fn interval_queries(&self, idx: usize) -> impl Iterator<Item = &BenchQuery> {
+        self.queries.iter().filter(move |q| q.interval == idx)
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the benchmark is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusSpec};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusSpec::small(11))
+    }
+
+    #[test]
+    fn interval_sampling_respects_bounds() {
+        let c = corpus();
+        let intervals = [(4, 10), (10, 20), (20, 41)];
+        let b = QueryBenchmark::by_intervals(&c.repository, &intervals, 5, 1);
+        assert!(!b.is_empty());
+        for q in &b.queries {
+            let (lo, hi) = intervals[q.interval];
+            assert!(q.tokens.len() >= lo && q.tokens.len() < hi);
+            assert_eq!(q.tokens, c.repository.set(q.source));
+        }
+        for idx in 0..intervals.len() {
+            assert!(b.interval_queries(idx).count() <= 5);
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_takes_n() {
+        let c = corpus();
+        let b = QueryBenchmark::uniform(&c.repository, 7, 2);
+        assert_eq!(b.len(), 7);
+        assert!(b.intervals.is_empty());
+        // No duplicate source sets.
+        let mut ids: Vec<_> = b.queries.iter().map(|q| q.source).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let c = corpus();
+        let a = QueryBenchmark::uniform(&c.repository, 5, 3);
+        let b = QueryBenchmark::uniform(&c.repository, 5, 3);
+        let d = QueryBenchmark::uniform(&c.repository, 5, 4);
+        let ids = |x: &QueryBenchmark| x.queries.iter().map(|q| q.source).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
+        assert_ne!(ids(&a), ids(&d));
+    }
+
+    #[test]
+    fn empty_interval_contributes_nothing() {
+        let c = corpus();
+        let b = QueryBenchmark::by_intervals(&c.repository, &[(1000, 2000)], 5, 1);
+        assert!(b.is_empty());
+    }
+}

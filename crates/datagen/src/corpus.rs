@@ -1,0 +1,268 @@
+//! The synthetic corpus generator.
+//!
+//! Tokens `0..vocab` are assigned round-robin to `clusters` topic clusters
+//! (`topic(t) = t mod clusters`), so global token popularity (Zipfian by
+//! token id) is spread evenly across topics. A set draws a primary topic
+//! and fills itself with a `coherence`-weighted mixture of topic members
+//! and globally popular tokens — the shape of a table column: a theme plus
+//! recurring boilerplate values. Embeddings come from
+//! [`koios_embed::synthetic::clustered_embeddings`] with the same topic
+//! assignment, except for an `oov_fraction` of tokens left vector-less.
+
+use crate::zipf::{SizeDist, Zipf};
+use koios_common::TokenId;
+use koios_embed::rand_util::stream_seed;
+use koios_embed::repository::{Repository, RepositoryBuilder};
+use koios_embed::synthetic::clustered_embeddings;
+use koios_embed::vectors::Embeddings;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic corpus (see module docs).
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Corpus label (profile name).
+    pub name: String,
+    /// Number of sets.
+    pub num_sets: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Smallest set cardinality.
+    pub set_size_min: usize,
+    /// Largest set cardinality.
+    pub set_size_max: usize,
+    /// Power-law exponent of the cardinality distribution (higher → more
+    /// small sets; the paper's repositories are strongly skewed).
+    pub set_size_exponent: f64,
+    /// Zipf exponent of global token popularity (higher → longer posting
+    /// lists for the head tokens; WDC ≈ high, OpenData ≈ moderate).
+    pub token_exponent: f64,
+    /// Number of topic clusters (semantic neighbourhoods).
+    pub clusters: usize,
+    /// Probability that a set element is drawn from the set's topic rather
+    /// than the global popularity distribution.
+    pub coherence: f64,
+    /// Fraction of tokens without an embedding vector.
+    pub oov_fraction: f64,
+    /// Within-cluster embedding noise σ (E[cos] ≈ 1/(1+σ²)).
+    pub noise: f64,
+    /// Embedding dimensionality.
+    pub dims: usize,
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A small default spec for tests and examples.
+    pub fn small(seed: u64) -> Self {
+        CorpusSpec {
+            name: "small".to_string(),
+            num_sets: 200,
+            vocab_size: 1000,
+            set_size_min: 4,
+            set_size_max: 40,
+            set_size_exponent: 1.0,
+            token_exponent: 0.8,
+            clusters: 100,
+            coherence: 0.6,
+            oov_fraction: 0.1,
+            noise: 0.35,
+            dims: 16,
+            seed,
+        }
+    }
+}
+
+/// A generated corpus: the repository, its embeddings, and the topic
+/// assignment used to build both.
+pub struct Corpus {
+    /// The generating spec.
+    pub spec: CorpusSpec,
+    /// Sets + interned vocabulary.
+    pub repository: Repository,
+    /// Clustered synthetic embeddings over the vocabulary.
+    pub embeddings: Embeddings,
+    /// Topic of each token (always assigned, even for OOV tokens).
+    pub topics: Vec<u32>,
+}
+
+impl Corpus {
+    /// Generates the corpus described by `spec`.
+    pub fn generate(spec: CorpusSpec) -> Corpus {
+        assert!(spec.num_sets > 0 && spec.vocab_size > 0);
+        assert!(spec.clusters > 0 && spec.clusters <= spec.vocab_size);
+        assert!(
+            spec.set_size_max <= spec.vocab_size,
+            "sets cannot exceed the vocabulary"
+        );
+
+        // Vocabulary: token t belongs to topic t % clusters; its string
+        // encodes the topic so character-level similarities correlate with
+        // the semantic structure too.
+        let mut builder = RepositoryBuilder::new();
+        let clusters = spec.clusters as u32;
+        let mut topics = Vec::with_capacity(spec.vocab_size);
+        let mut topic_pools: Vec<Vec<TokenId>> = vec![Vec::new(); spec.clusters];
+        for t in 0..spec.vocab_size {
+            let topic = (t as u32) % clusters;
+            let id = builder.intern(&format!("c{topic:05}w{t:07}"));
+            debug_assert_eq!(id.idx(), t);
+            topics.push(topic);
+            topic_pools[topic as usize].push(id);
+        }
+
+        // Sets: topic-coherent mixtures over a Zipfian popularity base.
+        let size_dist = SizeDist::new(
+            spec.set_size_min,
+            spec.set_size_max,
+            spec.set_size_exponent,
+        );
+        let global = Zipf::new(spec.vocab_size, spec.token_exponent);
+        let topic_pick = Zipf::new(spec.clusters, 0.4); // mildly skewed topics
+        for s in 0..spec.num_sets {
+            let mut rng = StdRng::seed_from_u64(stream_seed(spec.seed, 0x5E70 ^ s as u64));
+            let size = size_dist.sample(&mut rng);
+            let topic = topic_pick.sample(&mut rng);
+            let pool = &topic_pools[topic];
+            let mut tokens: Vec<TokenId> = Vec::with_capacity(size);
+            let mut attempts = 0usize;
+            while tokens.len() < size && attempts < size * 20 {
+                attempts += 1;
+                let tok = if rng.gen::<f64>() < spec.coherence {
+                    pool[rng.gen_range(0..pool.len())]
+                } else {
+                    TokenId(global.sample(&mut rng) as u32)
+                };
+                if !tokens.contains(&tok) {
+                    tokens.push(tok);
+                }
+            }
+            // Saturated topic pools fall back to a global linear probe so the
+            // requested cardinality is always reached.
+            let mut probe = 0u32;
+            while tokens.len() < size {
+                let tok = TokenId(probe % spec.vocab_size as u32);
+                if !tokens.contains(&tok) {
+                    tokens.push(tok);
+                }
+                probe += 1;
+            }
+            builder.add_token_set(&format!("{}-{s}", spec.name), tokens);
+        }
+        let repository = builder.build();
+
+        // Embeddings: topic = cluster; an `oov_fraction` of tokens stays
+        // vector-less (paper: ≤30% uncovered elements per set on average).
+        let assignment: Vec<Option<u32>> = (0..spec.vocab_size)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(stream_seed(spec.seed, 0x00Fu64 << 48 ^ t as u64));
+                if rng.gen::<f64>() < spec.oov_fraction {
+                    None
+                } else {
+                    Some(topics[t])
+                }
+            })
+            .collect();
+        let noise = spec.noise;
+        let embeddings = clustered_embeddings(spec.dims, &assignment, |_| noise, spec.seed);
+
+        Corpus {
+            spec,
+            repository,
+            embeddings,
+            topics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_common::SetId;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(CorpusSpec::small(5));
+        let b = Corpus::generate(CorpusSpec::small(5));
+        assert_eq!(a.repository.num_sets(), b.repository.num_sets());
+        for (id, set) in a.repository.iter_sets() {
+            assert_eq!(set, b.repository.set(id));
+        }
+        let c = Corpus::generate(CorpusSpec::small(6));
+        // Different seed ⇒ (almost surely) different sets.
+        let differs = a
+            .repository
+            .iter_sets()
+            .any(|(id, set)| set != c.repository.set(id));
+        assert!(differs);
+    }
+
+    #[test]
+    fn sizes_respect_spec_bounds() {
+        let spec = CorpusSpec::small(1);
+        let (min, max) = (spec.set_size_min, spec.set_size_max);
+        let c = Corpus::generate(spec);
+        for (_, set) in c.repository.iter_sets() {
+            assert!(set.len() >= min && set.len() <= max, "size {}", set.len());
+        }
+        let stats = c.repository.stats();
+        assert_eq!(stats.num_sets, 200);
+        assert!(stats.avg_size >= min as f64 && stats.avg_size <= max as f64);
+    }
+
+    #[test]
+    fn topics_align_tokens_and_strings() {
+        let c = Corpus::generate(CorpusSpec::small(2));
+        for t in 0..c.spec.vocab_size {
+            let s = c.repository.token_str(TokenId(t as u32));
+            let expect = format!("c{:05}", c.topics[t]);
+            assert!(s.starts_with(&expect), "token {s} not in topic prefix {expect}");
+        }
+    }
+
+    #[test]
+    fn embedding_coverage_tracks_oov_fraction() {
+        let c = Corpus::generate(CorpusSpec::small(3));
+        let cov = c.embeddings.coverage();
+        assert!((cov - 0.9).abs() < 0.06, "coverage {cov}");
+    }
+
+    #[test]
+    fn sets_are_topic_coherent() {
+        let c = Corpus::generate(CorpusSpec::small(4));
+        // For most sets, the modal topic should cover well over the
+        // non-coherent expectation (1/clusters).
+        let mut coherent_sets = 0;
+        for (id, set) in c.repository.iter_sets() {
+            let mut counts = std::collections::HashMap::new();
+            for &t in set {
+                *counts.entry(c.topics[t.idx()]).or_insert(0usize) += 1;
+            }
+            let modal = counts.values().max().copied().unwrap_or(0);
+            if modal as f64 >= set.len() as f64 * 0.3 {
+                coherent_sets += 1;
+            }
+            let _ = id;
+        }
+        assert!(
+            coherent_sets > c.repository.num_sets() / 2,
+            "only {coherent_sets} coherent sets"
+        );
+    }
+
+    #[test]
+    fn token_popularity_is_skewed() {
+        let c = Corpus::generate(CorpusSpec::small(7));
+        // Head token (id 0) should appear in far more sets than a tail one.
+        let count_in_sets = |tok: TokenId| {
+            c.repository
+                .iter_sets()
+                .filter(|(_, s)| s.contains(&tok))
+                .count()
+        };
+        let head = count_in_sets(TokenId(0));
+        let tail = count_in_sets(TokenId((c.spec.vocab_size - 1) as u32));
+        assert!(head > tail, "head {head} <= tail {tail}");
+        let _ = SetId(0);
+    }
+}

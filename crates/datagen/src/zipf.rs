@@ -1,0 +1,170 @@
+//! Zipf / truncated power-law sampling.
+//!
+//! Implemented over `rand` directly (the `rand_distr` crate is not on the
+//! offline allow-list): precompute the normalised cumulative weights
+//! `w_i ∝ (i+1)^{-a}` and invert a uniform draw by binary search. Memory is
+//! one `f64` per item; sampling is `O(log n)`.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `a ≥ 0`
+/// (`a = 0` degenerates to uniform).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `a` is negative/NaN.
+    pub fn new(n: usize, a: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(a >= 0.0 && !a.is_nan(), "exponent must be non-negative");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += ((i + 1) as f64).powf(-a);
+            cum.push(total);
+        }
+        for c in cum.iter_mut() {
+            *c /= total;
+        }
+        // Guard the tail against rounding: the last bucket must catch u→1.
+        *cum.last_mut().expect("non-empty") = 1.0;
+        Zipf { cum }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most likely).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+
+    /// The probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cum[0]
+        } else {
+            self.cum[i] - self.cum[i - 1]
+        }
+    }
+}
+
+/// Samples a set cardinality from a truncated power law on `[min, max]`
+/// with exponent `a` (`P(size) ∝ size^{-a}`).
+#[derive(Debug, Clone)]
+pub struct SizeDist {
+    min: usize,
+    zipf: Zipf,
+}
+
+impl SizeDist {
+    /// Builds the distribution over `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0` or `min > max`.
+    pub fn new(min: usize, max: usize, a: f64) -> Self {
+        assert!(min > 0 && min <= max, "invalid size range [{min}, {max}]");
+        let n = max - min + 1;
+        // Weight size s = min + i as s^-a.
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += ((min + i) as f64).powf(-a);
+            cum.push(total);
+        }
+        for c in cum.iter_mut() {
+            *c /= total;
+        }
+        *cum.last_mut().expect("non-empty") = 1.0;
+        SizeDist {
+            min,
+            zipf: Zipf { cum },
+        }
+    }
+
+    /// Samples a size in `[min, max]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.min + self.zipf.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_with_high_exponent() {
+        let z = Zipf::new(100, 2.0);
+        assert!(z.pmf(0) > 0.5);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn samples_cover_support_and_skew(){
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 2000);
+        // All samples in range (indexing would have panicked otherwise).
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn size_dist_respects_bounds() {
+        let d = SizeDist::new(10, 150, 1.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut minimum = usize::MAX;
+        let mut maximum = 0;
+        for _ in 0..5000 {
+            let s = d.sample(&mut rng);
+            assert!((10..=150).contains(&s));
+            minimum = minimum.min(s);
+            maximum = maximum.max(s);
+        }
+        assert_eq!(minimum, 10); // small sizes dominate a power law
+        assert!(maximum > 50); // but the tail is reachable
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(64, 1.2);
+        let total: f64 = (0..64).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

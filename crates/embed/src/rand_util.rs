@@ -1,0 +1,70 @@
+//! Small sampling helpers on top of `rand`.
+//!
+//! The workspace avoids the `rand_distr` dependency (not on the offline
+//! allow-list); the two distributions needed — standard Gaussians for
+//! embedding noise and Zipf for token frequencies (in `koios-datagen`) —
+//! are easy to implement directly.
+
+use rand::Rng;
+
+/// Draws a standard normal sample via the Box–Muller transform.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills `out` with i.i.d. standard normal samples.
+pub fn gaussian_vec<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for v in out.iter_mut() {
+        *v = gaussian(rng);
+    }
+}
+
+/// Derives a decorrelated stream seed from a base seed and a stream index
+/// (splitmix64 finalizer), so per-token / per-cluster RNGs are independent
+/// of generation order.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_is_finite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(gaussian(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn stream_seeds_differ() {
+        let a = stream_seed(42, 0);
+        let b = stream_seed(42, 1);
+        let c = stream_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, stream_seed(42, 0));
+    }
+}

@@ -1,0 +1,316 @@
+//! The set repository `L`.
+//!
+//! A [`Repository`] owns the interned vocabulary `D` and the collection of
+//! sets over it. Sets are stored sorted and deduplicated so vanilla overlap
+//! and membership checks are merge-joins, and set ids index densely into the
+//! set table (the layout the inverted index and the search engines rely on).
+
+use koios_common::{HeapSize, Interner, SetId, TokenId};
+
+/// Summary statistics of a repository (the paper's Table I columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepoStats {
+    /// Number of sets.
+    pub num_sets: usize,
+    /// Largest set cardinality.
+    pub max_size: usize,
+    /// Mean set cardinality.
+    pub avg_size: f64,
+    /// Number of distinct elements across all sets.
+    pub unique_elems: usize,
+}
+
+/// An immutable collection of sets plus the shared token interner.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    interner: Interner,
+    sets: Vec<Box<[TokenId]>>,
+    names: Vec<String>,
+}
+
+/// Incremental constructor for [`Repository`].
+#[derive(Debug, Default)]
+pub struct RepositoryBuilder {
+    repo: Repository,
+}
+
+impl RepositoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a set of string elements under `name`; duplicates within the set
+    /// are removed. Returns the assigned [`SetId`].
+    pub fn add_set<I, S>(&mut self, name: &str, elements: I) -> SetId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut tokens: Vec<TokenId> = elements
+            .into_iter()
+            .map(|s| self.repo.interner.intern(s.as_ref()))
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        self.add_token_set(name, tokens)
+    }
+
+    /// Adds a set of pre-interned tokens (used by the data generators).
+    /// Tokens are sorted and deduplicated.
+    pub fn add_token_set(&mut self, name: &str, mut tokens: Vec<TokenId>) -> SetId {
+        tokens.sort_unstable();
+        tokens.dedup();
+        let id = SetId(self.repo.sets.len() as u32);
+        self.repo.sets.push(tokens.into_boxed_slice());
+        self.repo.names.push(name.to_string());
+        id
+    }
+
+    /// Interns a token without attaching it to a set (e.g. synonym strings
+    /// that appear only in queries).
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        self.repo.interner.intern(s)
+    }
+
+    /// Finalises the repository.
+    pub fn build(self) -> Repository {
+        self.repo
+    }
+}
+
+impl Repository {
+    /// Starts building a repository.
+    pub fn builder() -> RepositoryBuilder {
+        RepositoryBuilder::new()
+    }
+
+    /// Number of sets in the repository.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Size of the interned vocabulary (includes query-only tokens).
+    pub fn vocab_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The sorted, deduplicated elements of a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set(&self, id: SetId) -> &[TokenId] {
+        &self.sets[id.idx()]
+    }
+
+    /// The name a set was registered under.
+    pub fn set_name(&self, id: SetId) -> &str {
+        &self.names[id.idx()]
+    }
+
+    /// Cardinality of a set.
+    pub fn set_len(&self, id: SetId) -> usize {
+        self.sets[id.idx()].len()
+    }
+
+    /// Iterates `(id, elements)` over all sets.
+    pub fn iter_sets(&self) -> impl Iterator<Item = (SetId, &[TokenId])> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SetId(i as u32), &**s))
+    }
+
+    /// The string of a token.
+    pub fn token_str(&self, t: TokenId) -> &str {
+        self.interner.resolve(t)
+    }
+
+    /// Looks up a token id by string.
+    pub fn token_id(&self, s: &str) -> Option<TokenId> {
+        self.interner.get(s)
+    }
+
+    /// Shared access to the interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner (interning query tokens before
+    /// constructing string-based similarity functions).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Converts query strings to a sorted, deduplicated token vector,
+    /// **dropping strings absent from the vocabulary**. An absent string
+    /// cannot match any set element (no set contains it, and similarity
+    /// functions are defined over the vocabulary), so dropping it never
+    /// changes any semantic overlap; it only tightens the `|Q|` cap of the
+    /// UB-filter.
+    pub fn intern_query<I, S>(&self, elements: I) -> Vec<TokenId>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut q: Vec<TokenId> = elements
+            .into_iter()
+            .filter_map(|s| self.interner.get(s.as_ref()))
+            .collect();
+        q.sort_unstable();
+        q.dedup();
+        q
+    }
+
+    /// Like [`Self::intern_query`] but interns unknown strings (needed when
+    /// a string-based similarity such as q-gram Jaccard should compare query
+    /// tokens that do not occur in the corpus). Must run **before**
+    /// constructing similarity functions that snapshot the vocabulary.
+    pub fn intern_query_mut<I, S>(&mut self, elements: I) -> Vec<TokenId>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut q: Vec<TokenId> = elements
+            .into_iter()
+            .map(|s| self.interner.intern(s.as_ref()))
+            .collect();
+        q.sort_unstable();
+        q.dedup();
+        q
+    }
+
+    /// Vanilla overlap `|Q ∩ C|` of a sorted token slice with a set.
+    pub fn vanilla_overlap(&self, query: &[TokenId], id: SetId) -> usize {
+        debug_assert!(query.windows(2).all(|w| w[0] < w[1]), "query must be sorted");
+        let set = self.set(id);
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < query.len() && j < set.len() {
+            match query[i].cmp(&set[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Table-I-style summary statistics.
+    pub fn stats(&self) -> RepoStats {
+        let mut unique = std::collections::HashSet::new();
+        let mut max_size = 0;
+        let mut total = 0usize;
+        for s in &self.sets {
+            max_size = max_size.max(s.len());
+            total += s.len();
+            unique.extend(s.iter().copied());
+        }
+        RepoStats {
+            num_sets: self.sets.len(),
+            max_size,
+            avg_size: if self.sets.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.sets.len() as f64
+            },
+            unique_elems: unique.len(),
+        }
+    }
+}
+
+impl HeapSize for Repository {
+    fn heap_size(&self) -> usize {
+        self.interner.heap_size()
+            + self
+                .sets
+                .iter()
+                .map(|s| s.len() * std::mem::size_of::<TokenId>())
+                .sum::<usize>()
+            + self.names.iter().map(|n| n.capacity()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("c1", ["LA", "Blain", "Appleton", "MtPleasant", "Lexington"]);
+        b.add_set("c2", ["LA", "Sacramento", "Blain", "SC"]);
+        b.add_set("dup", ["LA", "LA", "LA"]);
+        b.build()
+    }
+
+    #[test]
+    fn sets_are_sorted_and_deduped() {
+        let r = sample_repo();
+        assert_eq!(r.num_sets(), 3);
+        let dup = r.set(SetId(2));
+        assert_eq!(dup.len(), 1);
+        for s in 0..r.num_sets() {
+            let set = r.set(SetId(s as u32));
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn names_and_strings_roundtrip() {
+        let r = sample_repo();
+        assert_eq!(r.set_name(SetId(1)), "c2");
+        let la = r.token_id("LA").unwrap();
+        assert_eq!(r.token_str(la), "LA");
+    }
+
+    #[test]
+    fn intern_query_drops_unknown() {
+        let r = sample_repo();
+        let q = r.intern_query(["LA", "Nowhere", "SC", "LA"]);
+        assert_eq!(q.len(), 2);
+        assert!(q.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn intern_query_mut_interns_unknown() {
+        let mut r = sample_repo();
+        let before = r.vocab_size();
+        let q = r.intern_query_mut(["LA", "Nowhere"]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(r.vocab_size(), before + 1);
+    }
+
+    #[test]
+    fn vanilla_overlap_counts_exact_matches() {
+        let r = sample_repo();
+        let q = r.intern_query(["LA", "Blain", "Sacramento"]);
+        assert_eq!(r.vanilla_overlap(&q, SetId(0)), 2); // LA, Blain
+        assert_eq!(r.vanilla_overlap(&q, SetId(1)), 3);
+        assert_eq!(r.vanilla_overlap(&q, SetId(2)), 1);
+        assert_eq!(r.vanilla_overlap(&[], SetId(0)), 0);
+    }
+
+    #[test]
+    fn stats_match_contents() {
+        let r = sample_repo();
+        let s = r.stats();
+        assert_eq!(s.num_sets, 3);
+        assert_eq!(s.max_size, 5);
+        assert!((s.avg_size - (5 + 4 + 1) as f64 / 3.0).abs() < 1e-12);
+        // c1 ∪ c2 ∪ dup = {LA, Blain, Appleton, MtPleasant, Lexington,
+        //                  Sacramento, SC}
+        assert_eq!(s.unique_elems, 7);
+    }
+
+    #[test]
+    fn empty_repository_stats() {
+        let r = Repository::default();
+        let s = r.stats();
+        assert_eq!(s.num_sets, 0);
+        assert_eq!(s.avg_size, 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dense embedding storage.
+//!
+//! [`Embeddings`] stores one optional unit vector per vocabulary token,
+//! aligned with [`TokenId`]s. Vectors are L2-normalised on insertion so
+//! cosine similarity reduces to a dot product — the layout a Faiss-style
+//! inner-product index would use.
+
+use koios_common::{HeapSize, TokenId};
+
+/// A vocabulary-aligned table of optional unit vectors.
+#[derive(Debug, Clone)]
+pub struct Embeddings {
+    dim: usize,
+    data: Vec<f32>,
+    present: Vec<bool>,
+}
+
+impl Embeddings {
+    /// Creates an empty table for `vocab` tokens of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, vocab: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Embeddings {
+            dim,
+            data: vec![0.0; dim * vocab],
+            present: vec![false; vocab],
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vocabulary slots (present or not).
+    pub fn vocab(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Fraction of tokens with a vector (the paper filters datasets to ≥70%
+    /// pre-trained-vector coverage).
+    pub fn coverage(&self) -> f64 {
+        if self.present.is_empty() {
+            return 0.0;
+        }
+        self.present.iter().filter(|&&p| p).count() as f64 / self.present.len() as f64
+    }
+
+    /// Stores a vector for `t`, normalising it to unit length. A zero (or
+    /// non-finite) vector marks the token as out-of-vocabulary instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from `dim` or `t` is out of range.
+    pub fn set(&mut self, t: TokenId, v: &[f64]) {
+        assert_eq!(v.len(), self.dim, "vector has wrong dimensionality");
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let slot = &mut self.data[t.idx() * self.dim..(t.idx() + 1) * self.dim];
+        if norm > 0.0 && norm.is_finite() {
+            for (o, x) in slot.iter_mut().zip(v) {
+                *o = (x / norm) as f32;
+            }
+            self.present[t.idx()] = true;
+        } else {
+            slot.fill(0.0);
+            self.present[t.idx()] = false;
+        }
+    }
+
+    /// The unit vector of `t`, or `None` for out-of-vocabulary tokens.
+    pub fn get(&self, t: TokenId) -> Option<&[f32]> {
+        if *self.present.get(t.idx())? {
+            Some(&self.data[t.idx() * self.dim..(t.idx() + 1) * self.dim])
+        } else {
+            None
+        }
+    }
+
+    /// Whether `t` has a vector.
+    pub fn has(&self, t: TokenId) -> bool {
+        self.present.get(t.idx()).copied().unwrap_or(false)
+    }
+
+    /// Cosine similarity of two tokens (`None` if either is OOV).
+    /// Vectors are unit length, so this is a dot product.
+    pub fn cosine(&self, a: TokenId, b: TokenId) -> Option<f64> {
+        let va = self.get(a)?;
+        let vb = self.get(b)?;
+        Some(dot(va, vb))
+    }
+}
+
+/// Dot product of two equally-sized slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (*x as f64) * (*y as f64)).sum()
+}
+
+impl HeapSize for Embeddings {
+    fn heap_size(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>() + self.present.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_normalises() {
+        let mut e = Embeddings::new(2, 3);
+        e.set(TokenId(0), &[3.0, 4.0]);
+        let v = e.get(TokenId(0)).unwrap();
+        assert!((v[0] - 0.6).abs() < 1e-6);
+        assert!((v[1] - 0.8).abs() < 1e-6);
+        assert!((dot(v, v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_is_oov() {
+        let mut e = Embeddings::new(2, 1);
+        e.set(TokenId(0), &[0.0, 0.0]);
+        assert!(!e.has(TokenId(0)));
+        assert!(e.get(TokenId(0)).is_none());
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let mut e = Embeddings::new(3, 2);
+        e.set(TokenId(0), &[1.0, 2.0, 3.0]);
+        e.set(TokenId(1), &[1.0, 2.0, 3.0]);
+        assert!((e.cosine(TokenId(0), TokenId(1)).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        let mut e = Embeddings::new(2, 2);
+        e.set(TokenId(0), &[1.0, 0.0]);
+        e.set(TokenId(1), &[0.0, 1.0]);
+        assert!(e.cosine(TokenId(0), TokenId(1)).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_oov_is_none() {
+        let mut e = Embeddings::new(2, 2);
+        e.set(TokenId(0), &[1.0, 0.0]);
+        assert!(e.cosine(TokenId(0), TokenId(1)).is_none());
+    }
+
+    #[test]
+    fn coverage_counts_present() {
+        let mut e = Embeddings::new(2, 4);
+        e.set(TokenId(0), &[1.0, 0.0]);
+        e.set(TokenId(2), &[0.0, 1.0]);
+        assert!((e.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn wrong_dim_rejected() {
+        let mut e = Embeddings::new(3, 1);
+        e.set(TokenId(0), &[1.0]);
+    }
+}

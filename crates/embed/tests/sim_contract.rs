@@ -1,0 +1,101 @@
+//! Property tests: every `ElementSimilarity` implementation honours the
+//! Def. 1 contract — identity, symmetry, range, and `simα` thresholding.
+
+use koios_embed::repository::RepositoryBuilder;
+use koios_embed::sim::*;
+use koios_embed::synthetic::SyntheticEmbeddings;
+use koios_common::TokenId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build_providers(tokens: Vec<String>) -> (usize, Vec<Box<dyn ElementSimilarity>>) {
+    let mut b = RepositoryBuilder::new();
+    for t in &tokens {
+        b.intern(t);
+    }
+    let repo = b.build();
+    let n = repo.vocab_size();
+    let emb = SyntheticEmbeddings::builder()
+        .dimensions(16)
+        .seed(7)
+        .oov_fraction(0.2)
+        .build(&repo);
+    let providers: Vec<Box<dyn ElementSimilarity>> = vec![
+        Box::new(CosineSimilarity::new(Arc::new(emb))),
+        Box::new(QGramJaccard::new(&repo, 3)),
+        Box::new(WordJaccard::new(&repo)),
+        Box::new(EditSimilarity::new(&repo)),
+        Box::new(EqualitySimilarity),
+    ];
+    (n, providers)
+}
+
+fn token_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-zA-Z ]{0,12}", 2..8).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        if v.len() < 2 {
+            v.push("fallback-token".to_string());
+            v.push("other-token".to_string());
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn contract_holds_for_all_providers(tokens in token_strategy(), alpha in 0.0f64..1.0) {
+        let (n, providers) = build_providers(tokens);
+        for p in &providers {
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    let (ta, tb) = (TokenId(a), TokenId(b));
+                    let s = p.sim(ta, tb);
+                    prop_assert!(s.is_finite(), "{}: sim not finite", p.name());
+                    prop_assert!((0.0..=1.0 + 1e-9).contains(&s),
+                        "{}: sim out of range: {s}", p.name());
+                    let r = p.sim(tb, ta);
+                    prop_assert!((s - r).abs() < 1e-9, "{}: asymmetric", p.name());
+                    if a == b {
+                        prop_assert_eq!(s, 1.0, "{}: identity violated", p.name());
+                    }
+                    let sa = p.sim_alpha(ta, tb, alpha);
+                    if a == b {
+                        prop_assert_eq!(sa, 1.0);
+                    } else if s >= alpha {
+                        prop_assert!((sa - s).abs() < 1e-12);
+                    } else {
+                        prop_assert_eq!(sa, 0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `fill_matrix` (the batched verification path) must agree cell-by-cell
+    /// with per-pair `sim_alpha` for every provider.
+    #[test]
+    fn fill_matrix_matches_per_pair(tokens in token_strategy(), alpha in 0.0f64..1.0) {
+        let (n, providers) = build_providers(tokens);
+        let all: Vec<TokenId> = (0..n as u32).map(TokenId).collect();
+        let (query, set) = all.split_at(n / 2);
+        for p in &providers {
+            let mut out = vec![0.0; query.len() * set.len()];
+            p.fill_matrix(query, set, alpha, &mut out);
+            for (i, &q) in query.iter().enumerate() {
+                for (j, &t) in set.iter().enumerate() {
+                    let want = p.sim_alpha(q, t, alpha);
+                    let got = out[i * set.len() + j];
+                    prop_assert!((want - got).abs() < 1e-9,
+                        "{}: cell ({i},{j}) {got} != {want}", p.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The inverted index `Is`: token → sets containing it.
+//!
+//! Posting lists are built once per repository (the paper builds them
+//! "on the fly" per dataset, 1.3–80 s) and shared by all searches. The
+//! space is linear in the input: `|D|` keys plus `Σ|C|` postings (§VII-B).
+
+use koios_common::{HeapSize, SetId, TokenId};
+use koios_embed::repository::Repository;
+
+/// Vocabulary-aligned posting lists.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Box<[SetId]>>,
+    total_postings: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over every set of `repo`.
+    pub fn build(repo: &Repository) -> Self {
+        Self::build_subset(repo, repo.iter_sets().map(|(id, _)| id))
+    }
+
+    /// Builds the index over a subset of sets (used by partitioned search,
+    /// where each partition indexes only its own sets).
+    pub fn build_subset(repo: &Repository, sets: impl IntoIterator<Item = SetId>) -> Self {
+        let mut lists: Vec<Vec<SetId>> = vec![Vec::new(); repo.vocab_size()];
+        let mut total = 0usize;
+        for id in sets {
+            for &t in repo.set(id) {
+                lists[t.idx()].push(id);
+                total += 1;
+            }
+        }
+        // Sets are inserted in ascending id order per token; keep as-is.
+        InvertedIndex {
+            postings: lists.into_iter().map(Vec::into_boxed_slice).collect(),
+            total_postings: total,
+        }
+    }
+
+    /// The sets containing token `t` (empty for unknown/query-only tokens).
+    #[inline]
+    pub fn postings(&self, t: TokenId) -> &[SetId] {
+        self.postings.get(t.idx()).map(|p| &**p).unwrap_or(&[])
+    }
+
+    /// Number of distinct tokens with at least one posting.
+    pub fn active_tokens(&self) -> usize {
+        self.postings.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Total number of postings (`Σ_C |C|`).
+    pub fn total_postings(&self) -> usize {
+        self.total_postings
+    }
+
+    /// Length of the longest posting list (the skew the paper highlights
+    /// for WDC).
+    pub fn max_posting_len(&self) -> usize {
+        self.postings.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+}
+
+impl HeapSize for InvertedIndex {
+    fn heap_size(&self) -> usize {
+        self.postings.capacity() * std::mem::size_of::<Box<[SetId]>>()
+            + self
+                .postings
+                .iter()
+                .map(|p| p.len() * std::mem::size_of::<SetId>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+
+    fn repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b", "c"]);
+        b.add_set("s1", ["b", "c", "d"]);
+        b.add_set("s2", ["c"]);
+        b.build()
+    }
+
+    #[test]
+    fn postings_are_complete() {
+        let r = repo();
+        let idx = InvertedIndex::build(&r);
+        let c = r.token_id("c").unwrap();
+        assert_eq!(idx.postings(c), &[SetId(0), SetId(1), SetId(2)]);
+        let a = r.token_id("a").unwrap();
+        assert_eq!(idx.postings(a), &[SetId(0)]);
+        assert_eq!(idx.total_postings(), 7);
+        assert_eq!(idx.active_tokens(), 4);
+        assert_eq!(idx.max_posting_len(), 3);
+    }
+
+    #[test]
+    fn subset_index_restricts_postings() {
+        let r = repo();
+        let idx = InvertedIndex::build_subset(&r, [SetId(1), SetId(2)]);
+        let c = r.token_id("c").unwrap();
+        assert_eq!(idx.postings(c), &[SetId(1), SetId(2)]);
+        let a = r.token_id("a").unwrap();
+        assert!(idx.postings(a).is_empty());
+    }
+
+    #[test]
+    fn unknown_token_has_empty_postings() {
+        let r = repo();
+        let idx = InvertedIndex::build(&r);
+        assert!(idx.postings(koios_common::TokenId(999)).is_empty());
+    }
+
+    #[test]
+    fn heap_size_scales_with_postings() {
+        let r = repo();
+        let idx = InvertedIndex::build(&r);
+        assert!(idx.heap_size() >= 7 * std::mem::size_of::<SetId>());
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-query-element kNN sources over the vocabulary.
+//!
+//! The paper plugs a GPU Faiss index into the token stream; any index that
+//! returns, for a query element, the vocabulary tokens in exact descending
+//! similarity order can take its place (§IV: "K OIOS returns an exact
+//! solution as long as the index returns exact results"). Two exact
+//! implementations are provided:
+//!
+//! * [`ExactScanKnn`] — on the first probe of a query element, scores the
+//!   whole vocabulary, keeps everything `≥ α`, and sorts it once; subsequent
+//!   probes pop from the sorted list. Best when streams are consumed far.
+//! * [`HeapKnn`] — same scoring pass but keeps a lazy max-heap instead of
+//!   sorting; cheaper when the search prunes early and most of the stream
+//!   is never pulled.
+//!
+//! Both honour the stream contract of §V: the **query element itself is the
+//! first result of its own probe** (similarity 1), which seeds the bounds
+//! with the vanilla overlap and covers out-of-vocabulary elements.
+
+use koios_common::{HeapSize, TokenId};
+use koios_embed::sim::ElementSimilarity;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A source of descending-similarity `(token, sim)` pairs per query element.
+pub trait KnnSource {
+    /// The next most similar unseen vocabulary token for query element
+    /// `q_idx` (an index into the query token vector), or `None` once all
+    /// tokens with similarity `≥ α` are exhausted.
+    fn next(&mut self, q_idx: usize) -> Option<(TokenId, f64)>;
+
+    /// Estimated heap bytes held by the source (for the memory experiments).
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Shared scoring pass: all vocabulary tokens with `simα(q, t) ≥ α`,
+/// the query token itself always included (sim 1.0, emitted first via the
+/// ordinary descending order). Delegates to the similarity's batch scan
+/// ([`ElementSimilarity::scores_above`]) so columnar implementations can
+/// avoid per-pair dispatch.
+fn score_vocab(
+    sim: &Arc<dyn ElementSimilarity>,
+    vocab: usize,
+    q: TokenId,
+    alpha: f64,
+) -> Vec<(f64, TokenId)> {
+    let mut out = Vec::new();
+    sim.scores_above(q, vocab, alpha, &mut out);
+    out
+}
+
+/// Exact scan source with fully sorted per-element lists (computed lazily on
+/// the first probe of each element).
+pub struct ExactScanKnn {
+    sim: Arc<dyn ElementSimilarity>,
+    query: Vec<TokenId>,
+    vocab: usize,
+    alpha: f64,
+    lists: Vec<Option<SortedList>>,
+}
+
+struct SortedList {
+    /// Descending by similarity, ties by ascending token id.
+    items: Vec<(f64, TokenId)>,
+    pos: usize,
+}
+
+impl ExactScanKnn {
+    /// Creates a source for `query` over a vocabulary of `vocab` tokens.
+    pub fn new(
+        sim: Arc<dyn ElementSimilarity>,
+        query: Vec<TokenId>,
+        vocab: usize,
+        alpha: f64,
+    ) -> Self {
+        let lists = (0..query.len()).map(|_| None).collect();
+        ExactScanKnn {
+            sim,
+            query,
+            vocab,
+            alpha,
+            lists,
+        }
+    }
+}
+
+impl KnnSource for ExactScanKnn {
+    fn next(&mut self, q_idx: usize) -> Option<(TokenId, f64)> {
+        let list = self.lists[q_idx].get_or_insert_with(|| {
+            let mut items = score_vocab(&self.sim, self.vocab, self.query[q_idx], self.alpha);
+            items.sort_unstable_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("similarities are never NaN")
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            SortedList { items, pos: 0 }
+        });
+        let &(s, t) = list.items.get(list.pos)?;
+        list.pos += 1;
+        Some((t, s))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.query.heap_size()
+            + self
+                .lists
+                .iter()
+                .flatten()
+                .map(|l| l.items.capacity() * std::mem::size_of::<(f64, TokenId)>())
+                .sum::<usize>()
+    }
+}
+
+/// Exact source backed by lazy max-heaps (no full sort).
+pub struct HeapKnn {
+    sim: Arc<dyn ElementSimilarity>,
+    query: Vec<TokenId>,
+    vocab: usize,
+    alpha: f64,
+    heaps: Vec<Option<BinaryHeap<HeapItem>>>,
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f64, TokenId);
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("similarities are never NaN")
+            // Max-heap pops the highest similarity; among ties, the lowest
+            // token id (Reverse ordering on the id).
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl HeapKnn {
+    /// Creates a heap-backed source for `query`.
+    pub fn new(
+        sim: Arc<dyn ElementSimilarity>,
+        query: Vec<TokenId>,
+        vocab: usize,
+        alpha: f64,
+    ) -> Self {
+        let heaps = (0..query.len()).map(|_| None).collect();
+        HeapKnn {
+            sim,
+            query,
+            vocab,
+            alpha,
+            heaps,
+        }
+    }
+}
+
+impl KnnSource for HeapKnn {
+    fn next(&mut self, q_idx: usize) -> Option<(TokenId, f64)> {
+        let heap = self.heaps[q_idx].get_or_insert_with(|| {
+            score_vocab(&self.sim, self.vocab, self.query[q_idx], self.alpha)
+                .into_iter()
+                .map(|(s, t)| HeapItem(s, t))
+                .collect()
+        });
+        heap.pop().map(|HeapItem(s, t)| (t, s))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.query.heap_size()
+            + self
+                .heaps
+                .iter()
+                .flatten()
+                .map(|h| h.capacity() * std::mem::size_of::<HeapItem>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::QGramJaccard;
+
+    fn setup() -> (Arc<dyn ElementSimilarity>, Vec<TokenId>, usize) {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s", ["Blaine", "Blain", "Blainey", "Zurich", "Zurch"]);
+        let repo = b.build();
+        let q = repo.intern_query(["Blaine", "Zurich"]);
+        let vocab = repo.vocab_size();
+        let sim: Arc<dyn ElementSimilarity> = Arc::new(QGramJaccard::new(&repo, 3));
+        (sim, q, vocab)
+    }
+
+    fn drain(src: &mut dyn KnnSource, q_idx: usize) -> Vec<(TokenId, f64)> {
+        let mut out = Vec::new();
+        while let Some(x) = src.next(q_idx) {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn first_result_is_self_token() {
+        let (sim, q, vocab) = setup();
+        let q0 = q[0];
+        let mut src = ExactScanKnn::new(sim, q, vocab, 0.3);
+        let (t, s) = src.next(0).unwrap();
+        assert_eq!(t, q0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn results_descend_and_respect_alpha() {
+        let (sim, q, vocab) = setup();
+        let mut src = ExactScanKnn::new(sim, q, vocab, 0.3);
+        for q_idx in 0..2 {
+            let items = drain(&mut src, q_idx);
+            assert!(!items.is_empty());
+            for w in items.windows(2) {
+                assert!(w[0].1 >= w[1].1, "descending order violated");
+            }
+            for (i, &(_, s)) in items.iter().enumerate() {
+                if i > 0 {
+                    assert!(s >= 0.3, "sub-alpha similarity leaked: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heap_and_scan_agree() {
+        let (sim, q, vocab) = setup();
+        let mut a = ExactScanKnn::new(sim.clone(), q.clone(), vocab, 0.2);
+        let mut b = HeapKnn::new(sim, q, vocab, 0.2);
+        for q_idx in 0..2 {
+            assert_eq!(drain(&mut a, q_idx), drain(&mut b, q_idx));
+        }
+    }
+
+    #[test]
+    fn exhausted_source_stays_exhausted() {
+        let (sim, q, vocab) = setup();
+        let mut src = HeapKnn::new(sim, q, vocab, 0.99);
+        let items = drain(&mut src, 0);
+        // Only the self token survives a 0.99 threshold.
+        assert_eq!(items.len(), 1);
+        assert!(src.next(0).is_none());
+        assert!(src.next(0).is_none());
+    }
+
+    #[test]
+    fn heap_bytes_nonzero_after_probe() {
+        let (sim, q, vocab) = setup();
+        let mut src = ExactScanKnn::new(sim, q, vocab, 0.1);
+        src.next(0);
+        assert!(src.heap_bytes() > 0);
+    }
+}

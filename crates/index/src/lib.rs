@@ -1,0 +1,25 @@
+//! Index substrate for Koios (paper §IV).
+//!
+//! Two structures drive the refinement phase:
+//!
+//! * the **inverted index** `Is` ([`inverted::InvertedIndex`]), mapping each
+//!   vocabulary token to the sets containing it, and
+//! * the **token stream** `Ie` ([`token_stream::TokenStream`]), which emits
+//!   `(query element, vocabulary token, similarity)` tuples in globally
+//!   descending similarity order until the similarity falls below `α`.
+//!
+//! The stream is realised exactly as the paper describes: one [`knn`] source
+//! per query element (the paper uses a GPU Faiss index; we provide exact
+//! in-memory equivalents, see DESIGN.md §3) merged through a priority queue
+//! of size `|Q|`, with the query element itself emitted first so vanilla
+//! overlap seeds the bounds and out-of-vocabulary elements are handled.
+
+pub mod inverted;
+pub mod knn;
+pub mod minhash;
+pub mod token_stream;
+
+pub use inverted::InvertedIndex;
+pub use knn::{ExactScanKnn, HeapKnn, KnnSource};
+pub use minhash::{MinHashIndex, MinHashKnn, MinHashParams};
+pub use token_stream::{StreamTuple, TokenStream};

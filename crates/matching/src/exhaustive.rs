@@ -1,0 +1,85 @@
+//! Exhaustive maximum-weight matching — the test oracle.
+//!
+//! Enumerates every optional one-to-one matching by recursing over rows
+//! (assign the row to any free column, or skip it). Exponential; only for
+//! verifying [`crate::hungarian`] and greedy bounds on tiny instances.
+
+use crate::graph::WeightMatrix;
+
+/// The exact maximum matching score by brute force.
+///
+/// Intended for matrices with at most ~8 rows/columns.
+pub fn exhaustive_max_matching(m: &WeightMatrix) -> f64 {
+    // Recurse over the smaller side for speed.
+    let t;
+    let m = if m.rows() > m.cols() {
+        t = m.transposed();
+        &t
+    } else {
+        m
+    };
+    let mut col_used = vec![false; m.cols()];
+    recurse(m, 0, &mut col_used)
+}
+
+fn recurse(m: &WeightMatrix, row: usize, col_used: &mut [bool]) -> f64 {
+    if row == m.rows() {
+        return 0.0;
+    }
+    // Skip this row entirely.
+    let mut best = recurse(m, row + 1, col_used);
+    for col in 0..m.cols() {
+        if col_used[col] {
+            continue;
+        }
+        let w = m.get(row, col);
+        if w <= 0.0 {
+            continue;
+        }
+        col_used[col] = true;
+        let v = w + recurse(m, row + 1, col_used);
+        col_used[col] = false;
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(exhaustive_max_matching(&WeightMatrix::zeros(0, 0)), 0.0);
+        assert_eq!(exhaustive_max_matching(&WeightMatrix::zeros(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let m = WeightMatrix::from_vec(1, 2, vec![0.0, 0.7]);
+        assert!((exhaustive_max_matching(&m) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefers_rearrangement_over_greedy() {
+        let m = WeightMatrix::from_vec(2, 2, vec![1.0, 0.99, 0.99, 0.0]);
+        assert!((exhaustive_max_matching(&m) - 1.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skipping_rows_can_be_optimal() {
+        // Matching both rows would force a zero edge; optimum skips row 1.
+        let m = WeightMatrix::from_vec(2, 1, vec![0.9, 0.3]);
+        assert!((exhaustive_max_matching(&m) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_orientation_invariant() {
+        let m = WeightMatrix::from_vec(2, 3, vec![0.5, 0.2, 0.9, 0.4, 0.8, 0.1]);
+        let t = m.transposed();
+        assert!((exhaustive_max_matching(&m) - exhaustive_max_matching(&t)).abs() < 1e-12);
+        assert!((exhaustive_max_matching(&m) - 1.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Dense rectangular weight matrices.
+//!
+//! A [`WeightMatrix`] holds the α-thresholded pairwise similarities between
+//! a query set (rows) and a candidate set (columns). Weights are
+//! non-negative; a weight of zero means "no edge" (similarity below α or
+//! incomparable elements), matching Def. 1's `simα`.
+
+/// A row-major dense matrix of non-negative edge weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightMatrix {
+    rows: usize,
+    cols: usize,
+    w: Vec<f64>,
+}
+
+impl WeightMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        WeightMatrix {
+            rows,
+            cols,
+            w: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns NaN or a negative weight.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut w = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = f(i, j);
+                assert!(v >= 0.0, "edge weights must be non-negative, got {v}");
+                w.push(v);
+            }
+        }
+        WeightMatrix { rows, cols, w }
+    }
+
+    /// Builds a matrix from a row-major weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != rows * cols` or any weight is negative/NaN.
+    pub fn from_vec(rows: usize, cols: usize, w: Vec<f64>) -> Self {
+        assert_eq!(w.len(), rows * cols, "weight vector has wrong length");
+        assert!(
+            w.iter().all(|&v| v >= 0.0),
+            "edge weights must be non-negative"
+        );
+        WeightMatrix { rows, cols, w }
+    }
+
+    /// Number of rows (query elements).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (candidate elements).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The weight at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.w[row * self.cols + col]
+    }
+
+    /// Sets the weight at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is negative.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        assert!(v >= 0.0, "edge weights must be non-negative");
+        self.w[row * self.cols + col] = v;
+    }
+
+    /// A view of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.w[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The maximum weight of a row (0 for edgeless rows).
+    pub fn row_max(&self, row: usize) -> f64 {
+        self.row(row).iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The maximum weight in the matrix.
+    pub fn max_weight(&self) -> f64 {
+        self.w.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of non-zero edges.
+    pub fn edge_count(&self) -> usize {
+        self.w.iter().filter(|&&v| v > 0.0).count()
+    }
+
+    /// All non-zero edges as `(row, col, weight)` triples.
+    pub fn edges(&self) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.get(i, j);
+                if v > 0.0 {
+                    out.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    pub fn transposed(&self) -> WeightMatrix {
+        let mut t = WeightMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.w[j * self.rows + i] = self.get(i, j);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let m = WeightMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn row_max_and_max_weight() {
+        let m = WeightMatrix::from_vec(2, 2, vec![0.1, 0.9, 0.3, 0.2]);
+        assert_eq!(m.row_max(0), 0.9);
+        assert_eq!(m.row_max(1), 0.3);
+        assert_eq!(m.max_weight(), 0.9);
+    }
+
+    #[test]
+    fn edges_skips_zeros() {
+        let m = WeightMatrix::from_vec(2, 2, vec![0.0, 0.5, 0.0, 0.0]);
+        assert_eq!(m.edges(), vec![(0, 1, 0.5)]);
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = WeightMatrix::from_fn(2, 3, |i, j| (i + 2 * j) as f64);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = WeightMatrix::from_vec(1, 1, vec![-0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_length_rejected() {
+        let _ = WeightMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Greedy bipartite matching (the LB-filter workhorse).
+//!
+//! The greedy algorithm repeatedly takes the heaviest edge between two
+//! unmatched nodes. Its score is at least half the optimal matching score
+//! (paper Lemma 3, citing Vazirani), and any *prefix* of its edge choices is
+//! itself a valid matching, which is what makes the incremental `iLB` of
+//! Lemma 5 sound: Koios feeds it edges in descending similarity order
+//! straight from the token stream.
+
+use crate::graph::WeightMatrix;
+use crate::hungarian::Matching;
+
+/// Runs greedy matching over all non-zero edges of `m`.
+///
+/// Ties are broken by ascending `(row, col)` so results are deterministic.
+pub fn greedy_matching(m: &WeightMatrix) -> Matching {
+    let mut edges = m.edges();
+    edges.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .expect("weights are never NaN")
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    greedy_matching_from_sorted(edges.iter().copied(), m.rows(), m.cols())
+}
+
+/// Runs greedy matching over an edge stream already sorted by descending
+/// weight. Edges violating the order are rejected with a panic in debug
+/// builds (the stream contract of the token index).
+pub fn greedy_matching_from_sorted(
+    edges: impl IntoIterator<Item = (u32, u32, f64)>,
+    rows: usize,
+    cols: usize,
+) -> Matching {
+    let mut row_used = vec![false; rows];
+    let mut col_used = vec![false; cols];
+    let mut score = 0.0;
+    let mut pairs = Vec::new();
+    let mut last = f64::INFINITY;
+    for (r, c, w) in edges {
+        debug_assert!(
+            w <= last + 1e-12,
+            "greedy edge stream must be sorted descending ({w} after {last})"
+        );
+        last = w;
+        if w <= 0.0 {
+            continue;
+        }
+        let (ri, ci) = (r as usize, c as usize);
+        if !row_used[ri] && !col_used[ci] {
+            row_used[ri] = true;
+            col_used[ci] = true;
+            score += w;
+            pairs.push((r, c));
+        }
+    }
+    Matching { score, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_max_matching;
+
+    #[test]
+    fn empty_matrix_scores_zero() {
+        let m = WeightMatrix::zeros(3, 2);
+        let g = greedy_matching(&m);
+        assert_eq!(g.score, 0.0);
+        assert!(g.pairs.is_empty());
+    }
+
+    #[test]
+    fn greedy_picks_heaviest_first() {
+        // Example 2 of the paper: greedy is suboptimal.
+        // w(q1,t1)=1.0, w(q1,t2)=0.99, w(q2,t1)=0.99, w(q2,t2)=0
+        let m = WeightMatrix::from_vec(2, 2, vec![1.0, 0.99, 0.99, 0.0]);
+        let g = greedy_matching(&m);
+        assert_eq!(g.pairs, vec![(0, 0)]);
+        assert!((g.score - 1.0).abs() < 1e-12);
+        let opt = exhaustive_max_matching(&m);
+        assert!((opt - 1.98).abs() < 1e-12);
+        // Half-approximation guarantee.
+        assert!(g.score >= opt / 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn greedy_matches_disjoint_edges() {
+        let m = WeightMatrix::from_vec(2, 2, vec![0.9, 0.0, 0.0, 0.8]);
+        let g = greedy_matching(&m);
+        assert!((g.score - 1.7).abs() < 1e-12);
+        assert_eq!(g.pairs.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let m = WeightMatrix::from_vec(2, 2, vec![0.5, 0.5, 0.5, 0.5]);
+        let g = greedy_matching(&m);
+        assert_eq!(g.pairs, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn sorted_stream_respects_one_to_one() {
+        let edges = vec![(0u32, 0u32, 0.9), (0, 1, 0.8), (1, 0, 0.7), (1, 1, 0.6)];
+        let g = greedy_matching_from_sorted(edges, 2, 2);
+        assert_eq!(g.pairs, vec![(0, 0), (1, 1)]);
+        assert!((g.score - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,387 @@
+//! Kuhn–Munkres maximum-weight matching with label-sum early termination.
+//!
+//! Solves the assignment problem on a rectangular non-negative matrix in
+//! `O(r²·c)` time (`r = min(rows, cols)`) using the classic slack-array
+//! formulation. Because all weights are non-negative, the maximum-weight
+//! *optional* matching (what semantic overlap needs) equals the
+//! maximum-weight matching that saturates the smaller side, so no padding
+//! to a square matrix is required.
+//!
+//! **Early termination (paper Lemma 8).** The algorithm maintains a feasible
+//! labeling `l` with `l(q) + l(c) ≥ w(q, c)`. For any matching `M`,
+//! `w(M) ≤ Σ_v max(l(v), 0)` (weak duality; column labels are non-negative
+//! by construction, row labels almost always are). Dual updates strictly
+//! decrease the label sum, so once it drops below the global pruning
+//! threshold `θlb`, the candidate can never reach the top-k and the run
+//! aborts — this is the EM-Early-Terminated filter.
+
+use crate::graph::WeightMatrix;
+
+/// A matching: total score plus the matched `(row, col)` pairs
+/// (zero-weight assignments are omitted — the matching is optional).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// Sum of matched edge weights.
+    pub score: f64,
+    /// Matched `(row, col)` pairs with strictly positive weight.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// The outcome of a (possibly early-terminated) Hungarian run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchOutcome {
+    /// The exact maximum matching.
+    Exact(Matching),
+    /// The run was aborted because the label-sum upper bound fell below the
+    /// termination threshold; `upper_bound` is the certified bound at abort
+    /// time (`SO ≤ upper_bound < θ`).
+    EarlyTerminated {
+        /// Certified upper bound on the optimal score.
+        upper_bound: f64,
+    },
+}
+
+impl MatchOutcome {
+    /// The exact matching, if the run completed.
+    pub fn exact(self) -> Option<Matching> {
+        match self {
+            MatchOutcome::Exact(m) => Some(m),
+            MatchOutcome::EarlyTerminated { .. } => None,
+        }
+    }
+
+    /// The exact score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run early-terminated.
+    pub fn score(&self) -> f64 {
+        match self {
+            MatchOutcome::Exact(m) => m.score,
+            MatchOutcome::EarlyTerminated { .. } => {
+                panic!("early-terminated matching has no exact score")
+            }
+        }
+    }
+}
+
+/// Statistics of a Hungarian run, used by the EM-Early-Terminated analysis.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HungarianStats {
+    /// Number of augmenting phases completed.
+    pub phases: usize,
+    /// Number of dual (label) updates performed.
+    pub dual_updates: usize,
+}
+
+/// Computes the maximum-weight matching of `m`.
+///
+/// If `terminate_below` is `Some(θ)`, the run aborts as soon as the
+/// certified upper bound on the optimum drops below `θ` (Lemma 8).
+pub fn solve_max_matching(m: &WeightMatrix, terminate_below: Option<f64>) -> MatchOutcome {
+    solve_max_matching_with_stats(m, terminate_below).0
+}
+
+/// Like [`solve_max_matching`] but also reports run statistics.
+pub fn solve_max_matching_with_stats(
+    m: &WeightMatrix,
+    terminate_below: Option<f64>,
+) -> (MatchOutcome, HungarianStats) {
+    // Orient so rows form the smaller side; remember to flip pairs back.
+    if m.rows() > m.cols() {
+        let t = m.transposed();
+        let (out, stats) = km_solve(&t, terminate_below);
+        let out = match out {
+            MatchOutcome::Exact(mut mm) => {
+                for p in &mut mm.pairs {
+                    *p = (p.1, p.0);
+                }
+                mm.pairs.sort_unstable();
+                MatchOutcome::Exact(mm)
+            }
+            e => e,
+        };
+        (out, stats)
+    } else {
+        km_solve(m, terminate_below)
+    }
+}
+
+fn km_solve(m: &WeightMatrix, terminate_below: Option<f64>) -> (MatchOutcome, HungarianStats) {
+    let r = m.rows();
+    let c = m.cols();
+    let mut stats = HungarianStats::default();
+    if r == 0 || c == 0 {
+        return (
+            MatchOutcome::Exact(Matching {
+                score: 0.0,
+                pairs: Vec::new(),
+            }),
+            stats,
+        );
+    }
+    debug_assert!(r <= c);
+
+    // Feasible labeling: lx = row maxima, ly = 0.
+    let mut lx: Vec<f64> = (0..r).map(|i| m.row_max(i)).collect();
+    let mut ly: Vec<f64> = vec![0.0; c];
+    // Upper bound on the optimum, updated incrementally on dual changes and
+    // recomputed exactly before any termination decision.
+    let mut label_sum: f64 = lx.iter().sum();
+
+    if let Some(theta) = terminate_below {
+        if label_sum < theta {
+            return (
+                MatchOutcome::EarlyTerminated {
+                    upper_bound: label_sum,
+                },
+                stats,
+            );
+        }
+    }
+
+    let mut xy: Vec<Option<usize>> = vec![None; r]; // row -> col
+    let mut yx: Vec<Option<usize>> = vec![None; c]; // col -> row
+
+    // Scratch buffers reused across phases.
+    let mut slack = vec![f64::INFINITY; c];
+    let mut slack_row = vec![0usize; c];
+    let mut in_s = vec![false; r];
+    let mut in_t = vec![false; c];
+    let mut t_cols: Vec<usize> = Vec::with_capacity(r);
+    let mut s_rows: Vec<usize> = Vec::with_capacity(r);
+
+    for root in 0..r {
+        stats.phases += 1;
+        slack.iter_mut().for_each(|s| *s = f64::INFINITY);
+        in_s.iter_mut().for_each(|v| *v = false);
+        in_t.iter_mut().for_each(|v| *v = false);
+        t_cols.clear();
+        s_rows.clear();
+
+        in_s[root] = true;
+        s_rows.push(root);
+        let row = m.row(root);
+        for j in 0..c {
+            let s = lx[root] + ly[j] - row[j];
+            if s < slack[j] {
+                slack[j] = s;
+                slack_row[j] = root;
+            }
+        }
+
+        loop {
+            // Find the minimum slack among columns outside T.
+            let mut delta = f64::INFINITY;
+            let mut j0 = usize::MAX;
+            for j in 0..c {
+                if !in_t[j] && slack[j] < delta {
+                    delta = slack[j];
+                    j0 = j;
+                }
+            }
+            debug_assert!(j0 != usize::MAX, "bipartite graph ran out of columns");
+            let delta = delta.max(0.0); // guard float drift
+
+            if delta > 0.0 {
+                stats.dual_updates += 1;
+                for &i in &s_rows {
+                    lx[i] -= delta;
+                }
+                for &j in &t_cols {
+                    ly[j] += delta;
+                }
+                for j in 0..c {
+                    if !in_t[j] {
+                        slack[j] -= delta;
+                    }
+                }
+                // |S| = |T| + 1, so the label sum decreases by delta.
+                label_sum -= delta;
+                if let Some(theta) = terminate_below {
+                    if label_sum < theta {
+                        // Recompute the bound exactly: Σ max(lx,0) + Σ ly.
+                        // Column labels never go negative (start at 0, only
+                        // increase); row labels can, in rare geometries.
+                        let exact_bound: f64 = lx.iter().map(|&v| v.max(0.0)).sum::<f64>()
+                            + ly.iter().sum::<f64>();
+                        if exact_bound < theta {
+                            return (
+                                MatchOutcome::EarlyTerminated {
+                                    upper_bound: exact_bound,
+                                },
+                                stats,
+                            );
+                        }
+                        label_sum = exact_bound;
+                    }
+                }
+            }
+
+            // Column j0 is now tight from slack_row[j0].
+            match yx[j0] {
+                None => {
+                    // Augment along the alternating path ending at j0.
+                    let mut cur = j0;
+                    loop {
+                        let i = slack_row[cur];
+                        let prev = xy[i];
+                        xy[i] = Some(cur);
+                        yx[cur] = Some(i);
+                        match prev {
+                            None => break,
+                            Some(p) => cur = p,
+                        }
+                    }
+                    break;
+                }
+                Some(i1) => {
+                    in_t[j0] = true;
+                    t_cols.push(j0);
+                    in_s[i1] = true;
+                    s_rows.push(i1);
+                    let row1 = m.row(i1);
+                    for j in 0..c {
+                        if !in_t[j] {
+                            let s = lx[i1] + ly[j] - row1[j];
+                            if s < slack[j] {
+                                slack[j] = s;
+                                slack_row[j] = i1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut score = 0.0;
+    let mut pairs = Vec::new();
+    for (i, col) in xy.iter().enumerate() {
+        if let Some(j) = *col {
+            let w = m.get(i, j);
+            if w > 0.0 {
+                score += w;
+                pairs.push((i as u32, j as u32));
+            }
+        }
+    }
+    (MatchOutcome::Exact(Matching { score, pairs }), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_max_matching;
+    use crate::greedy::greedy_matching;
+
+    fn exact_score(m: &WeightMatrix) -> f64 {
+        solve_max_matching(m, None).score()
+    }
+
+    #[test]
+    fn empty_and_zero_matrices() {
+        assert_eq!(exact_score(&WeightMatrix::zeros(0, 5)), 0.0);
+        assert_eq!(exact_score(&WeightMatrix::zeros(4, 0)), 0.0);
+        assert_eq!(exact_score(&WeightMatrix::zeros(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn paper_example_rearrangement() {
+        let m = WeightMatrix::from_vec(2, 2, vec![1.0, 0.99, 0.99, 0.0]);
+        let out = solve_max_matching(&m, None).exact().unwrap();
+        assert!((out.score - 1.98).abs() < 1e-9);
+        assert_eq!(out.pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn rectangular_wide_and_tall() {
+        let wide = WeightMatrix::from_vec(2, 4, vec![0.9, 0.1, 0.0, 0.8, 0.85, 0.2, 0.3, 0.0]);
+        assert!((exact_score(&wide) - exhaustive_max_matching(&wide)).abs() < 1e-9);
+        let tall = wide.transposed();
+        assert!((exact_score(&tall) - exhaustive_max_matching(&tall)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairs_are_one_to_one_and_positive() {
+        let m = WeightMatrix::from_vec(3, 3, vec![0.5, 0.5, 0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0]);
+        let out = solve_max_matching(&m, None).exact().unwrap();
+        assert!((out.score - 1.0).abs() < 1e-9);
+        let mut rows: Vec<u32> = out.pairs.iter().map(|p| p.0).collect();
+        let mut cols: Vec<u32> = out.pairs.iter().map(|p| p.1).collect();
+        rows.dedup();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(rows.len(), out.pairs.len());
+        assert_eq!(cols.len(), out.pairs.len());
+    }
+
+    #[test]
+    fn early_termination_triggers_and_bound_is_valid() {
+        let m = WeightMatrix::from_vec(2, 2, vec![0.3, 0.0, 0.0, 0.3]);
+        // Optimal is 0.6; threshold 10 can never be reached.
+        match solve_max_matching(&m, Some(10.0)) {
+            MatchOutcome::EarlyTerminated { upper_bound } => {
+                assert!(upper_bound >= 0.6 - 1e-9, "bound must stay above optimum");
+                assert!(upper_bound < 10.0);
+            }
+            MatchOutcome::Exact(_) => panic!("should have terminated early"),
+        }
+    }
+
+    #[test]
+    fn no_early_termination_below_optimum() {
+        let m = WeightMatrix::from_vec(2, 2, vec![0.9, 0.2, 0.1, 0.8]);
+        // Threshold below the optimum (1.7): must complete exactly.
+        match solve_max_matching(&m, Some(1.0)) {
+            MatchOutcome::Exact(mm) => assert!((mm.score - 1.7).abs() < 1e-9),
+            MatchOutcome::EarlyTerminated { .. } => {
+                panic!("must not terminate when optimum exceeds threshold")
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_grid() {
+        // Deterministic pseudo-random small matrices.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for rows in 1..5 {
+            for cols in 1..5 {
+                for _ in 0..20 {
+                    let m = WeightMatrix::from_fn(rows, cols, |_, _| {
+                        let v = next();
+                        if v < 0.3 {
+                            0.0
+                        } else {
+                            v
+                        }
+                    });
+                    let exact = exact_score(&m);
+                    let oracle = exhaustive_max_matching(&m);
+                    assert!(
+                        (exact - oracle).abs() < 1e-9,
+                        "mismatch on {rows}x{cols}: km={exact} oracle={oracle} m={m:?}"
+                    );
+                    // Greedy half-approximation must hold.
+                    let g = greedy_matching(&m);
+                    assert!(g.score <= exact + 1e-9);
+                    assert!(g.score >= exact / 2.0 - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_phases() {
+        let m = WeightMatrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let (out, stats) = solve_max_matching_with_stats(&m, None);
+        assert!((out.score() - 3.0).abs() < 1e-9);
+        assert_eq!(stats.phases, 3);
+    }
+}

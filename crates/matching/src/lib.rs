@@ -1,0 +1,24 @@
+//! Bipartite matching for semantic overlap.
+//!
+//! The semantic overlap of two sets is the score of a maximum weight
+//! bipartite matching (the assignment problem) over the element-similarity
+//! graph (paper §II). This crate provides:
+//!
+//! * [`graph::WeightMatrix`] — a dense rectangular weight matrix with
+//!   non-negative weights (α-thresholded similarities).
+//! * [`hungarian`] — an exact `O(r²·c)` Kuhn–Munkres solver with the
+//!   **label-sum early-termination filter** of Lemma 8: the sum of feasible
+//!   node labels upper-bounds the optimal score and only decreases, so the
+//!   run can abort as soon as it drops below the pruning threshold `θlb`.
+//! * [`greedy`] — the `O(E log E)` greedy matching whose score lower-bounds
+//!   the optimum by at least ½ (Lemma 3), used by the LB-filter.
+//! * [`exhaustive`] — a factorial-time oracle for property tests.
+
+pub mod exhaustive;
+pub mod graph;
+pub mod greedy;
+pub mod hungarian;
+
+pub use graph::WeightMatrix;
+pub use greedy::greedy_matching;
+pub use hungarian::{solve_max_matching, MatchOutcome, Matching};

@@ -1,0 +1,85 @@
+//! Similarity-function pluggability (§IV): the same Koios engine runs on
+//! *any* symmetric element similarity — cosine embeddings, q-gram Jaccard
+//! (fuzzy overlap à la SilkMoth), edit similarity, word Jaccard, strict
+//! equality (vanilla overlap) — including a user-defined one, without
+//! touching any filter.
+//!
+//! ```text
+//! cargo run --release --example plugin_similarity
+//! ```
+
+use koios::prelude::*;
+use koios_common::TokenId;
+use koios_embed::sim::WordJaccard;
+use std::sync::Arc;
+
+/// A custom similarity: case-insensitive equality with a prefix bonus
+/// ("street names": `Main St` vs `main st.` vs `Maple Ave`).
+struct PrefixSimilarity {
+    strings: Vec<String>,
+}
+
+impl PrefixSimilarity {
+    fn new(repo: &Repository) -> Self {
+        let strings = (0..repo.vocab_size())
+            .map(|i| repo.token_str(TokenId(i as u32)).to_lowercase())
+            .collect();
+        PrefixSimilarity { strings }
+    }
+}
+
+impl ElementSimilarity for PrefixSimilarity {
+    fn sim(&self, a: TokenId, b: TokenId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let (sa, sb) = (&self.strings[a.idx()], &self.strings[b.idx()]);
+        if sa == sb {
+            return 1.0;
+        }
+        let common = sa
+            .chars()
+            .zip(sb.chars())
+            .take_while(|(x, y)| x == y)
+            .count();
+        common as f64 / sa.chars().count().max(sb.chars().count()) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "prefix-similarity"
+    }
+}
+
+fn main() {
+    let mut builder = RepositoryBuilder::new();
+    builder.add_set("clean", ["Main St", "Oak Ave", "Maple Dr", "Pine Rd"]);
+    builder.add_set("dirty", ["main st.", "oak avenue", "maple dr", "willow ln"]);
+    builder.add_set("other", ["First Blvd", "Second Blvd", "Third Blvd", "Pine Rd"]);
+    let mut repo = builder.build();
+    let query = repo.intern_query_mut(["Main St", "Oak Ave", "Maple Dr", "Pine Rd"]);
+
+    // Four stock similarities plus the custom one — all through the same
+    // engine and filter stack.
+    let sims: Vec<(f64, Arc<dyn ElementSimilarity>)> = vec![
+        (1.0, Arc::new(EqualitySimilarity)),
+        (0.4, Arc::new(QGramJaccard::new(&repo, 3))),
+        (0.5, Arc::new(EditSimilarity::new(&repo))),
+        (0.4, Arc::new(WordJaccard::new(&repo))),
+        (0.5, Arc::new(PrefixSimilarity::new(&repo))),
+    ];
+
+    for (alpha, sim) in sims {
+        let name = sim.name();
+        let engine = Koios::new(&repo, sim, KoiosConfig::new(3, alpha));
+        let result = engine.search(&query);
+        print!("{name:<18} (α = {alpha}):");
+        for hit in &result.hits {
+            print!("  {}={:.2}", repo.set_name(hit.set), hit.score.ub());
+        }
+        println!();
+        // Every similarity must put the exact-match set first.
+        assert_eq!(repo.set_name(result.hits[0].set), "clean");
+    }
+    println!("\nall similarity functions rank the exact-match column first;");
+    println!("character-based ones additionally surface the dirty duplicates.");
+}

@@ -1,0 +1,73 @@
+//! # Koios: exact top-k semantic overlap set search
+//!
+//! This is the facade crate of the Koios workspace, a from-scratch Rust
+//! reproduction of *"Koios: Top-k Semantic Overlap Set Search"* (ICDE 2023).
+//!
+//! The **semantic overlap** `SO(Q, C)` of two sets is the score of a maximum
+//! weight bipartite matching between their elements, where edge weights are
+//! a user-defined element similarity (cosine of embeddings, q-gram Jaccard,
+//! edit similarity, …) thresholded at `α`. Koios answers top-k queries under
+//! this measure *exactly* while running the cubic matching verification for
+//! only a few percent of the candidate sets, thanks to a filter–verification
+//! pipeline of incrementally maintained lower/upper bounds.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use koios::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A tiny repository of string sets.
+//! let mut builder = RepositoryBuilder::new();
+//! builder.add_set("c1", ["LA", "Blain", "Appleton", "MtPleasant"]);
+//! builder.add_set("c2", ["LA", "Sacramento", "Blain", "SC", "NewYorkCity"]);
+//! let mut repo = builder.build();
+//!
+//! // Synthetic clustered embeddings stand in for FastText vectors.
+//! let embeddings = SyntheticEmbeddings::builder()
+//!     .dimensions(32)
+//!     .seed(7)
+//!     .synonyms(&mut repo, &[&["NewYorkCity", "BigApple"], &["LA", "WestCoast"]])
+//!     .build(&repo);
+//! let sim = Arc::new(CosineSimilarity::new(Arc::new(embeddings)));
+//!
+//! // Search for the top-1 set under semantic overlap with α = 0.7.
+//! let engine = Koios::new(&repo, sim, KoiosConfig::new(1, 0.7));
+//! let query = repo.intern_query(["LA", "Blaine", "BigApple", "Charleston"]);
+//! let result = engine.search(&query);
+//! assert_eq!(result.hits.len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`common`] | `koios-common` | ids, ordered similarities, top-k lists, memory accounting |
+//! | [`matching`] | `koios-matching` | greedy + Hungarian matching, early termination |
+//! | [`embed`] | `koios-embed` | embeddings and element similarity functions |
+//! | [`index`] | `koios-index` | inverted index, kNN sources, token stream |
+//! | [`datagen`] | `koios-datagen` | synthetic corpora, dataset profiles, query benchmarks |
+//! | [`core`] | `koios-core` | the Koios search engine (refinement + post-processing) |
+//! | [`baselines`] | `koios-baselines` | exhaustive baseline, SilkMoth, vanilla top-k |
+
+pub use koios_baselines as baselines;
+pub use koios_common as common;
+pub use koios_core as core;
+pub use koios_datagen as datagen;
+pub use koios_embed as embed;
+pub use koios_index as index;
+pub use koios_matching as matching;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use koios_common::prelude::*;
+    pub use koios_core::{
+        Hit, Koios, KoiosConfig, PartitionedKoios, ScoreBound, SearchResult, SharedTheta, UbMode,
+    };
+    pub use koios_embed::repository::{Repository, RepositoryBuilder};
+    pub use koios_embed::sim::{
+        CosineSimilarity, EditSimilarity, ElementSimilarity, EqualitySimilarity, QGramJaccard,
+    };
+    pub use koios_embed::synthetic::SyntheticEmbeddings;
+    pub use koios_matching::{solve_max_matching, MatchOutcome};
+}

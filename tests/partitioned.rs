@@ -1,0 +1,92 @@
+//! Partitioned search must return the same top-k scores as a single-engine
+//! search regardless of the partition count (paper §VI: a shared global
+//! `θlb` makes partition-local pruning globally sound).
+
+use koios::prelude::*;
+use koios_datagen::corpus::{Corpus, CorpusSpec};
+use std::sync::Arc;
+
+const EPS: f64 = 1e-9;
+
+fn corpus(seed: u64) -> Corpus {
+    let mut s = CorpusSpec::small(seed);
+    s.num_sets = 180;
+    s.vocab_size = 700;
+    s.clusters = 90;
+    Corpus::generate(s)
+}
+
+#[test]
+fn partition_counts_agree_on_scores() {
+    let c = corpus(900);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(c.embeddings.clone())));
+    let query = c.repository.set(SetId(8)).to_vec();
+    let mut cfg = KoiosConfig::new(6, 0.8);
+    cfg.no_em_filter = false; // exact scores from the single engine
+    let single = Koios::new(&c.repository, sim.clone(), cfg.clone()).search(&query);
+    let reference: Vec<f64> = single
+        .hits
+        .iter()
+        .map(|h| h.score.exact().unwrap())
+        .collect();
+    for parts in [1usize, 2, 5, 10, 32] {
+        let engine = PartitionedKoios::new(
+            &c.repository,
+            sim.clone(),
+            KoiosConfig::new(6, 0.8),
+            parts,
+            0xBEEF,
+        );
+        let res = engine.search(&query);
+        let scores: Vec<f64> = res.hits.iter().map(|h| h.score.exact().unwrap()).collect();
+        assert_eq!(scores.len(), reference.len(), "partitions={parts}");
+        for (a, b) in scores.iter().zip(&reference) {
+            assert!(
+                (a - b).abs() < EPS,
+                "partitions={parts}: {scores:?} vs {reference:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_handles_k_larger_than_partition_yield() {
+    // With many partitions most hold few (or zero) relevant sets; merging
+    // must still assemble the global top-k.
+    let c = corpus(901);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(c.embeddings.clone())));
+    let query = c.repository.set(SetId(40)).to_vec();
+    let engine = PartitionedKoios::new(
+        &c.repository,
+        sim.clone(),
+        KoiosConfig::new(12, 0.8),
+        40,
+        7,
+    );
+    let res = engine.search(&query);
+    assert!(res.hits.len() <= 12);
+    assert!(!res.hits.is_empty());
+    for w in res.hits.windows(2) {
+        assert!(w[0].score.ub() + EPS >= w[1].score.ub());
+    }
+}
+
+#[test]
+fn partition_seed_changes_sharding_not_results() {
+    let c = corpus(902);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(c.embeddings.clone())));
+    let query = c.repository.set(SetId(3)).to_vec();
+    let r1 = PartitionedKoios::new(&c.repository, sim.clone(), KoiosConfig::new(5, 0.8), 6, 1)
+        .search(&query);
+    let r2 = PartitionedKoios::new(&c.repository, sim.clone(), KoiosConfig::new(5, 0.8), 6, 2)
+        .search(&query);
+    let s1: Vec<f64> = r1.hits.iter().map(|h| h.score.exact().unwrap()).collect();
+    let s2: Vec<f64> = r2.hits.iter().map(|h| h.score.exact().unwrap()).collect();
+    assert_eq!(s1.len(), s2.len());
+    for (a, b) in s1.iter().zip(&s2) {
+        assert!((a - b).abs() < EPS);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based end-to-end exactness: random small repositories of random
+//! short strings under q-gram Jaccard similarity, Koios vs the brute-force
+//! Hungarian oracle. This exercises degenerate shapes the seeded corpora
+//! never produce (singleton sets, duplicate sets, empty-string tokens,
+//! queries with out-of-vocabulary tokens).
+
+use koios::prelude::*;
+use koios_core::overlap::semantic_overlap;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn repo_strategy() -> impl Strategy<Value = (Vec<Vec<String>>, Vec<String>)> {
+    let token = "[a-c]{0,6}";
+    let set = proptest::collection::vec(token, 1..8);
+    (
+        proptest::collection::vec(set.clone(), 1..20),
+        proptest::collection::vec(token, 1..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn koios_is_exact_on_random_string_repos(
+        (sets, query_strs) in repo_strategy(),
+        k in 1usize..6,
+        alpha in 0.3f64..1.0,
+        no_em in proptest::bool::ANY,
+        iub in proptest::bool::ANY,
+    ) {
+        let mut builder = RepositoryBuilder::new();
+        for (i, s) in sets.iter().enumerate() {
+            builder.add_set(&format!("s{i}"), s.iter().map(|x| x.as_str()));
+        }
+        let mut repo = builder.build();
+        let query = repo.intern_query_mut(query_strs.iter().map(|x| x.as_str()));
+        prop_assume!(!query.is_empty());
+        let sim: Arc<dyn ElementSimilarity> = Arc::new(QGramJaccard::new(&repo, 2));
+
+        let mut cfg = KoiosConfig::new(k, alpha);
+        cfg.no_em_filter = no_em;
+        cfg.iub_filter = iub;
+        let engine = Koios::new(&repo, sim.clone(), cfg);
+        let result = engine.search(&query);
+
+        // Oracle.
+        let mut oracle: Vec<f64> = repo
+            .iter_sets()
+            .map(|(id, _)| semantic_overlap(&repo, sim.as_ref(), alpha, &query, id))
+            .filter(|s| *s > 0.0)
+            .collect();
+        oracle.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let expected_len = k.min(oracle.len());
+        prop_assert_eq!(result.hits.len(), expected_len);
+        if expected_len == 0 {
+            return Ok(());
+        }
+        let theta_k = oracle[expected_len - 1];
+        for hit in &result.hits {
+            let truth = semantic_overlap(&repo, sim.as_ref(), alpha, &query, hit.set);
+            prop_assert!(truth >= theta_k - 1e-9,
+                "hit {:?} truth {truth} below θk {theta_k}", hit.set);
+            prop_assert!(hit.score.lb() <= truth + 1e-9);
+            prop_assert!(hit.score.ub() >= truth - 1e-9);
+        }
+    }
+
+    #[test]
+    fn vanilla_is_semantic_floor_on_random_repos(
+        (sets, query_strs) in repo_strategy(),
+        alpha in 0.3f64..1.0,
+    ) {
+        let mut builder = RepositoryBuilder::new();
+        for (i, s) in sets.iter().enumerate() {
+            builder.add_set(&format!("s{i}"), s.iter().map(|x| x.as_str()));
+        }
+        let mut repo = builder.build();
+        let query = repo.intern_query_mut(query_strs.iter().map(|x| x.as_str()));
+        prop_assume!(!query.is_empty());
+        let sim = QGramJaccard::new(&repo, 2);
+        for (id, _) in repo.iter_sets() {
+            let so = semantic_overlap(&repo, &sim, alpha, &query, id);
+            let vo = repo.vanilla_overlap(&query, id) as f64;
+            prop_assert!(so >= vo - 1e-9, "Lemma 1 violated: {so} < {vo}");
+        }
+    }
+}
