@@ -291,9 +291,7 @@ mod tests {
                     .map(|(id, _)| (id, semantic_overlap(&r, &sim, 0.5, &q, id)))
                     .filter(|(_, s)| *s >= delta - 1e-9 && *s > 0.0)
                     .collect();
-                expected.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-                });
+                expected.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
                 assert_eq!(
                     res.len(),
                     expected.len(),

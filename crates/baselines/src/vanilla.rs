@@ -59,10 +59,7 @@ mod tests {
         let (repo, idx) = setup();
         let q = repo.intern_query(["a", "b", "c", "d"]);
         let top = vanilla_topk(&repo, &idx, &q, 10);
-        assert_eq!(
-            top,
-            vec![(SetId(0), 4), (SetId(1), 3), (SetId(2), 1)]
-        );
+        assert_eq!(top, vec![(SetId(0), 4), (SetId(1), 3), (SetId(2), 1)]);
     }
 
     #[test]

@@ -126,7 +126,13 @@ fn avg(xs: impl Iterator<Item = f64>) -> f64 {
 /// Table I: characteristics of the (generated) datasets.
 pub fn table1(hc: &HarnessConfig) -> String {
     let mut t = TextTable::new(vec![
-        "dataset", "#Sets", "MaxSize", "AvgSize", "#UniqElems", "coverage", "gen time",
+        "dataset",
+        "#Sets",
+        "MaxSize",
+        "AvgSize",
+        "#UniqElems",
+        "coverage",
+        "gen time",
     ]);
     for profile in profiles::DatasetProfile::all(hc.scale) {
         let name = profile.spec.name.clone();
@@ -161,7 +167,9 @@ pub fn table2(hc: &HarnessConfig) -> String {
         let name = profile.spec.name.clone();
         let run = hc.profile_run(profile);
         let outcomes = run_partitioned(&run, hc);
-        let refine = avg(outcomes.iter().map(|o| o.result.stats.refinement_prune_ratio()));
+        let refine = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.refinement_prune_ratio()));
         let em_early = avg(outcomes.iter().map(|o| {
             let s = &o.result.stats;
             if s.to_postprocess == 0 {
@@ -204,11 +212,19 @@ pub fn table3(hc: &HarnessConfig) -> String {
         let run = hc.profile_run(profile);
         let koios = run_partitioned(&run, hc);
         let base = run_baseline(&run, hc, false);
-        let k_ref = avg(koios.iter().map(|o| o.result.stats.refine_time.as_secs_f64()));
-        let k_post = avg(koios.iter().map(|o| o.result.stats.postprocess_time.as_secs_f64()));
-        let k_resp = avg(koios.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let k_ref = avg(koios
+            .iter()
+            .map(|o| o.result.stats.refine_time.as_secs_f64()));
+        let k_post = avg(koios
+            .iter()
+            .map(|o| o.result.stats.postprocess_time.as_secs_f64()));
+        let k_resp = avg(koios
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let k_mem = avg(koios.iter().map(|o| o.result.stats.memory.total_mib()));
-        let b_resp = avg(base.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let b_resp = avg(base
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let b_mem = avg(base.iter().map(|o| o.result.stats.memory.total_mib()));
         let b_to = base.iter().filter(|o| o.result.stats.timed_out).count();
         t.row(vec![
@@ -305,13 +321,17 @@ fn interval_figure(
         if ko.is_empty() {
             continue;
         }
-        let k_time = avg(ko.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let k_time = avg(ko
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let k_ref = avg(ko.iter().map(|o| {
             let s = &o.result.stats;
             s.refine_time.as_secs_f64() / s.response_time().as_secs_f64().max(1e-12)
         }));
         let k_mem = avg(ko.iter().map(|o| o.result.stats.memory.total_mib()));
-        let b_time = avg(bo.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let b_time = avg(bo
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let b_mem = avg(bo.iter().map(|o| o.result.stats.memory.total_mib()));
         let k_to = ko.iter().filter(|o| o.result.stats.timed_out).count();
         let b_to = bo.iter().filter(|o| o.result.stats.timed_out).count();
@@ -356,7 +376,9 @@ pub fn fig7(hc: &HarnessConfig) -> String {
         let mut sub = hc.clone();
         sub.partitions = parts;
         let outcomes = run_partitioned(&run, &sub);
-        let time = avg(outcomes.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let time = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let refine = avg(outcomes.iter().map(|o| {
             let s = &o.result.stats;
             s.refine_time.as_secs_f64() / s.response_time().as_secs_f64().max(1e-12)
@@ -381,7 +403,9 @@ pub fn fig7(hc: &HarnessConfig) -> String {
         let mut cfg = KoiosConfig::new(hc.k, alpha);
         cfg.time_budget = Some(hc.timeout);
         let outcomes = run_single(&run, cfg);
-        let time = avg(outcomes.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let time = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let refine = avg(outcomes.iter().map(|o| {
             let s = &o.result.stats;
             s.refine_time.as_secs_f64() / s.response_time().as_secs_f64().max(1e-12)
@@ -406,12 +430,16 @@ pub fn fig7(hc: &HarnessConfig) -> String {
         let mut sub = hc.clone();
         sub.k = k;
         let outcomes = run_partitioned(&run, &sub);
-        let time = avg(outcomes.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
+        let time = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
         let refine = avg(outcomes.iter().map(|o| {
             let s = &o.result.stats;
             s.refine_time.as_secs_f64() / s.response_time().as_secs_f64().max(1e-12)
         }));
-        let post = avg(outcomes.iter().map(|o| o.result.stats.to_postprocess as f64));
+        let post = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.to_postprocess as f64));
         t.row(vec![
             k.to_string(),
             fmt_secs(time),
@@ -576,9 +604,15 @@ pub fn ablation(hc: &HarnessConfig) -> String {
         cfg.no_em_filter = false; // exact scores for the agreement check
         cfg.time_budget = Some(hc.timeout);
         let outcomes = run_single(&run, cfg);
-        let time = avg(outcomes.iter().map(|o| o.result.stats.response_time().as_secs_f64()));
-        let pruned = avg(outcomes.iter().map(|o| o.result.stats.refinement_prune_ratio()));
-        let post = avg(outcomes.iter().map(|o| o.result.stats.to_postprocess as f64));
+        let time = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.response_time().as_secs_f64()));
+        let pruned = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.refinement_prune_ratio()));
+        let post = avg(outcomes
+            .iter()
+            .map(|o| o.result.stats.to_postprocess as f64));
         let moves = avg(outcomes.iter().map(|o| o.result.stats.bucket_moves as f64));
         t.row(vec![
             label.to_string(),
@@ -594,15 +628,12 @@ pub fn ablation(hc: &HarnessConfig) -> String {
                 .collect(),
         );
     }
-    let agree = score_sets
-        .iter()
-        .skip(1)
-        .all(|s| {
-            s.len() == score_sets[0].len()
-                && s.iter()
-                    .zip(&score_sets[0])
-                    .all(|(a, b)| (a - b).abs() < 1e-6)
-        });
+    let agree = score_sets.iter().skip(1).all(|s| {
+        s.len() == score_sets[0].len()
+            && s.iter()
+                .zip(&score_sets[0])
+                .all(|(a, b)| (a - b).abs() < 1e-6)
+    });
     format!(
         "Ablation (DESIGN §2) — upper-bound rules on OpenData-like (k={}, α={}).\nAll modes returned identical top-k scores: {}.\n{}",
         hc.k,

@@ -1,0 +1,169 @@
+//! Stable 64-bit fingerprints.
+//!
+//! Serving layers key caches by a fingerprint of the normalized request
+//! (query tokens + search parameters). `std::hash` deliberately does not
+//! promise stability across releases or processes, so this module provides
+//! a small FNV-1a–based hasher whose output is a pure function of the fed
+//! bytes — stable across runs, platforms and compiler versions, which makes
+//! fingerprints safe to log, shard on, or persist.
+//!
+//! Fingerprints are *identifiers, not proofs*: 64 bits can collide, so a
+//! correct cache stores the full key alongside the entry and verifies
+//! equality on lookup (see `koios-service`).
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// An incremental, order-sensitive 64-bit fingerprint builder.
+///
+/// ```
+/// use koios_common::fingerprint::Fingerprinter;
+///
+/// let mut fp = Fingerprinter::new();
+/// fp.write_bytes(b"query");
+/// fp.write_u64(10);
+/// let a = fp.finish();
+/// assert_eq!(a, {
+///     let mut fp = Fingerprinter::new();
+///     fp.write_bytes(b"query");
+///     fp.write_u64(10);
+///     fp.finish()
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Starts a fingerprint from the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` (so 32- and 64-bit platforms agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a sequence of `u32` ids (e.g. interned token ids) prefixed by
+    /// its length, so `[1, 2]` followed by `[3]` differs from `[1, 2, 3]`.
+    /// Takes an iterator so id-newtype callers can feed raw ids without
+    /// allocating a temporary buffer.
+    pub fn write_u32_ids<I>(&mut self, ids: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        self.write_usize(ids.len());
+        for id in ids {
+            self.write_u32(id);
+        }
+    }
+
+    /// The fingerprint of everything fed so far. Does not consume the
+    /// builder; feeding more afterwards continues from the same state.
+    pub fn finish(&self) -> u64 {
+        // One avalanche round on top of FNV-1a: plain FNV is weak in the
+        // high bits, and cache shards may use them.
+        mix64(self.state)
+    }
+}
+
+/// The splitmix64 finalizer: a full-avalanche bijective mix of 64 bits.
+/// Shared by fingerprints and the deterministic pseudo-random partitioner
+/// (`koios-core`), so the workspace has exactly one copy of the constants.
+pub fn mix64(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let mut a = Fingerprinter::new();
+        let mut b = Fingerprinter::new();
+        for fp in [&mut a, &mut b] {
+            fp.write_bytes(b"koios");
+            fp.write_u64(7);
+            fp.write_u64(0.8f64.to_bits());
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_known_value() {
+        // Pin the algorithm: changing FNV/finalizer would silently
+        // invalidate persisted fingerprints.
+        let mut fp = Fingerprinter::new();
+        fp.write_bytes(b"koios");
+        assert_eq!(fp.finish(), 0xE6F2_8F54_69D3_412F);
+    }
+
+    #[test]
+    fn order_and_content_sensitive() {
+        let mut a = Fingerprinter::new();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = Fingerprinter::new();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn u32_ids_are_length_prefixed() {
+        let fp_of = |slices: &[&[u32]]| {
+            let mut fp = Fingerprinter::new();
+            for s in slices {
+                fp.write_u32_ids(s.iter().copied());
+            }
+            fp.finish()
+        };
+        assert_ne!(fp_of(&[&[1, 2]]), fp_of(&[&[1, 2, 2]]));
+        assert_ne!(fp_of(&[&[]]), fp_of(&[&[0]]));
+        assert_eq!(fp_of(&[&[3, 5]]), fp_of(&[&[3, 5]]));
+        // Length prefixes keep concatenations apart.
+        assert_ne!(fp_of(&[&[1, 2], &[3]]), fp_of(&[&[1, 2, 3]]));
+    }
+
+    #[test]
+    fn finish_is_non_consuming() {
+        let mut fp = Fingerprinter::new();
+        fp.write_u64(1);
+        let first = fp.finish();
+        assert_eq!(first, fp.finish());
+        fp.write_u64(2);
+        assert_ne!(first, fp.finish());
+    }
+}

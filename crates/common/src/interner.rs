@@ -83,8 +83,7 @@ impl HeapSize for Interner {
             .map(|s| s.len() + std::mem::size_of::<Box<str>>())
             .sum();
         // Map keys are separate boxes sharing no storage with `strings`.
-        let map_overhead = self.map.capacity()
-            * (std::mem::size_of::<(Box<str>, TokenId)>() + 1)
+        let map_overhead = self.map.capacity() * (std::mem::size_of::<(Box<str>, TokenId)>() + 1)
             + self.strings.iter().map(|s| s.len()).sum::<usize>();
         strings + map_overhead
     }

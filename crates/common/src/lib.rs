@@ -7,6 +7,8 @@
 //!   (tokens) and sets.
 //! * [`Sim`] — a total-ordered, NaN-free similarity value in `[0, 1]`
 //!   (edge weights of the semantic-overlap bipartite graph).
+//! * [`fingerprint::Fingerprinter`] — stable 64-bit request fingerprints
+//!   (cache keys for the serving layer).
 //! * [`Interner`] — a string interner mapping tokens to [`TokenId`]s.
 //! * [`topk::TopKList`] — the bounded score lists the paper calls `Llb` and
 //!   `Lub` (running top-k lower/upper bounds, `θ` = bottom of the list).
@@ -15,6 +17,7 @@
 //! * [`sparse::IdxSet`] — a small sorted integer set used for per-candidate
 //!   matched/seen element tracking during refinement.
 
+pub mod fingerprint;
 pub mod ids;
 pub mod interner;
 pub mod memsize;
@@ -22,6 +25,7 @@ pub mod sim;
 pub mod sparse;
 pub mod topk;
 
+pub use fingerprint::Fingerprinter;
 pub use ids::{SetId, TokenId};
 pub use interner::Interner;
 pub use memsize::HeapSize;
@@ -29,6 +33,7 @@ pub use sim::Sim;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
+    pub use crate::fingerprint::Fingerprinter;
     pub use crate::ids::{SetId, TokenId};
     pub use crate::interner::Interner;
     pub use crate::memsize::HeapSize;

@@ -29,8 +29,25 @@ macro_rules! zero_heap {
 }
 
 zero_heap!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char,
-    crate::ids::TokenId, crate::ids::SetId, crate::sim::Sim
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    crate::ids::TokenId,
+    crate::ids::SetId,
+    crate::sim::Sim
 );
 
 impl<T: HeapSize> HeapSize for Option<T> {
@@ -67,8 +84,7 @@ impl<T: HeapSize> HeapSize for VecDeque<T> {
 
 impl<T: HeapSize> HeapSize for Box<[T]> {
     fn heap_size(&self) -> usize {
-        self.len() * std::mem::size_of::<T>()
-            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
     }
 }
 
@@ -197,7 +213,11 @@ impl MemoryReport {
 impl std::fmt::Display for MemoryReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for (name, bytes) in &self.entries {
-            writeln!(f, "{name:>24}: {:>10.3} MiB", *bytes as f64 / (1024.0 * 1024.0))?;
+            writeln!(
+                f,
+                "{name:>24}: {:>10.3} MiB",
+                *bytes as f64 / (1024.0 * 1024.0)
+            )?;
         }
         write!(f, "{:>24}: {:>10.3} MiB", "total", self.total_mib())
     }
@@ -218,7 +238,10 @@ mod tests {
     fn nested_vec_counts_children() {
         let v: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4]];
         let inner: usize = v.iter().map(|x| x.capacity() * 4).sum();
-        assert_eq!(v.heap_size(), v.capacity() * std::mem::size_of::<Vec<u32>>() + inner);
+        assert_eq!(
+            v.heap_size(),
+            v.capacity() * std::mem::size_of::<Vec<u32>>() + inner
+        );
     }
 
     #[test]

@@ -104,8 +104,8 @@ pub fn audit_result(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Koios;
     use crate::config::KoiosConfig;
+    use crate::engine::Koios;
     use crate::result::Hit;
     use koios_embed::repository::RepositoryBuilder;
     use koios_embed::sim::EqualitySimilarity;
@@ -124,7 +124,11 @@ mod tests {
     #[test]
     fn real_search_results_audit_valid() {
         let (repo, q) = setup();
-        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(2, 0.9));
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+        );
         let res = engine.search(&q);
         assert_eq!(
             audit_result(&repo, &EqualitySimilarity, 0.9, 2, &q, &res),
@@ -137,8 +141,14 @@ mod tests {
         let (repo, q) = setup();
         let forged = SearchResult {
             hits: vec![
-                Hit { set: SetId(0), score: ScoreBound::Exact(3.0) },
-                Hit { set: SetId(2), score: ScoreBound::Exact(1.0) }, // true SO 1 < θ2 = 2
+                Hit {
+                    set: SetId(0),
+                    score: ScoreBound::Exact(3.0),
+                },
+                Hit {
+                    set: SetId(2),
+                    score: ScoreBound::Exact(1.0),
+                }, // true SO 1 < θ2 = 2
             ],
             stats: Default::default(),
         };
@@ -156,8 +166,14 @@ mod tests {
         let (repo, q) = setup();
         let forged = SearchResult {
             hits: vec![
-                Hit { set: SetId(0), score: ScoreBound::Exact(99.0) },
-                Hit { set: SetId(1), score: ScoreBound::Exact(2.0) },
+                Hit {
+                    set: SetId(0),
+                    score: ScoreBound::Exact(99.0),
+                },
+                Hit {
+                    set: SetId(1),
+                    score: ScoreBound::Exact(2.0),
+                },
             ],
             stats: Default::default(),
         };
@@ -171,12 +187,18 @@ mod tests {
     fn detects_missing_hits() {
         let (repo, q) = setup();
         let forged = SearchResult {
-            hits: vec![Hit { set: SetId(0), score: ScoreBound::Exact(3.0) }],
+            hits: vec![Hit {
+                set: SetId(0),
+                score: ScoreBound::Exact(3.0),
+            }],
             stats: Default::default(),
         };
         assert!(matches!(
             audit_result(&repo, &EqualitySimilarity, 0.9, 2, &q, &forged),
-            AuditOutcome::TooFewHits { returned: 1, expected: 2 }
+            AuditOutcome::TooFewHits {
+                returned: 1,
+                expected: 2
+            }
         ));
     }
 
@@ -185,8 +207,14 @@ mod tests {
         let (repo, q) = setup();
         let res = SearchResult {
             hits: vec![
-                Hit { set: SetId(0), score: ScoreBound::Range { lb: 2.5, ub: 3.5 } },
-                Hit { set: SetId(1), score: ScoreBound::Exact(2.0) },
+                Hit {
+                    set: SetId(0),
+                    score: ScoreBound::Range { lb: 2.5, ub: 3.5 },
+                },
+                Hit {
+                    set: SetId(1),
+                    score: ScoreBound::Exact(2.0),
+                },
             ],
             stats: Default::default(),
         };

@@ -8,7 +8,7 @@ use crate::result::SearchResult;
 use crate::stats::SearchStats;
 use crate::theta::SharedTheta;
 use koios_common::{HeapSize, SetId, TokenId};
-use koios_embed::repository::Repository;
+use koios_embed::repository::{RepoRef, Repository};
 use koios_embed::sim::ElementSimilarity;
 use koios_index::inverted::InvertedIndex;
 use koios_index::knn::ExactScanKnn;
@@ -19,35 +19,61 @@ use std::time::Instant;
 /// An exact top-k semantic overlap search engine over one repository
 /// (paper Fig. 2: token stream → refinement filters → post-processing).
 ///
-/// The engine is cheap to clone conceptually — it borrows the repository and
-/// shares the inverted index and similarity function behind `Arc`s — and a
-/// single engine serves any number of queries.
+/// The engine is cheap to clone — it shares the repository (borrowed or
+/// `Arc`-owned, see [`RepoRef`]), the inverted index and the similarity
+/// function — and a single engine serves any number of queries. Construct
+/// it from `&Repository` for the classic lifetime-bound embedding, or from
+/// `Arc<Repository>` for an owned `Koios<'static>` that long-lived services
+/// can move across threads.
+#[derive(Clone)]
 pub struct Koios<'r> {
-    repo: &'r Repository,
+    repo: RepoRef<'r>,
     sim: Arc<dyn ElementSimilarity>,
     index: Arc<InvertedIndex>,
     cfg: KoiosConfig,
 }
 
+/// An engine that owns (shares ownership of) its repository — what a
+/// long-lived serving layer holds.
+pub type OwnedKoios = Koios<'static>;
+
 impl<'r> Koios<'r> {
-    /// Builds the inverted index and wires up an engine.
-    pub fn new(repo: &'r Repository, sim: Arc<dyn ElementSimilarity>, cfg: KoiosConfig) -> Self {
-        let index = Arc::new(InvertedIndex::build(repo));
+    /// Builds the inverted index and wires up an engine over a borrowed
+    /// (`&Repository`) or owned (`Arc<Repository>`) repository.
+    pub fn new(
+        repo: impl Into<RepoRef<'r>>,
+        sim: Arc<dyn ElementSimilarity>,
+        cfg: KoiosConfig,
+    ) -> Self {
+        let repo = repo.into();
+        let index = Arc::new(InvertedIndex::build(repo.get()));
         Self::with_index(repo, sim, index, cfg)
     }
 
     /// Wires up an engine over a pre-built (possibly partition-restricted)
     /// inverted index.
     pub fn with_index(
-        repo: &'r Repository,
+        repo: impl Into<RepoRef<'r>>,
         sim: Arc<dyn ElementSimilarity>,
         index: Arc<InvertedIndex>,
         cfg: KoiosConfig,
     ) -> Self {
         Koios {
-            repo,
+            repo: repo.into(),
             sim,
             index,
+            cfg,
+        }
+    }
+
+    /// A sibling engine over the same repository, index and similarity but
+    /// a different configuration (no index rebuild — per-request `k`/`α`
+    /// overrides in serving layers are this cheap).
+    pub fn with_config(&self, cfg: KoiosConfig) -> Self {
+        Koios {
+            repo: self.repo.clone(),
+            sim: Arc::clone(&self.sim),
+            index: Arc::clone(&self.index),
             cfg,
         }
     }
@@ -57,14 +83,19 @@ impl<'r> Koios<'r> {
         &self.cfg
     }
 
+    /// The similarity function.
+    pub fn similarity(&self) -> &Arc<dyn ElementSimilarity> {
+        &self.sim
+    }
+
     /// The inverted index (shared with partition siblings).
     pub fn index(&self) -> &Arc<InvertedIndex> {
         &self.index
     }
 
     /// The repository.
-    pub fn repository(&self) -> &'r Repository {
-        self.repo
+    pub fn repository(&self) -> &Repository {
+        self.repo.get()
     }
 
     /// Runs a top-k search for `query` (token ids from
@@ -113,11 +144,8 @@ impl<'r> Koios<'r> {
 
         let t0 = Instant::now();
         let mut stream = TokenStream::new(source, q.len());
-        let RefineOutput {
-            survivors,
-            mut llb,
-        } = refine(
-            self.repo,
+        let RefineOutput { survivors, mut llb } = refine(
+            self.repo.get(),
             &self.index,
             &q,
             &self.cfg,
@@ -130,7 +158,7 @@ impl<'r> Koios<'r> {
 
         let t1 = Instant::now();
         let hits = postprocess(
-            self.repo,
+            self.repo.get(),
             &self.sim,
             &q,
             &self.cfg,
@@ -154,7 +182,7 @@ impl<'r> Koios<'r> {
         let mut q = query.to_vec();
         q.sort_unstable();
         q.dedup();
-        semantic_overlap(self.repo, self.sim.as_ref(), self.cfg.alpha, &q, set)
+        semantic_overlap(self.repo.get(), self.sim.as_ref(), self.cfg.alpha, &q, set)
     }
 }
 
@@ -178,7 +206,11 @@ mod tests {
     #[test]
     fn equality_similarity_matches_vanilla_topk() {
         let repo = vanilla_repo();
-        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(3, 0.99));
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.99),
+        );
         let q = repo.intern_query(["a", "b", "c", "d"]);
         let res = engine.search(&q);
         assert_eq!(res.set_ids(), vec![SetId(0), SetId(1), SetId(2)]);
@@ -189,7 +221,11 @@ mod tests {
     #[test]
     fn search_is_deterministic() {
         let repo = vanilla_repo();
-        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(2, 0.9));
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+        );
         let q = repo.intern_query(["a", "b", "c"]);
         let a = engine.search(&q);
         let b = engine.search(&q);
@@ -199,9 +235,52 @@ mod tests {
     #[test]
     fn empty_query_returns_empty() {
         let repo = vanilla_repo();
-        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(2, 0.9));
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+        );
         let res = engine.search(&[]);
         assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn owned_engine_is_static_and_agrees_with_borrowed() {
+        let repo = vanilla_repo();
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        let borrowed = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9),
+        );
+        let expect = borrowed.search(&q);
+
+        let owned: OwnedKoios = Koios::new(
+            Arc::new(repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9),
+        );
+        // `'static`: the engine can move into a spawned thread.
+        let qc = q.clone();
+        let got = std::thread::spawn(move || owned.search(&qc))
+            .join()
+            .unwrap();
+        assert_eq!(got.set_ids(), expect.set_ids());
+    }
+
+    #[test]
+    fn with_config_shares_index_and_repo() {
+        let repo = vanilla_repo();
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9),
+        );
+        let narrowed = engine.with_config(KoiosConfig::new(1, 0.9));
+        assert!(Arc::ptr_eq(engine.index(), narrowed.index()));
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        assert_eq!(narrowed.search(&q).hits.len(), 1);
+        assert_eq!(engine.search(&q).hits.len(), 3);
     }
 
     #[test]
@@ -262,7 +341,11 @@ mod tests {
     #[test]
     fn stats_phases_are_populated() {
         let repo = vanilla_repo();
-        let engine = Koios::new(&repo, Arc::new(EqualitySimilarity), KoiosConfig::new(1, 0.9));
+        let engine = Koios::new(
+            &repo,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(1, 0.9),
+        );
         let q = repo.intern_query(["a", "b"]);
         let res = engine.search(&q);
         assert!(res.stats.stream_tuples > 0);

@@ -34,10 +34,10 @@ pub mod theta;
 
 pub use audit::{audit_result, AuditOutcome};
 pub use config::{KoiosConfig, UbMode};
-pub use engine::Koios;
+pub use engine::{Koios, OwnedKoios};
 pub use many_to_one::{bounded_many_to_one_overlap, many_to_one_overlap};
 pub use overlap::{greedy_overlap, semantic_overlap, semantic_overlap_bounded, similarity_matrix};
-pub use partitioned::PartitionedKoios;
+pub use partitioned::{OwnedPartitionedKoios, PartitionedKoios};
 pub use result::{Hit, ScoreBound, SearchResult};
 pub use stats::SearchStats;
 pub use theta::SharedTheta;

@@ -15,26 +15,33 @@ use crate::result::{Hit, ScoreBound, SearchResult};
 use crate::stats::SearchStats;
 use crate::theta::SharedTheta;
 use koios_common::{SetId, TokenId};
-use koios_embed::repository::Repository;
+use koios_embed::repository::{RepoRef, Repository};
 use koios_embed::sim::ElementSimilarity;
 use koios_index::inverted::InvertedIndex;
 use std::sync::Arc;
 
 /// A Koios engine fanned out over `p` repository partitions.
+///
+/// Like [`Koios`], it is constructed from either a borrowed `&Repository`
+/// or an owned `Arc<Repository>` (yielding a `'static` engine for serving
+/// layers).
+#[derive(Clone)]
 pub struct PartitionedKoios<'r> {
-    repo: &'r Repository,
+    repo: RepoRef<'r>,
     sim: Arc<dyn ElementSimilarity>,
     cfg: KoiosConfig,
     indexes: Vec<Arc<InvertedIndex>>,
 }
 
+/// A partitioned engine that owns its repository.
+pub type OwnedPartitionedKoios = PartitionedKoios<'static>;
+
 /// Deterministic pseudo-random partition of a set id (splitmix64 finalizer;
 /// "randomly partition the repository" without dragging in an RNG state).
 fn partition_of(seed: u64, set: SetId, partitions: usize) -> usize {
-    let mut z = seed ^ (set.0 as u64).wrapping_mul(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    ((z ^ (z >> 31)) % partitions as u64) as usize
+    let z =
+        koios_common::fingerprint::mix64(seed ^ (set.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    (z % partitions as u64) as usize
 }
 
 impl<'r> PartitionedKoios<'r> {
@@ -45,20 +52,21 @@ impl<'r> PartitionedKoios<'r> {
     ///
     /// Panics if `partitions == 0`.
     pub fn new(
-        repo: &'r Repository,
+        repo: impl Into<RepoRef<'r>>,
         sim: Arc<dyn ElementSimilarity>,
         cfg: KoiosConfig,
         partitions: usize,
         seed: u64,
     ) -> Self {
         assert!(partitions > 0, "need at least one partition");
+        let repo = repo.into();
         let mut shards: Vec<Vec<SetId>> = vec![Vec::new(); partitions];
         for (id, _) in repo.iter_sets() {
             shards[partition_of(seed, id, partitions)].push(id);
         }
         let indexes = shards
             .into_iter()
-            .map(|sets| Arc::new(InvertedIndex::build_subset(repo, sets)))
+            .map(|sets| Arc::new(InvertedIndex::build_subset(repo.get(), sets)))
             .collect();
         PartitionedKoios {
             repo,
@@ -66,6 +74,11 @@ impl<'r> PartitionedKoios<'r> {
             cfg,
             indexes,
         }
+    }
+
+    /// The repository.
+    pub fn repository(&self) -> &Repository {
+        self.repo.get()
     }
 
     /// Number of partitions.
@@ -76,27 +89,26 @@ impl<'r> PartitionedKoios<'r> {
     /// Runs the query on all partitions in parallel and merges the results.
     pub fn search(&self, query: &[TokenId]) -> SearchResult {
         let theta = SharedTheta::new();
-        let partials: Vec<SearchResult> = crossbeam::thread::scope(|sc| {
+        let partials: Vec<SearchResult> = std::thread::scope(|sc| {
             let handles: Vec<_> = self
                 .indexes
                 .iter()
                 .map(|index| {
                     let engine = Koios::with_index(
-                        self.repo,
+                        self.repo.clone(),
                         Arc::clone(&self.sim),
                         Arc::clone(index),
                         self.cfg.clone(),
                     );
                     let theta = &theta;
-                    sc.spawn(move |_| engine.search_shared(query, theta))
+                    sc.spawn(move || engine.search_shared(query, theta))
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("partition search panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut q = query.to_vec();
         q.sort_unstable();
@@ -113,7 +125,13 @@ impl<'r> PartitionedKoios<'r> {
                     ScoreBound::Exact(s) => s,
                     ScoreBound::Range { .. } => {
                         stats.em_full += 1; // merge-time verification
-                        semantic_overlap(self.repo, self.sim.as_ref(), self.cfg.alpha, &q, hit.set)
+                        semantic_overlap(
+                            self.repo.get(),
+                            self.sim.as_ref(),
+                            self.cfg.alpha,
+                            &q,
+                            hit.set,
+                        )
                     }
                 };
                 merged.push(Hit {
@@ -160,8 +178,20 @@ mod tests {
     #[test]
     fn partition_assignment_is_deterministic_and_total() {
         let r = repo();
-        let p1 = PartitionedKoios::new(&r, Arc::new(EqualitySimilarity), KoiosConfig::new(3, 0.9), 4, 7);
-        let p2 = PartitionedKoios::new(&r, Arc::new(EqualitySimilarity), KoiosConfig::new(3, 0.9), 4, 7);
+        let p1 = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9),
+            4,
+            7,
+        );
+        let p2 = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(3, 0.9),
+            4,
+            7,
+        );
         assert_eq!(p1.num_partitions(), 4);
         let total: usize = p1.indexes.iter().map(|i| i.total_postings()).sum();
         let total2: usize = p2.indexes.iter().map(|i| i.total_postings()).sum();
@@ -189,7 +219,10 @@ mod tests {
             let s_scores: Vec<f64> = sres.hits.iter().map(|h| h.score.ub()).collect();
             let p_scores: Vec<f64> = pres.hits.iter().map(|h| h.score.exact().unwrap()).collect();
             for (a, b) in s_scores.iter().zip(&p_scores) {
-                assert!((a - b).abs() < 1e-9, "parts={parts}: {s_scores:?} vs {p_scores:?}");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "parts={parts}: {s_scores:?} vs {p_scores:?}"
+                );
             }
         }
     }

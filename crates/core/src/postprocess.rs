@@ -112,7 +112,9 @@ pub fn postprocess(
         while lub.len() < cfg.k {
             let Some(&(ub, set)) = qub.peek() else { break };
             qub.pop();
-            let Some(p) = states.get_mut(&set) else { continue };
+            let Some(p) = states.get_mut(&set) else {
+                continue;
+            };
             // Stale queue entries: superseded key or already placed/pruned.
             if !p.alive || lub.contains(set) || Sim::new(p.ub) != ub {
                 continue;
@@ -153,10 +155,7 @@ pub fn postprocess(
         }
 
         // Verify the highest-UB unchecked sets (a batch when parallel).
-        let batch: Vec<SetId> = unchecked
-            .into_iter()
-            .take(cfg.parallel_em.max(1))
-            .collect();
+        let batch: Vec<SetId> = unchecked.into_iter().take(cfg.parallel_em.max(1)).collect();
         let outcomes: Vec<(SetId, MatchOutcome)> = if batch.len() == 1 {
             let set = batch[0];
             let th = em_threshold(cfg, theta);
@@ -165,12 +164,12 @@ pub fn postprocess(
                 semantic_overlap_bounded(repo, sim.as_ref(), cfg.alpha, query, set, th),
             )]
         } else {
-            crossbeam::thread::scope(|sc| {
+            std::thread::scope(|sc| {
                 let handles: Vec<_> = batch
                     .iter()
                     .map(|&set| {
                         let sim = Arc::clone(sim);
-                        sc.spawn(move |_| {
+                        sc.spawn(move || {
                             // Read θlb at spawn time: completions of sibling
                             // verifications keep raising it between batches.
                             let th = em_threshold(cfg, theta);
@@ -193,7 +192,6 @@ pub fn postprocess(
                     .map(|h| h.join().expect("verification thread panicked"))
                     .collect()
             })
-            .expect("crossbeam scope failed")
         };
 
         for (set, outcome) in outcomes {
@@ -266,17 +264,16 @@ fn verify_all(
             let set = wave[0].set;
             vec![(
                 set,
-                semantic_overlap_bounded(repo, sim.as_ref(), cfg.alpha, query, set, None)
-                    .score(),
+                semantic_overlap_bounded(repo, sim.as_ref(), cfg.alpha, query, set, None).score(),
             )]
         } else {
-            crossbeam::thread::scope(|sc| {
+            std::thread::scope(|sc| {
                 let handles: Vec<_> = wave
                     .iter()
                     .map(|sv| {
                         let set = sv.set;
                         let sim = Arc::clone(sim);
-                        sc.spawn(move |_| {
+                        sc.spawn(move || {
                             (
                                 set,
                                 semantic_overlap_bounded(
@@ -297,7 +294,6 @@ fn verify_all(
                     .map(|h| h.join().expect("verification thread panicked"))
                     .collect()
             })
-            .expect("crossbeam scope failed")
         };
         for (set, so) in wave_scores {
             stats.em_full += 1;
@@ -342,9 +338,21 @@ mod tests {
 
     fn survivors() -> Vec<Survivor> {
         vec![
-            Survivor { set: SetId(0), lb: 3.0, ub: 3.0 },
-            Survivor { set: SetId(1), lb: 2.0, ub: 2.0 },
-            Survivor { set: SetId(2), lb: 1.0, ub: 1.0 },
+            Survivor {
+                set: SetId(0),
+                lb: 3.0,
+                ub: 3.0,
+            },
+            Survivor {
+                set: SetId(1),
+                lb: 2.0,
+                ub: 2.0,
+            },
+            Survivor {
+                set: SetId(2),
+                lb: 1.0,
+                ub: 1.0,
+            },
         ]
     }
 
@@ -360,7 +368,15 @@ mod tests {
         theta.raise(llb.threshold().get());
         let mut stats = SearchStats::default();
         let hits = postprocess(
-            &repo, &sim, &q, &cfg, &theta, &mut llb, survivors(), &mut stats, None,
+            &repo,
+            &sim,
+            &q,
+            &cfg,
+            &theta,
+            &mut llb,
+            survivors(),
+            &mut stats,
+            None,
         );
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].set, SetId(0));
@@ -375,15 +391,25 @@ mod tests {
         let mut llb = TopKList::new(1);
         // Tight bounds: lb of the best equals its ub => No-EM must fire.
         let sv = vec![
-            Survivor { set: SetId(0), lb: 3.0, ub: 3.0 },
-            Survivor { set: SetId(1), lb: 2.0, ub: 2.0 },
+            Survivor {
+                set: SetId(0),
+                lb: 3.0,
+                ub: 3.0,
+            },
+            Survivor {
+                set: SetId(1),
+                lb: 2.0,
+                ub: 2.0,
+            },
         ];
         for s in &sv {
             llb.offer(s.set, Sim::new(s.lb));
         }
         theta.raise(llb.threshold().get());
         let mut stats = SearchStats::default();
-        let hits = postprocess(&repo, &sim, &q, &cfg, &theta, &mut llb, sv, &mut stats, None);
+        let hits = postprocess(
+            &repo, &sim, &q, &cfg, &theta, &mut llb, sv, &mut stats, None,
+        );
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].set, SetId(0));
         assert_eq!(stats.no_em, 1);
@@ -401,7 +427,15 @@ mod tests {
         let mut llb = TopKList::new(2);
         let mut stats = SearchStats::default();
         let hits = postprocess(
-            &repo, &sim, &q, &cfg, &theta, &mut llb, survivors(), &mut stats, None,
+            &repo,
+            &sim,
+            &q,
+            &cfg,
+            &theta,
+            &mut llb,
+            survivors(),
+            &mut stats,
+            None,
         );
         assert_eq!(hits.len(), 2);
         for h in &hits {
@@ -420,12 +454,26 @@ mod tests {
         let mut llb = TopKList::new(2);
         // s2 looks best by UB but verifies to 1.0; true order must win.
         let sv = vec![
-            Survivor { set: SetId(2), lb: 0.5, ub: 10.0 },
-            Survivor { set: SetId(0), lb: 1.0, ub: 3.5 },
-            Survivor { set: SetId(1), lb: 1.0, ub: 2.5 },
+            Survivor {
+                set: SetId(2),
+                lb: 0.5,
+                ub: 10.0,
+            },
+            Survivor {
+                set: SetId(0),
+                lb: 1.0,
+                ub: 3.5,
+            },
+            Survivor {
+                set: SetId(1),
+                lb: 1.0,
+                ub: 2.5,
+            },
         ];
         let mut stats = SearchStats::default();
-        let hits = postprocess(&repo, &sim, &q, &cfg, &theta, &mut llb, sv, &mut stats, None);
+        let hits = postprocess(
+            &repo, &sim, &q, &cfg, &theta, &mut llb, sv, &mut stats, None,
+        );
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].set, SetId(0));
         assert_eq!(hits[0].score.exact(), Some(3.0));
@@ -446,10 +494,26 @@ mod tests {
         let mut st_a = SearchStats::default();
         let mut st_b = SearchStats::default();
         let ha = postprocess(
-            &repo, &sim, &q, &cfg_seq, &theta_a, &mut llb_a, survivors(), &mut st_a, None,
+            &repo,
+            &sim,
+            &q,
+            &cfg_seq,
+            &theta_a,
+            &mut llb_a,
+            survivors(),
+            &mut st_a,
+            None,
         );
         let hb = postprocess(
-            &repo, &sim, &q, &cfg_par, &theta_b, &mut llb_b, survivors(), &mut st_b, None,
+            &repo,
+            &sim,
+            &q,
+            &cfg_par,
+            &theta_b,
+            &mut llb_b,
+            survivors(),
+            &mut st_b,
+            None,
         );
         assert_eq!(ha.len(), hb.len());
         for (a, b) in ha.iter().zip(&hb) {
@@ -466,7 +530,15 @@ mod tests {
         let mut llb = TopKList::new(10);
         let mut stats = SearchStats::default();
         let hits = postprocess(
-            &repo, &sim, &q, &cfg, &theta, &mut llb, survivors(), &mut stats, None,
+            &repo,
+            &sim,
+            &q,
+            &cfg,
+            &theta,
+            &mut llb,
+            survivors(),
+            &mut stats,
+            None,
         );
         assert_eq!(hits.len(), 3);
     }
@@ -479,7 +551,15 @@ mod tests {
         let mut llb = TopKList::new(3);
         let mut stats = SearchStats::default();
         let hits = postprocess(
-            &repo, &sim, &q, &cfg, &theta, &mut llb, Vec::new(), &mut stats, None,
+            &repo,
+            &sim,
+            &q,
+            &cfg,
+            &theta,
+            &mut llb,
+            Vec::new(),
+            &mut stats,
+            None,
         );
         assert!(hits.is_empty());
     }

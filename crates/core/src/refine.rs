@@ -263,8 +263,7 @@ pub fn refine<K: KnnSource>(
 
     // Memory snapshot of the refinement structures (paper §VIII-D sums the
     // footprints of both phases' structures).
-    let states_bytes = states.capacity()
-        * (std::mem::size_of::<(SetId, Cand)>() + 1)
+    let states_bytes = states.capacity() * (std::mem::size_of::<(SetId, Cand)>() + 1)
         + states.values().map(Cand::heap_size).sum::<usize>();
     stats.memory.add("token stream", stream.heap_bytes());
     stats.memory.add("candidate states", states_bytes);

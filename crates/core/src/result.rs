@@ -116,9 +116,18 @@ mod tests {
     fn sort_hits_orders_by_ub_then_id() {
         let mut res = SearchResult {
             hits: vec![
-                Hit { set: SetId(3), score: ScoreBound::Exact(1.0) },
-                Hit { set: SetId(1), score: ScoreBound::Range { lb: 0.5, ub: 2.0 } },
-                Hit { set: SetId(2), score: ScoreBound::Exact(2.0) },
+                Hit {
+                    set: SetId(3),
+                    score: ScoreBound::Exact(1.0),
+                },
+                Hit {
+                    set: SetId(1),
+                    score: ScoreBound::Range { lb: 0.5, ub: 2.0 },
+                },
+                Hit {
+                    set: SetId(2),
+                    score: ScoreBound::Exact(2.0),
+                },
             ],
             stats: SearchStats::default(),
         };
@@ -130,8 +139,14 @@ mod tests {
     fn theta_k_is_min_lb() {
         let res = SearchResult {
             hits: vec![
-                Hit { set: SetId(0), score: ScoreBound::Exact(3.0) },
-                Hit { set: SetId(1), score: ScoreBound::Range { lb: 1.5, ub: 4.0 } },
+                Hit {
+                    set: SetId(0),
+                    score: ScoreBound::Exact(3.0),
+                },
+                Hit {
+                    set: SetId(1),
+                    score: ScoreBound::Range { lb: 1.5, ub: 4.0 },
+                },
             ],
             stats: SearchStats::default(),
         };

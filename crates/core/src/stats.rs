@@ -71,8 +71,29 @@ impl SearchStats {
     }
 
     /// Merges counters from another search (used when aggregating partition
-    /// stats; timings take the max, since partitions run in parallel).
+    /// stats; timings take the max, since partitions run in parallel, and
+    /// memory adds up, since partition footprints coexist).
     pub fn merge_parallel(&mut self, other: &SearchStats) {
+        self.merge_counters(other);
+        self.refine_time = self.refine_time.max(other.refine_time);
+        self.postprocess_time = self.postprocess_time.max(other.postprocess_time);
+        self.memory.merge(&other.memory);
+    }
+
+    /// Merges counters from another search run *after* this one (service
+    /// aggregation across queries): timings add up — the total is
+    /// cumulative engine time — while memory takes the per-label max, since
+    /// each search's footprint is a transient snapshot of the same
+    /// structures (summing snapshots across a service lifetime would read
+    /// like an unbounded leak).
+    pub fn merge_sequential(&mut self, other: &SearchStats) {
+        self.merge_counters(other);
+        self.refine_time += other.refine_time;
+        self.postprocess_time += other.postprocess_time;
+        self.memory.max_merge(&other.memory);
+    }
+
+    fn merge_counters(&mut self, other: &SearchStats) {
         self.stream_tuples += other.stream_tuples;
         self.candidates += other.candidates;
         self.ub_filter_pruned += other.ub_filter_pruned;
@@ -83,10 +104,7 @@ impl SearchStats {
         self.em_early_terminated += other.em_early_terminated;
         self.em_full += other.em_full;
         self.bucket_moves += other.bucket_moves;
-        self.refine_time = self.refine_time.max(other.refine_time);
-        self.postprocess_time = self.postprocess_time.max(other.postprocess_time);
         self.timed_out |= other.timed_out;
-        self.memory.merge(&other.memory);
     }
 }
 
@@ -134,5 +152,26 @@ mod tests {
         assert_eq!(a.candidates, 15);
         assert_eq!(a.refine_time, Duration::from_millis(50));
         assert!(a.timed_out);
+    }
+
+    #[test]
+    fn merge_sequential_sums_counts_and_times() {
+        let mut a = SearchStats {
+            candidates: 10,
+            refine_time: Duration::from_millis(30),
+            postprocess_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = SearchStats {
+            candidates: 5,
+            refine_time: Duration::from_millis(50),
+            postprocess_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        a.merge_sequential(&b);
+        assert_eq!(a.candidates, 15);
+        assert_eq!(a.refine_time, Duration::from_millis(80));
+        assert_eq!(a.postprocess_time, Duration::from_millis(15));
+        assert!(!a.timed_out);
     }
 }

@@ -112,11 +112,7 @@ impl Corpus {
         }
 
         // Sets: topic-coherent mixtures over a Zipfian popularity base.
-        let size_dist = SizeDist::new(
-            spec.set_size_min,
-            spec.set_size_max,
-            spec.set_size_exponent,
-        );
+        let size_dist = SizeDist::new(spec.set_size_min, spec.set_size_max, spec.set_size_exponent);
         let global = Zipf::new(spec.vocab_size, spec.token_exponent);
         let topic_pick = Zipf::new(spec.clusters, 0.4); // mildly skewed topics
         for s in 0..spec.num_sets {
@@ -155,7 +151,8 @@ impl Corpus {
         // vector-less (paper: ≤30% uncovered elements per set on average).
         let assignment: Vec<Option<u32>> = (0..spec.vocab_size)
             .map(|t| {
-                let mut rng = StdRng::seed_from_u64(stream_seed(spec.seed, 0x00Fu64 << 48 ^ t as u64));
+                let mut rng =
+                    StdRng::seed_from_u64(stream_seed(spec.seed, 0x00Fu64 << 48 ^ t as u64));
                 if rng.gen::<f64>() < spec.oov_fraction {
                     None
                 } else {
@@ -216,7 +213,10 @@ mod tests {
         for t in 0..c.spec.vocab_size {
             let s = c.repository.token_str(TokenId(t as u32));
             let expect = format!("c{:05}", c.topics[t]);
-            assert!(s.starts_with(&expect), "token {s} not in topic prefix {expect}");
+            assert!(
+                s.starts_with(&expect),
+                "token {s} not in topic prefix {expect}"
+            );
         }
     }
 

@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn interval_profile_produces_interval_queries() {
         let mut p = opendata(0.02); // 160 sets
-        // Shrink intervals to the sizes a tiny corpus actually has.
+                                    // Shrink intervals to the sizes a tiny corpus actually has.
         p.intervals = vec![(10, 50), (50, 1201)];
         p.queries_per_interval = 3;
         let c = p.generate();

@@ -126,7 +126,7 @@ mod tests {
     }
 
     #[test]
-    fn samples_cover_support_and_skew(){
+    fn samples_cover_support_and_skew() {
         let z = Zipf::new(50, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
         let mut counts = vec![0usize; 50];

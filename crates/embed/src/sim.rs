@@ -200,10 +200,7 @@ impl QGramJaccard {
     }
 
     fn set_of(&self, t: TokenId) -> &[u64] {
-        self.grams
-            .get(t.idx())
-            .map(|g| &**g)
-            .unwrap_or(&[])
+        self.grams.get(t.idx()).map(|g| &**g).unwrap_or(&[])
     }
 }
 

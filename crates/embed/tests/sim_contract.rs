@@ -1,11 +1,16 @@
-//! Property tests: every `ElementSimilarity` implementation honours the
-//! Def. 1 contract — identity, symmetry, range, and `simα` thresholding.
+//! Randomized contract tests: every `ElementSimilarity` implementation
+//! honours the Def. 1 contract — identity, symmetry, range, and `simα`
+//! thresholding.
+//!
+//! Originally written with `proptest`; rewritten as seeded random-case
+//! loops because the offline build environment cannot vendor the crate.
 
+use koios_common::TokenId;
 use koios_embed::repository::RepositoryBuilder;
 use koios_embed::sim::*;
 use koios_embed::synthetic::SyntheticEmbeddings;
-use koios_common::TokenId;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn build_providers(tokens: Vec<String>) -> (usize, Vec<Box<dyn ElementSimilarity>>) {
@@ -30,44 +35,57 @@ fn build_providers(tokens: Vec<String>) -> (usize, Vec<Box<dyn ElementSimilarity
     (n, providers)
 }
 
-fn token_strategy() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec("[a-zA-Z ]{0,12}", 2..8).prop_map(|mut v| {
-        v.sort();
-        v.dedup();
-        if v.len() < 2 {
-            v.push("fallback-token".to_string());
-            v.push("other-token".to_string());
-        }
-        v
-    })
+/// 2..8 distinct random strings over letters and spaces, length 0..=12.
+fn random_tokens(rng: &mut StdRng) -> Vec<String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ";
+    let n = rng.gen_range(2..8usize);
+    let mut v: Vec<String> = (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0..13usize);
+            (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+                .collect()
+        })
+        .collect();
+    v.sort();
+    v.dedup();
+    if v.len() < 2 {
+        v.push("fallback-token".to_string());
+        v.push("other-token".to_string());
+    }
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn contract_holds_for_all_providers(tokens in token_strategy(), alpha in 0.0f64..1.0) {
+#[test]
+fn contract_holds_for_all_providers() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..64 {
+        let tokens = random_tokens(&mut rng);
+        let alpha = rng.gen::<f64>();
         let (n, providers) = build_providers(tokens);
         for p in &providers {
             for a in 0..n as u32 {
                 for b in 0..n as u32 {
                     let (ta, tb) = (TokenId(a), TokenId(b));
                     let s = p.sim(ta, tb);
-                    prop_assert!(s.is_finite(), "{}: sim not finite", p.name());
-                    prop_assert!((0.0..=1.0 + 1e-9).contains(&s),
-                        "{}: sim out of range: {s}", p.name());
+                    assert!(s.is_finite(), "{}: sim not finite", p.name());
+                    assert!(
+                        (0.0..=1.0 + 1e-9).contains(&s),
+                        "{}: sim out of range: {s}",
+                        p.name()
+                    );
                     let r = p.sim(tb, ta);
-                    prop_assert!((s - r).abs() < 1e-9, "{}: asymmetric", p.name());
+                    assert!((s - r).abs() < 1e-9, "{}: asymmetric", p.name());
                     if a == b {
-                        prop_assert_eq!(s, 1.0, "{}: identity violated", p.name());
+                        assert_eq!(s, 1.0, "{}: identity violated", p.name());
                     }
                     let sa = p.sim_alpha(ta, tb, alpha);
                     if a == b {
-                        prop_assert_eq!(sa, 1.0);
+                        assert_eq!(sa, 1.0);
                     } else if s >= alpha {
-                        prop_assert!((sa - s).abs() < 1e-12);
+                        assert!((sa - s).abs() < 1e-12);
                     } else {
-                        prop_assert_eq!(sa, 0.0);
+                        assert_eq!(sa, 0.0);
                     }
                 }
             }
@@ -75,13 +93,14 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// `fill_matrix` (the batched verification path) must agree cell-by-cell
-    /// with per-pair `sim_alpha` for every provider.
-    #[test]
-    fn fill_matrix_matches_per_pair(tokens in token_strategy(), alpha in 0.0f64..1.0) {
+/// `fill_matrix` (the batched verification path) must agree cell-by-cell
+/// with per-pair `sim_alpha` for every provider.
+#[test]
+fn fill_matrix_matches_per_pair() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..32 {
+        let tokens = random_tokens(&mut rng);
+        let alpha = rng.gen::<f64>();
         let (n, providers) = build_providers(tokens);
         let all: Vec<TokenId> = (0..n as u32).map(TokenId).collect();
         let (query, set) = all.split_at(n / 2);
@@ -92,8 +111,11 @@ proptest! {
                 for (j, &t) in set.iter().enumerate() {
                     let want = p.sim_alpha(q, t, alpha);
                     let got = out[i * set.len() + j];
-                    prop_assert!((want - got).abs() < 1e-9,
-                        "{}: cell ({i},{j}) {got} != {want}", p.name());
+                    assert!(
+                        (want - got).abs() < 1e-9,
+                        "{}: cell ({i},{j}) {got} != {want}",
+                        p.name()
+                    );
                 }
             }
         }

@@ -142,14 +142,14 @@ impl MinHashIndex {
             .iter()
             .map(|s| s.len() * std::mem::size_of::<u64>())
             .sum();
-        let tables: usize = self
-            .tables
-            .iter()
-            .map(|t| t.heap_size())
-            .sum();
+        let tables: usize = self.tables.iter().map(|t| t.heap_size()).sum();
         sig + tables
     }
 }
+
+/// One query element's lazily materialised candidate list plus the cursor
+/// into it.
+type ScoredList = (Vec<(f64, TokenId)>, usize);
 
 /// A [`KnnSource`] that generates candidates by LSH collision and rescored
 /// exact Jaccard (descending, `≥ α`, self pair first).
@@ -158,7 +158,7 @@ pub struct MinHashKnn {
     sim: Arc<QGramJaccard>,
     query: Vec<TokenId>,
     alpha: f64,
-    lists: Vec<Option<(Vec<(f64, TokenId)>, usize)>>,
+    lists: Vec<Option<ScoredList>>,
 }
 
 impl MinHashKnn {
@@ -257,8 +257,16 @@ mod tests {
         b.add_set(
             "s",
             [
-                "Blaine", "Blain", "Blainey", "Blaines", "Charleston", "Charlestown",
-                "Columbia", "Columbias", "Zebra", "",
+                "Blaine",
+                "Blain",
+                "Blainey",
+                "Blaines",
+                "Charleston",
+                "Charlestown",
+                "Columbia",
+                "Columbias",
+                "Zebra",
+                "",
             ],
         );
         let repo = b.build();

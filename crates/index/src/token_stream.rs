@@ -179,8 +179,7 @@ mod tests {
                 }
             }
         }
-        let got: std::collections::HashSet<_> =
-            tuples.iter().map(|t| (t.q_idx, t.token)).collect();
+        let got: std::collections::HashSet<_> = tuples.iter().map(|t| (t.q_idx, t.token)).collect();
         assert_eq!(got.len(), tuples.len(), "duplicate tuples emitted");
         assert_eq!(got, expected);
     }

@@ -203,8 +203,8 @@ fn km_solve(m: &WeightMatrix, terminate_below: Option<f64>) -> (MatchOutcome, Hu
                         // Recompute the bound exactly: Σ max(lx,0) + Σ ly.
                         // Column labels never go negative (start at 0, only
                         // increase); row labels can, in rare geometries.
-                        let exact_bound: f64 = lx.iter().map(|&v| v.max(0.0)).sum::<f64>()
-                            + ly.iter().sum::<f64>();
+                        let exact_bound: f64 =
+                            lx.iter().map(|&v| v.max(0.0)).sum::<f64>() + ly.iter().sum::<f64>();
                         if exact_bound < theta {
                             return (
                                 MatchOutcome::EarlyTerminated {

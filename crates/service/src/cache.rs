@@ -1,0 +1,229 @@
+//! A dependency-free LRU cache with observability counters.
+//!
+//! The service keys entries by a 64-bit request [fingerprint]
+//! (`koios_common::fingerprint`) but stores the *full* key alongside each
+//! entry and verifies equality on lookup — a fingerprint collision is
+//! reported as a miss (and the colliding insert replaces the entry), never
+//! as a wrong result.
+//!
+//! Recency is tracked with a monotone tick and a `BTreeMap<tick, fp>`
+//! index, giving `O(log n)` touch/insert/evict without unsafe pointer
+//! juggling.
+//!
+//! [fingerprint]: koios_common::fingerprint::Fingerprinter
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Monotone counters describing cache behaviour since construction (or the
+/// last [`LruCache::reset_counters`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that found nothing (or a fingerprint collision).
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation.
+    pub invalidations: u64,
+    /// Values stored.
+    pub insertions: u64,
+}
+
+impl CacheCounters {
+    /// `hits / (hits + misses)`, or 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    stamp: u64,
+}
+
+/// A least-recently-used map from `(fingerprint, full key)` to values.
+pub struct LruCache<K, V> {
+    map: HashMap<u64, Entry<K, V>>,
+    recency: BTreeMap<u64, u64>, // stamp -> fingerprint, oldest first
+    tick: u64,
+    capacity: usize,
+    counters: CacheCounters,
+}
+
+impl<K: Eq, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries; `capacity == 0` disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            recency: BTreeMap::new(),
+            tick: 0,
+            capacity,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters since construction or the last reset.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Zeroes the counters (entries are kept).
+    pub fn reset_counters(&mut self) {
+        self.counters = CacheCounters::default();
+    }
+
+    /// Looks up `key` under `fp`, refreshing its recency on a hit.
+    pub fn get(&mut self, fp: u64, key: &K) -> Option<V> {
+        let tick = &mut self.tick;
+        match self.map.get_mut(&fp) {
+            Some(entry) if entry.key == *key => {
+                self.recency.remove(&entry.stamp);
+                *tick += 1;
+                entry.stamp = *tick;
+                self.recency.insert(entry.stamp, fp);
+                self.counters.hits += 1;
+                Some(entry.value.clone())
+            }
+            _ => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `(fp, key)`, evicting the least-recently-used
+    /// entry when full. An insert with the same fingerprint (same key or a
+    /// collision) replaces the existing entry in place.
+    pub fn insert(&mut self, fp: u64, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some(old) = self.map.insert(fp, Entry { key, value, stamp }) {
+            self.recency.remove(&old.stamp);
+        } else if self.map.len() > self.capacity {
+            if let Some((&oldest, &victim)) = self.recency.iter().next() {
+                self.recency.remove(&oldest);
+                self.map.remove(&victim);
+                self.counters.evictions += 1;
+            }
+        }
+        self.recency.insert(stamp, fp);
+        self.counters.insertions += 1;
+    }
+
+    /// Drops every entry (e.g. after the underlying repository or
+    /// similarity model changed).
+    pub fn invalidate_all(&mut self) {
+        self.counters.invalidations += self.map.len() as u64;
+        self.map.clear();
+        self.recency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c: LruCache<u32, String> = LruCache::new(4);
+        assert_eq!(c.get(1, &10), None);
+        c.insert(1, 10, "a".into());
+        assert_eq!(c.get(1, &10), Some("a".into()));
+        let n = c.counters();
+        assert_eq!((n.hits, n.misses, n.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_miss_not_a_wrong_value() {
+        let mut c: LruCache<u32, String> = LruCache::new(4);
+        c.insert(7, 100, "for-100".into());
+        // Same fingerprint, different full key.
+        assert_eq!(c.get(7, &200), None);
+        assert_eq!(c.counters().misses, 1);
+        // The colliding insert replaces the entry.
+        c.insert(7, 200, "for-200".into());
+        assert_eq!(c.get(7, &200), Some("for-200".into()));
+        assert_eq!(c.get(7, &100), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 1, 11);
+        c.insert(2, 2, 22);
+        // Touch 1 so 2 becomes the LRU.
+        assert_eq!(c.get(1, &1), Some(11));
+        c.insert(3, 3, 33);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2, &2), None, "LRU entry evicted");
+        assert_eq!(c.get(1, &1), Some(11));
+        assert_eq!(c.get(3, &3), Some(33));
+        assert_eq!(c.counters().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears_and_counts() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 1, 1);
+        c.insert(2, 2, 2);
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert_eq!(c.counters().invalidations, 2);
+        assert_eq!(c.get(1, &1), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 1, 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(1, &1), None);
+    }
+
+    #[test]
+    fn reinsert_same_key_updates_value_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 1, 10);
+        c.insert(1, 1, 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.get(1, &1), Some(20));
+    }
+
+    #[test]
+    fn hit_rate_reflects_lookups() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert_eq!(c.counters().hit_rate(), 0.0);
+        c.insert(1, 1, 1);
+        c.get(1, &1);
+        c.get(2, &2);
+        assert!((c.counters().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! Concurrent query serving for Koios.
+//!
+//! The paper (ICDE 2023) evaluates single-query latency; a production
+//! deployment instead serves a *stream* of queries against one corpus. The
+//! expensive parts of a Koios search setup — building the inverted index,
+//! wiring the similarity function — are query-independent, and the
+//! filter–verification pipeline repeats most of its work across similar
+//! queries. This crate amortizes both:
+//!
+//! * **Owned engines** — [`SearchService`] holds a
+//!   [`Koios<'static>`](koios_core::OwnedKoios) built over an
+//!   `Arc<Repository>` (see [`koios_embed::repository::RepoRef`]), so the
+//!   service has no borrowed lifetime and can live for the process
+//!   duration, shared across threads.
+//! * **A fixed worker pool** — [`SearchService::search_batch`] drains a
+//!   batch of requests over `std::thread::scope` workers and returns
+//!   responses in submission order. Per-request deadlines cover queue
+//!   *and* search time; requests whose deadline lapses before pickup are
+//!   rejected unrun (admission control).
+//! * **An LRU result cache** — keyed by a stable 64-bit fingerprint of the
+//!   normalized query tokens and every result-affecting parameter
+//!   (`k`, `α`, UB mode, filter toggles), with hit/miss/eviction counters
+//!   and explicit invalidation. Collisions are detected by full-key
+//!   comparison and served as misses, never as wrong results.
+//!
+//! Observability is first-class: [`ServiceStats`] aggregates the engine's
+//! per-query [`koios_core::SearchStats`] across the service lifetime next
+//! to cache and admission counters.
+
+pub mod cache;
+pub mod request;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheCounters, LruCache};
+pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
+pub use service::{SearchService, ServiceConfig};
+pub use stats::ServiceStats;

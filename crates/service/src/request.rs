@@ -1,0 +1,196 @@
+//! Service requests and responses.
+
+use koios_common::fingerprint::Fingerprinter;
+use koios_common::TokenId;
+use koios_core::{KoiosConfig, SearchResult, UbMode};
+use std::time::Duration;
+
+/// One top-k query submitted to the service.
+///
+/// Requests inherit the service engine's [`KoiosConfig`] and may override
+/// the per-query knobs (`k`, `α`, time budget) without rebuilding any
+/// index. Tokens need not be sorted or deduplicated — the service
+/// normalizes them, so permutations and duplicates of the same query
+/// fingerprint identically.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Query tokens (see `Repository::intern_query`).
+    pub tokens: Vec<TokenId>,
+    /// Override of the engine's `k`.
+    pub k: Option<usize>,
+    /// Override of the engine's `α`.
+    pub alpha: Option<f64>,
+    /// Per-request deadline budget, measured from batch submission; covers
+    /// queue time *and* search time. Falls back to the service default.
+    pub time_budget: Option<Duration>,
+    /// Skip the result cache for this request (no lookup, no fill).
+    pub bypass_cache: bool,
+}
+
+impl SearchRequest {
+    /// A request for `tokens` with every knob inherited from the service.
+    pub fn new(tokens: Vec<TokenId>) -> Self {
+        SearchRequest {
+            tokens,
+            k: None,
+            alpha: None,
+            time_budget: None,
+            bypass_cache: false,
+        }
+    }
+
+    /// Overrides the number of results.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Overrides the similarity threshold `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Sets the request deadline budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Disables the result cache for this request.
+    pub fn bypassing_cache(mut self) -> Self {
+        self.bypass_cache = true;
+        self
+    }
+}
+
+/// The full cache key: normalized query plus every engine parameter that
+/// changes results. Stored next to the cached value so a fingerprint
+/// collision can never surface a wrong result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheKey {
+    /// Sorted, deduplicated query tokens.
+    pub tokens: Vec<TokenId>,
+    /// Effective `k`.
+    pub k: usize,
+    /// Effective `α` (bit pattern — exact-value identity).
+    pub alpha_bits: u64,
+    /// Upper-bound mode discriminant.
+    pub ub_mode: u8,
+    /// Filter toggles (`em_early_termination`, `no_em_filter`,
+    /// `iub_filter`, `verify_all`) packed into one byte.
+    pub flags: u8,
+}
+
+impl Eq for CacheKey {}
+
+fn ub_mode_discriminant(mode: UbMode) -> u8 {
+    match mode {
+        UbMode::SoundRowMax => 0,
+        UbMode::PaperGreedy => 1,
+    }
+}
+
+impl CacheKey {
+    /// Builds the key for a normalized query under an effective config.
+    pub fn new(normalized_tokens: Vec<TokenId>, cfg: &KoiosConfig) -> Self {
+        let flags = (cfg.em_early_termination as u8)
+            | (cfg.no_em_filter as u8) << 1
+            | (cfg.iub_filter as u8) << 2
+            | (cfg.verify_all as u8) << 3;
+        CacheKey {
+            tokens: normalized_tokens,
+            k: cfg.k,
+            alpha_bits: cfg.alpha.to_bits(),
+            ub_mode: ub_mode_discriminant(cfg.ub_mode),
+            flags,
+        }
+    }
+
+    /// The stable 64-bit fingerprint of this key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_u32_ids(self.tokens.iter().map(|t| t.0));
+        fp.write_usize(self.k);
+        fp.write_u64(self.alpha_bits);
+        fp.write_u32(self.ub_mode as u32);
+        fp.write_u32(self.flags as u32);
+        fp.finish()
+    }
+}
+
+/// How the cache participated in answering a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// The cache was probed without success. Executed requests searched
+    /// (and, when complete, stored the result); a deadline-rejected
+    /// request also reports `Miss`, since the probe runs before admission
+    /// control.
+    Miss,
+    /// The cache was never consulted: the request opted out via
+    /// [`SearchRequest::bypass_cache`], or was rejected before the probe
+    /// (invalid parameter overrides).
+    Bypassed,
+}
+
+/// The service's answer to one [`SearchRequest`].
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The search result. For cache hits the hits are the cached ones and
+    /// the stats are zeroed (no engine work happened). For rejected
+    /// requests the hits are empty; deadline rejections additionally set
+    /// `stats.timed_out` (invalid-parameter rejections do not).
+    pub result: SearchResult,
+    /// Cache participation.
+    pub cache: CacheOutcome,
+    /// The request was refused without running: its deadline had already
+    /// expired when a worker picked it up (admission control), or its
+    /// parameter overrides were invalid.
+    pub rejected: bool,
+    /// Time between batch submission and a worker starting the request.
+    pub queue_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tokens: Vec<u32>, cfg: &KoiosConfig) -> CacheKey {
+        CacheKey::new(tokens.into_iter().map(TokenId).collect(), cfg)
+    }
+
+    #[test]
+    fn fingerprint_is_parameter_sensitive() {
+        let cfg = KoiosConfig::new(5, 0.8);
+        let base = key(vec![1, 2, 3], &cfg).fingerprint();
+        assert_eq!(base, key(vec![1, 2, 3], &cfg).fingerprint());
+        assert_ne!(base, key(vec![1, 2, 4], &cfg).fingerprint());
+        assert_ne!(
+            base,
+            key(vec![1, 2, 3], &KoiosConfig::new(6, 0.8)).fingerprint()
+        );
+        assert_ne!(
+            base,
+            key(vec![1, 2, 3], &KoiosConfig::new(5, 0.81)).fingerprint()
+        );
+        let paper = KoiosConfig::new(5, 0.8).with_ub_mode(UbMode::PaperGreedy);
+        assert_ne!(base, key(vec![1, 2, 3], &paper).fingerprint());
+        let baseline = KoiosConfig::new(5, 0.8).baseline();
+        assert_ne!(base, key(vec![1, 2, 3], &baseline).fingerprint());
+    }
+
+    #[test]
+    fn request_builder_sets_fields() {
+        let r = SearchRequest::new(vec![TokenId(1)])
+            .with_k(3)
+            .with_alpha(0.5)
+            .with_time_budget(Duration::from_millis(10))
+            .bypassing_cache();
+        assert_eq!(r.k, Some(3));
+        assert_eq!(r.alpha, Some(0.5));
+        assert_eq!(r.time_budget, Some(Duration::from_millis(10)));
+        assert!(r.bypass_cache);
+    }
+}

@@ -1,0 +1,526 @@
+//! The concurrent query-serving layer.
+
+use crate::cache::LruCache;
+use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
+use crate::stats::ServiceStats;
+use koios_common::{SetId, TokenId};
+use koios_core::{Hit, KoiosConfig, OwnedKoios, SearchResult, SearchStats};
+use koios_embed::repository::Repository;
+use koios_embed::sim::ElementSimilarity;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`SearchService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Fixed worker-pool width for batch execution. `0` resolves to the
+    /// machine's available parallelism at construction.
+    pub workers: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Deadline budget applied to requests that carry none. Covers queue
+    /// time and search time; `None` means no deadline.
+    pub default_time_budget: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 1024,
+            default_time_budget: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Starts from the defaults (auto-sized pool, 1024-entry cache, no
+    /// deadline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-pool width.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the result-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the default per-request deadline budget.
+    pub fn with_default_time_budget(mut self, budget: Duration) -> Self {
+        self.default_time_budget = Some(budget);
+        self
+    }
+}
+
+/// Mutable service state behind one lock (counters only — the cache has
+/// its own lock so slow searches never serialize behind bookkeeping).
+#[derive(Default)]
+struct StatsInner {
+    queries: u64,
+    batches: u64,
+    cache_hits: u64,
+    searched: u64,
+    rejected: u64,
+    timed_out: u64,
+    engine: SearchStats,
+}
+
+/// A long-lived, thread-safe serving layer over one owned Koios engine.
+///
+/// The service amortizes index and similarity setup across queries: the
+/// engine is built once over an `Arc<Repository>` (see
+/// [`koios_embed::repository::RepoRef`]) and shared — immutably — by a
+/// fixed pool of scoped worker threads that drain each submitted batch.
+/// Results come back in submission order. Repeated queries are answered
+/// from an LRU result cache keyed by a stable fingerprint of the
+/// normalized query and every result-affecting parameter.
+///
+/// ```
+/// use koios_core::KoiosConfig;
+/// use koios_embed::repository::RepositoryBuilder;
+/// use koios_embed::sim::EqualitySimilarity;
+/// use koios_service::{SearchRequest, SearchService, ServiceConfig};
+/// use std::sync::Arc;
+///
+/// let mut b = RepositoryBuilder::new();
+/// b.add_set("s0", ["a", "b"]);
+/// b.add_set("s1", ["a", "c"]);
+/// let repo = Arc::new(b.build());
+///
+/// let service = SearchService::new(
+///     Arc::clone(&repo),
+///     Arc::new(EqualitySimilarity),
+///     KoiosConfig::new(1, 0.9),
+///     ServiceConfig::new().with_workers(2),
+/// );
+/// let q = repo.intern_query(["a", "b"]);
+/// let responses = service.search_batch(&[SearchRequest::new(q)]);
+/// assert_eq!(responses[0].result.hits.len(), 1);
+/// ```
+pub struct SearchService {
+    engine: OwnedKoios,
+    workers: usize,
+    default_budget: Option<Duration>,
+    // Values are `Arc`ed so a hit only bumps a refcount while the lock is
+    // held; the O(k) hit-vector copy happens outside the critical section.
+    cache: Mutex<LruCache<CacheKey, Arc<Vec<Hit>>>>,
+    stats: Mutex<StatsInner>,
+}
+
+impl SearchService {
+    /// Builds the engine (inverted index included) over a shared repository
+    /// and wires up the service.
+    pub fn new(
+        repo: Arc<Repository>,
+        sim: Arc<dyn ElementSimilarity>,
+        engine_cfg: KoiosConfig,
+        cfg: ServiceConfig,
+    ) -> Self {
+        Self::from_engine(OwnedKoios::new(repo, sim, engine_cfg), cfg)
+    }
+
+    /// Wraps an already-built owned engine.
+    pub fn from_engine(engine: OwnedKoios, cfg: ServiceConfig) -> Self {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        SearchService {
+            engine,
+            workers,
+            default_budget: cfg.default_time_budget,
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            stats: Mutex::new(StatsInner::default()),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &OwnedKoios {
+        &self.engine
+    }
+
+    /// The resolved worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The repository behind the engine.
+    pub fn repository(&self) -> &Repository {
+        self.engine.repository()
+    }
+
+    /// Runs one request (a batch of one).
+    pub fn search(&self, request: SearchRequest) -> ServiceResponse {
+        self.search_batch(std::slice::from_ref(&request))
+            .pop()
+            .expect("batch of one yields one response")
+    }
+
+    /// Executes a batch of requests concurrently on the worker pool and
+    /// returns responses in submission order.
+    ///
+    /// Each request's deadline budget starts at submission, so time spent
+    /// queued behind other requests counts against it; a request whose
+    /// deadline expires before a worker picks it up is rejected without
+    /// running (admission control).
+    pub fn search_batch(&self, requests: &[SearchRequest]) -> Vec<ServiceResponse> {
+        let submitted = Instant::now();
+        {
+            let mut st = self.stats.lock().expect("stats lock");
+            st.batches += 1;
+            st.queries += requests.len() as u64;
+        }
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let pool = self.workers.min(n);
+        if pool <= 1 {
+            return requests
+                .iter()
+                .map(|r| self.process_one(r, submitted))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, ServiceResponse)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|sc| {
+            for _ in 0..pool {
+                sc.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let resp = self.process_one(&requests[i], submitted);
+                    collected.lock().expect("result lock").push((i, resp));
+                });
+            }
+        });
+
+        let mut pairs = collected.into_inner().expect("result lock");
+        pairs.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(pairs.len(), n);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Drops every cached result (call after swapping embeddings or any
+    /// out-of-band change that invalidates previous answers).
+    pub fn invalidate_cache(&self) {
+        self.cache.lock().expect("cache lock").invalidate_all();
+    }
+
+    /// Number of currently cached results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.stats.lock().expect("stats lock");
+        let cache = self.cache.lock().expect("cache lock").counters();
+        ServiceStats {
+            queries: st.queries,
+            batches: st.batches,
+            cache_hits: st.cache_hits,
+            searched: st.searched,
+            rejected: st.rejected,
+            timed_out: st.timed_out,
+            cache,
+            engine: st.engine.clone(),
+        }
+    }
+
+    /// Zeroes every service counter (including the cache's) without
+    /// touching cached entries — metric windowing for operators.
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock") = StatsInner::default();
+        self.cache.lock().expect("cache lock").reset_counters();
+    }
+
+    /// Exact overlap oracle passthrough (auditing cached answers).
+    pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
+        self.engine.exact_overlap(query, set)
+    }
+
+    /// The full request lifecycle: normalize → cache probe → admission →
+    /// search → cache fill → bookkeeping.
+    fn process_one(&self, req: &SearchRequest, submitted: Instant) -> ServiceResponse {
+        let queue_time = submitted.elapsed();
+
+        // Effective per-request configuration (cheap: no index rebuild).
+        let mut cfg = self.engine.config().clone();
+        if let Some(k) = req.k {
+            cfg.k = k;
+        }
+        if let Some(alpha) = req.alpha {
+            cfg.alpha = alpha;
+        }
+        if cfg.k == 0 || !(cfg.alpha > 0.0 && cfg.alpha <= 1.0) {
+            self.stats.lock().expect("stats lock").rejected += 1;
+            return ServiceResponse {
+                result: SearchResult::default(),
+                cache: CacheOutcome::Bypassed,
+                rejected: true,
+                queue_time,
+            };
+        }
+
+        let mut tokens = req.tokens.clone();
+        tokens.sort_unstable();
+        tokens.dedup();
+        let key = CacheKey::new(tokens, &cfg);
+        let fp = key.fingerprint();
+
+        // Cache probe first: a hit is effectively free, so it is served
+        // even when the deadline has already expired.
+        if !req.bypass_cache {
+            let cached = self.cache.lock().expect("cache lock").get(fp, &key);
+            if let Some(hits) = cached {
+                self.stats.lock().expect("stats lock").cache_hits += 1;
+                return ServiceResponse {
+                    result: SearchResult {
+                        hits: (*hits).clone(), // copy outside the cache lock
+                        stats: SearchStats::default(),
+                    },
+                    cache: CacheOutcome::Hit,
+                    rejected: false,
+                    queue_time,
+                };
+            }
+        }
+
+        // Admission control: refuse to start work for a dead request, and
+        // clamp the engine budget to what remains of the deadline.
+        let deadline = req
+            .time_budget
+            .or(self.default_budget)
+            .map(|b| submitted + b);
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                let mut st = self.stats.lock().expect("stats lock");
+                st.rejected += 1;
+                let stats = SearchStats {
+                    timed_out: true,
+                    ..SearchStats::default()
+                };
+                return ServiceResponse {
+                    result: SearchResult {
+                        hits: Vec::new(),
+                        stats,
+                    },
+                    cache: if req.bypass_cache {
+                        CacheOutcome::Bypassed
+                    } else {
+                        CacheOutcome::Miss
+                    },
+                    rejected: true,
+                    queue_time,
+                };
+            }
+            let remaining = d - now;
+            cfg.time_budget = Some(match cfg.time_budget {
+                Some(b) => b.min(remaining),
+                None => remaining,
+            });
+        }
+
+        let engine = self.engine.with_config(cfg);
+        let result = engine.search(&key.tokens);
+
+        // Only complete answers are worth caching: a timed-out search holds
+        // partial hits that a later, luckier run could improve on.
+        let complete = !result.stats.timed_out;
+        if !req.bypass_cache && complete {
+            let hits = Arc::new(result.hits.clone());
+            self.cache.lock().expect("cache lock").insert(fp, key, hits);
+        }
+
+        {
+            let mut st = self.stats.lock().expect("stats lock");
+            st.searched += 1;
+            if result.stats.timed_out {
+                st.timed_out += 1;
+            }
+            st.engine.merge_sequential(&result.stats);
+        }
+
+        ServiceResponse {
+            result,
+            cache: if req.bypass_cache {
+                CacheOutcome::Bypassed
+            } else {
+                CacheOutcome::Miss
+            },
+            rejected: false,
+            queue_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::EqualitySimilarity;
+
+    fn service(workers: usize, cache: usize) -> (Arc<Repository>, SearchService) {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b", "c", "d"]);
+        b.add_set("s1", ["a", "b", "c", "x"]);
+        b.add_set("s2", ["a", "b", "y", "z"]);
+        b.add_set("s3", ["a", "m", "n", "o"]);
+        let repo = Arc::new(b.build());
+        let svc = SearchService::new(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+            ServiceConfig::new()
+                .with_workers(workers)
+                .with_cache_capacity(cache),
+        );
+        (repo, svc)
+    }
+
+    #[test]
+    fn single_request_matches_engine() {
+        let (repo, svc) = service(2, 8);
+        let q = repo.intern_query(["a", "b", "c"]);
+        let direct = svc.engine().search(&q);
+        let resp = svc.search(SearchRequest::new(q));
+        assert!(!resp.rejected);
+        assert_eq!(resp.cache, CacheOutcome::Miss);
+        assert_eq!(resp.result.hits, direct.hits);
+    }
+
+    #[test]
+    fn second_identical_query_hits_cache() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b", "c"]);
+        let first = svc.search(SearchRequest::new(q.clone()));
+        // Different order + duplicates normalize to the same fingerprint.
+        let mut shuffled = q.clone();
+        shuffled.reverse();
+        shuffled.push(q[0]);
+        let second = svc.search(SearchRequest::new(shuffled));
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(second.result.hits, first.result.hits);
+        let st = svc.stats();
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.searched, 1);
+        assert!(st.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn parameter_overrides_separate_cache_entries() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b", "c"]);
+        let top2 = svc.search(SearchRequest::new(q.clone()));
+        let top1 = svc.search(SearchRequest::new(q.clone()).with_k(1));
+        assert_eq!(top1.cache, CacheOutcome::Miss);
+        assert_eq!(top1.result.hits.len(), 1);
+        assert_eq!(top2.result.hits.len(), 2);
+        // Both entries live side by side.
+        assert_eq!(svc.cache_len(), 2);
+    }
+
+    #[test]
+    fn invalidation_forces_fresh_search() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b"]);
+        svc.search(SearchRequest::new(q.clone()));
+        svc.invalidate_cache();
+        let after = svc.search(SearchRequest::new(q));
+        assert_eq!(after.cache, CacheOutcome::Miss);
+        assert_eq!(svc.stats().cache.invalidations, 1);
+    }
+
+    #[test]
+    fn bypass_cache_never_touches_it() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b"]);
+        let r = svc.search(SearchRequest::new(q.clone()).bypassing_cache());
+        assert_eq!(r.cache, CacheOutcome::Bypassed);
+        assert_eq!(svc.cache_len(), 0);
+        let again = svc.search(SearchRequest::new(q).bypassing_cache());
+        assert_eq!(again.cache, CacheOutcome::Bypassed);
+        assert_eq!(svc.stats().cache.hits, 0);
+    }
+
+    #[test]
+    fn invalid_overrides_are_rejected() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a"]);
+        let r = svc.search(SearchRequest::new(q.clone()).with_k(0));
+        assert!(r.rejected);
+        let r = svc.search(SearchRequest::new(q).with_alpha(1.5));
+        assert!(r.rejected);
+        assert_eq!(svc.stats().rejected, 2);
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_without_searching() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b"]);
+        let r = svc.search(SearchRequest::new(q).with_time_budget(Duration::ZERO));
+        assert!(r.rejected);
+        assert!(r.result.stats.timed_out);
+        assert!(r.result.hits.is_empty());
+        let st = svc.stats();
+        assert_eq!(st.rejected, 1);
+        assert_eq!(st.searched, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_but_keeps_entries() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b"]);
+        svc.search(SearchRequest::new(q.clone()));
+        svc.search(SearchRequest::new(q.clone()));
+        assert_eq!(svc.stats().cache_hits, 1);
+        svc.reset_stats();
+        let st = svc.stats();
+        assert_eq!((st.queries, st.cache_hits, st.searched), (0, 0, 0));
+        assert_eq!(st.cache.hits, 0);
+        // Entries survive: the next identical query still hits.
+        assert_eq!(svc.cache_len(), 1);
+        let again = svc.search(SearchRequest::new(q));
+        assert_eq!(again.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_repo, svc) = service(4, 8);
+        assert!(svc.search_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let (repo, svc) = service(4, 0);
+        let queries: Vec<Vec<TokenId>> = vec![
+            repo.intern_query(["a", "b", "c", "d"]),
+            repo.intern_query(["a", "m"]),
+            repo.intern_query(["y", "z"]),
+            repo.intern_query(["a", "b", "c", "d"]),
+        ];
+        let requests: Vec<SearchRequest> =
+            queries.iter().cloned().map(SearchRequest::new).collect();
+        let responses = svc.search_batch(&requests);
+        assert_eq!(responses.len(), queries.len());
+        for (q, r) in queries.iter().zip(&responses) {
+            let direct = svc.engine().search(q);
+            assert_eq!(r.result.hits, direct.hits, "order mismatch for {q:?}");
+        }
+    }
+}

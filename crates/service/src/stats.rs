@@ -1,0 +1,55 @@
+//! Service-level observability.
+
+use crate::cache::CacheCounters;
+use koios_core::SearchStats;
+
+/// Aggregated counters for a [`crate::SearchService`] since construction
+/// (or the last [`crate::SearchService::reset_stats`]).
+///
+/// `engine` folds every executed search's [`SearchStats`] together with
+/// [`SearchStats::merge_sequential`], so its timings are *cumulative engine
+/// time* (across all workers), not wall-clock time, and its memory report
+/// is the per-label *peak* across searches (each search's footprint is a
+/// transient snapshot, so peaks are meaningful where sums would read like
+/// a leak).
+#[derive(Debug, Default, Clone)]
+pub struct ServiceStats {
+    /// Requests received (including cache hits and rejections).
+    pub queries: u64,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that had to run a search.
+    pub searched: u64,
+    /// Requests refused by admission control (deadline already expired
+    /// or invalid parameter overrides).
+    pub rejected: u64,
+    /// Searches that ran but hit their deadline mid-flight (partial
+    /// results, not cached).
+    pub timed_out: u64,
+    /// Result-cache behaviour (hits/misses/evictions/invalidations).
+    pub cache: CacheCounters,
+    /// Folded per-search engine instrumentation.
+    pub engine: SearchStats,
+}
+
+impl ServiceStats {
+    /// Fraction of non-bypassing requests answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = ServiceStats::default();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.engine.em_full, 0);
+    }
+}

@@ -14,7 +14,7 @@
 
 use koios::prelude::*;
 use koios_baselines::vanilla_topk;
-use koios_core::overlap::{similarity_matrix, semantic_overlap};
+use koios_core::overlap::{semantic_overlap, similarity_matrix};
 use koios_index::inverted::InvertedIndex;
 use koios_matching::solve_max_matching;
 use std::sync::Arc;
@@ -45,7 +45,9 @@ fn main() {
     // Column C: unrelated product codes that happen to share "LA".
     let col_c = builder.add_set(
         "products",
-        ["LA", "SKU-1", "SKU-2", "SKU-3", "SKU-4", "SKU-5", "SKU-6", "SKU-7"],
+        [
+            "LA", "SKU-1", "SKU-2", "SKU-3", "SKU-4", "SKU-5", "SKU-6", "SKU-7",
+        ],
     );
     // Column D: other US places, semantically related but not synonyms.
     let col_d = builder.add_set(

@@ -54,7 +54,10 @@ fn main() {
     let mut builder = RepositoryBuilder::new();
     builder.add_set("clean", ["Main St", "Oak Ave", "Maple Dr", "Pine Rd"]);
     builder.add_set("dirty", ["main st.", "oak avenue", "maple dr", "willow ln"]);
-    builder.add_set("other", ["First Blvd", "Second Blvd", "Third Blvd", "Pine Rd"]);
+    builder.add_set(
+        "other",
+        ["First Blvd", "Second Blvd", "Third Blvd", "Pine Rd"],
+    );
     let mut repo = builder.build();
     let query = repo.intern_query_mut(["Main St", "Oak Ave", "Maple Dr", "Pine Rd"]);
 

@@ -1,0 +1,113 @@
+//! Serving layer demo: one owned engine, many concurrent queries.
+//!
+//! Generates a synthetic corpus, wraps an owned Koios engine in a
+//! [`SearchService`], and pushes a mixed workload through it: a concurrent
+//! batch on the worker pool, repeated queries that hit the LRU result
+//! cache, a per-request `k` override, and a deadline that rejects a
+//! request before it runs.
+//!
+//! ```text
+//! cargo run --release --example query_service
+//! ```
+
+use koios::datagen::corpus::{Corpus, CorpusSpec};
+use koios::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // One corpus, embedded once — the service owns everything via Arcs.
+    let corpus = Corpus::generate(CorpusSpec::small(42));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+
+    let service = SearchService::new(
+        Arc::clone(&repo),
+        sim,
+        KoiosConfig::new(5, 0.8),
+        ServiceConfig::new()
+            .with_workers(4)
+            .with_cache_capacity(256),
+    );
+    println!(
+        "service up: {} sets, {} workers, cache capacity 256\n",
+        repo.num_sets(),
+        service.workers()
+    );
+
+    // A batch of queries — every 3rd one repeats, so the cache earns its keep.
+    let requests: Vec<SearchRequest> = (0..24)
+        .map(|i| {
+            let set = SetId((i % 8) as u32);
+            SearchRequest::new(repo.set(set).to_vec())
+        })
+        .collect();
+    let responses = service.search_batch(&requests);
+    let hits = responses
+        .iter()
+        .filter(|r| r.cache == CacheOutcome::Hit)
+        .count();
+    println!("batch of {}: {} served from cache", responses.len(), hits);
+
+    // Identical resubmission: everything is a hit now.
+    let again = service.search_batch(&requests);
+    let hits = again
+        .iter()
+        .filter(|r| r.cache == CacheOutcome::Hit)
+        .count();
+    println!(
+        "resubmitted batch: {hits}/{} served from cache",
+        again.len()
+    );
+
+    // Per-request override: top-1 instead of the engine's top-5 — a
+    // different cache entry, no index rebuild.
+    let narrow = service.search(SearchRequest::new(repo.set(SetId(0)).to_vec()).with_k(1));
+    println!(
+        "k=1 override: {} hit(s), outcome {:?}",
+        narrow.result.hits.len(),
+        narrow.cache
+    );
+
+    // Admission control: a request whose deadline already lapsed is
+    // rejected without occupying a worker.
+    let dead = service.search(
+        SearchRequest::new(repo.set(SetId(3)).to_vec())
+            .bypassing_cache()
+            .with_time_budget(Duration::ZERO),
+    );
+    println!(
+        "zero-budget request: rejected={}, timed_out={}",
+        dead.rejected, dead.result.stats.timed_out
+    );
+
+    let stats = service.stats();
+    println!(
+        "\nservice stats: {} queries in {} batches — {} searched, {} cache hits \
+         ({:.0}% hit rate), {} rejected",
+        stats.queries,
+        stats.batches,
+        stats.searched,
+        stats.cache_hits,
+        100.0 * stats.cache_hit_rate(),
+        stats.rejected,
+    );
+    println!(
+        "engine totals: {} candidates, {} exact matchings, {} No-EM certificates, \
+         {:.1?} cumulative engine time",
+        stats.engine.candidates,
+        stats.engine.em_full,
+        stats.engine.no_em,
+        stats.engine.response_time(),
+    );
+
+    // Model swap? Invalidate and the next identical query recomputes.
+    service.invalidate_cache();
+    let fresh = service.search(SearchRequest::new(repo.set(SetId(0)).to_vec()));
+    println!(
+        "after invalidation: outcome {:?} (cache refilled, len {})",
+        fresh.cache,
+        service.cache_len()
+    );
+}

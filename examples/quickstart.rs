@@ -22,11 +22,26 @@ fn main() {
     let mut builder = RepositoryBuilder::new();
     let c1 = builder.add_set(
         "C1",
-        ["LA", "Blain", "Appleton", "MtPleasant", "Lexington", "WestCoast"],
+        [
+            "LA",
+            "Blain",
+            "Appleton",
+            "MtPleasant",
+            "Lexington",
+            "WestCoast",
+        ],
     );
     let c2 = builder.add_set(
         "C2",
-        ["LA", "Sacramento", "Southern", "Blain", "SC", "Minnesota", "NewYorkCity"],
+        [
+            "LA",
+            "Sacramento",
+            "Southern",
+            "Blain",
+            "SC",
+            "Minnesota",
+            "NewYorkCity",
+        ],
     );
     let mut repo = builder.build();
 
@@ -97,7 +112,10 @@ fn main() {
             hit.score.ub()
         );
     }
-    assert_eq!(result.hits[0].set, c2, "semantic overlap must rank C2 first");
+    assert_eq!(
+        result.hits[0].set, c2,
+        "semantic overlap must rank C2 first"
+    );
     println!(
         "\ntop-1 = {} — the semantically richer set wins, as in the paper.",
         repo.set_name(result.hits[0].set)

@@ -38,6 +38,37 @@
 //! assert_eq!(result.hits.len(), 1);
 //! ```
 //!
+//! ## Serving queries
+//!
+//! Long-lived applications should not rebuild an engine per query. Wrap an
+//! owned engine in a [`SearchService`](service::SearchService): it executes
+//! request batches on a fixed worker pool, enforces per-request deadlines,
+//! and answers repeated queries from an LRU result cache.
+//!
+//! ```
+//! use koios::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut builder = RepositoryBuilder::new();
+//! builder.add_set("c1", ["LA", "Blain", "Appleton"]);
+//! builder.add_set("c2", ["LA", "Sacramento", "SC"]);
+//! let repo = Arc::new(builder.build());
+//!
+//! let service = SearchService::new(
+//!     Arc::clone(&repo),
+//!     Arc::new(EqualitySimilarity),
+//!     KoiosConfig::new(1, 0.9),
+//!     ServiceConfig::new().with_workers(2),
+//! );
+//! let query = repo.intern_query(["LA", "Blain"]);
+//! let first = service.search(SearchRequest::new(query.clone()));
+//! let second = service.search(SearchRequest::new(query)); // identical query
+//! assert_eq!(first.cache, CacheOutcome::Miss);
+//! assert_eq!(second.cache, CacheOutcome::Hit);
+//! assert_eq!(first.result.hits, second.result.hits);
+//! assert_eq!(service.stats().cache_hits, 1);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Re-export | Crate | Contents |
@@ -49,6 +80,7 @@
 //! | [`datagen`] | `koios-datagen` | synthetic corpora, dataset profiles, query benchmarks |
 //! | [`core`] | `koios-core` | the Koios search engine (refinement + post-processing) |
 //! | [`baselines`] | `koios-baselines` | exhaustive baseline, SilkMoth, vanilla top-k |
+//! | [`service`] | `koios-service` | concurrent query serving: worker pool, result cache, stats |
 
 pub use koios_baselines as baselines;
 pub use koios_common as common;
@@ -57,17 +89,22 @@ pub use koios_datagen as datagen;
 pub use koios_embed as embed;
 pub use koios_index as index;
 pub use koios_matching as matching;
+pub use koios_service as service;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use koios_common::prelude::*;
     pub use koios_core::{
-        Hit, Koios, KoiosConfig, PartitionedKoios, ScoreBound, SearchResult, SharedTheta, UbMode,
+        Hit, Koios, KoiosConfig, OwnedKoios, PartitionedKoios, ScoreBound, SearchResult,
+        SharedTheta, UbMode,
     };
-    pub use koios_embed::repository::{Repository, RepositoryBuilder};
+    pub use koios_embed::repository::{RepoRef, Repository, RepositoryBuilder};
     pub use koios_embed::sim::{
         CosineSimilarity, EditSimilarity, ElementSimilarity, EqualitySimilarity, QGramJaccard,
     };
     pub use koios_embed::synthetic::SyntheticEmbeddings;
     pub use koios_matching::{solve_max_matching, MatchOutcome};
+    pub use koios_service::{
+        CacheOutcome, SearchRequest, SearchService, ServiceConfig, ServiceResponse, ServiceStats,
+    };
 }

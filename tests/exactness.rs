@@ -186,7 +186,8 @@ fn queries_not_drawn_from_the_corpus() {
     let sim: Arc<dyn ElementSimilarity> =
         Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings.clone())));
     let engine = Koios::new(&corpus.repository, sim.clone(), KoiosConfig::new(3, 0.8));
-    let query: Vec<koios_common::TokenId> = (0..40).map(|i| koios_common::TokenId(i * 13)).collect();
+    let query: Vec<koios_common::TokenId> =
+        (0..40).map(|i| koios_common::TokenId(i * 13)).collect();
     let res = engine.search(&query);
     check_result(&corpus, sim.as_ref(), 0.8, 3, &query, &res, "probe-query");
 }

@@ -59,7 +59,10 @@ fn many_to_one_upper_bounds_def1_everywhere() {
     for (id, _) in repo.iter_sets().take(40) {
         let one = semantic_overlap(repo, &sim, 0.8, &query, id);
         let many = many_to_one_overlap(repo, &sim, 0.8, &query, id);
-        assert!(many >= one - 1e-9, "set {id:?}: m21 {many} < one-to-one {one}");
+        assert!(
+            many >= one - 1e-9,
+            "set {id:?}: m21 {many} < one-to-one {one}"
+        );
         let cap2 = bounded_many_to_one_overlap(repo, &sim, 0.8, &query, id, 2);
         assert!(cap2 >= one - 1e-9 && cap2 <= many + 1e-9);
     }

@@ -95,7 +95,15 @@ fn paper_greedy_mode_is_valid_on_clustered_embeddings() {
         let engine = Koios::new(&c.repository, sim.clone(), cfg);
         let query = c.repository.set(SetId(17)).to_vec();
         let res = engine.search(&query);
-        assert_valid_topk(&c, sim.as_ref(), 0.8, 5, &query, &res, &format!("paper-greedy {seed}"));
+        assert_valid_topk(
+            &c,
+            sim.as_ref(),
+            0.8,
+            5,
+            &query,
+            &res,
+            &format!("paper-greedy {seed}"),
+        );
     }
 }
 

@@ -58,13 +58,8 @@ fn partitioned_handles_k_larger_than_partition_yield() {
     let sim: Arc<dyn ElementSimilarity> =
         Arc::new(CosineSimilarity::new(Arc::new(c.embeddings.clone())));
     let query = c.repository.set(SetId(40)).to_vec();
-    let engine = PartitionedKoios::new(
-        &c.repository,
-        sim.clone(),
-        KoiosConfig::new(12, 0.8),
-        40,
-        7,
-    );
+    let engine =
+        PartitionedKoios::new(&c.repository, sim.clone(), KoiosConfig::new(12, 0.8), 40, 7);
     let res = engine.search(&query);
     assert!(res.hits.len() <= 12);
     assert!(!res.hits.is_empty());

@@ -83,11 +83,26 @@ fn greedy_misranks_the_paper_example() {
     let mut b = RepositoryBuilder::new();
     b.add_set(
         "c1",
-        ["LA", "Blain", "Appleton", "MtPleasant", "Lexington", "WestCoast"],
+        [
+            "LA",
+            "Blain",
+            "Appleton",
+            "MtPleasant",
+            "Lexington",
+            "WestCoast",
+        ],
     );
     b.add_set(
         "c2",
-        ["LA", "Sacramento", "Southern", "Blain", "SC", "Minnesota", "NewYorkCity"],
+        [
+            "LA",
+            "Sacramento",
+            "Southern",
+            "Blain",
+            "SC",
+            "Minnesota",
+            "NewYorkCity",
+        ],
     );
     let mut repo = b.build();
     let query = repo.intern_query_mut([
@@ -145,7 +160,10 @@ fn semantic_search_recovers_sets_vanilla_misses() {
     // matches and no semantic relation.
     let mut b = RepositoryBuilder::new();
     // Two exact matches, nothing else related.
-    b.add_set("exactish", ["alpha0", "alpha1", "unrel0", "unrel1", "unrel2"]);
+    b.add_set(
+        "exactish",
+        ["alpha0", "alpha1", "unrel0", "unrel1", "unrel2"],
+    );
     // One exact match plus four synonyms of query elements.
     b.add_set("semantic", ["alpha0", "syn1", "syn2", "syn3", "syn4"]);
     let mut repo = b.build();
@@ -156,7 +174,12 @@ fn semantic_search_recovers_sets_vanilla_misses() {
         .synonym_noise(0.1)
         .synonyms(
             &mut repo,
-            &[&["q1", "syn1"], &["q2", "syn2"], &["q3", "syn3"], &["q4", "syn4"]],
+            &[
+                &["q1", "syn1"],
+                &["q2", "syn2"],
+                &["q3", "syn3"],
+                &["q4", "syn4"],
+            ],
         )
         .build(&repo);
     let sim: Arc<dyn ElementSimilarity> = Arc::new(CosineSimilarity::new(Arc::new(emb)));

@@ -1,0 +1,157 @@
+//! End-to-end tests for the `koios-service` serving layer: concurrent
+//! batches must be indistinguishable from sequential engine calls, the
+//! result cache must be observable and invalidatable, and deadlines must
+//! degrade gracefully.
+
+use koios::datagen::corpus::{Corpus, CorpusSpec};
+use koios::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn corpus_service(workers: usize, cache: usize) -> (Arc<Repository>, SearchService) {
+    let corpus = Corpus::generate(CorpusSpec::small(7));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    let service = SearchService::new(
+        Arc::clone(&repo),
+        sim,
+        KoiosConfig::new(5, 0.8),
+        ServiceConfig::new()
+            .with_workers(workers)
+            .with_cache_capacity(cache),
+    );
+    (repo, service)
+}
+
+/// 64 queries over 4 workers must return exactly what direct sequential
+/// `Koios::search` calls return, in submission order. The cache is
+/// disabled so every request exercises the concurrent search path.
+#[test]
+fn concurrent_batch_matches_sequential_search() {
+    let (repo, service) = corpus_service(4, 0);
+    let queries: Vec<Vec<TokenId>> = (0..64)
+        .map(|i| repo.set(SetId((i % 16) as u32)).to_vec())
+        .collect();
+
+    let expected: Vec<SearchResult> = queries.iter().map(|q| service.engine().search(q)).collect();
+
+    let requests: Vec<SearchRequest> = queries.iter().cloned().map(SearchRequest::new).collect();
+    let responses = service.search_batch(&requests);
+
+    assert_eq!(responses.len(), 64);
+    for (i, (resp, want)) in responses.iter().zip(&expected).enumerate() {
+        assert!(!resp.rejected, "request {i} rejected");
+        assert_eq!(
+            resp.result.hits, want.hits,
+            "request {i}: concurrent result diverged from sequential"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queries, 64);
+    assert_eq!(stats.searched, 64);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+/// Concurrency plus caching: resubmitting the same batch serves every
+/// request from the cache with identical hits.
+#[test]
+fn repeated_batch_is_served_from_cache() {
+    let (repo, service) = corpus_service(4, 128);
+    let requests: Vec<SearchRequest> = (0..32)
+        .map(|i| SearchRequest::new(repo.set(SetId((i % 16) as u32)).to_vec()))
+        .collect();
+
+    let first = service.search_batch(&requests);
+    let second = service.search_batch(&requests);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(b.cache, CacheOutcome::Hit);
+        assert_eq!(a.result.hits, b.result.hits);
+    }
+    let stats = service.stats();
+    // 16 distinct queries were searched at most twice (two workers may race
+    // on the same fresh key within the first batch) and at least 32 of the
+    // 64 submissions hit the cache.
+    assert!(stats.cache_hits >= 32, "hits = {}", stats.cache_hits);
+    assert!(stats.searched <= 32, "searched = {}", stats.searched);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+/// The cache is parameter-aware and invalidatable.
+#[test]
+fn cache_hit_then_invalidation_forces_miss() {
+    let (repo, service) = corpus_service(1, 16);
+    let q = repo.set(SetId(3)).to_vec();
+
+    let miss = service.search(SearchRequest::new(q.clone()));
+    assert_eq!(miss.cache, CacheOutcome::Miss);
+    let hit = service.search(SearchRequest::new(q.clone()));
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(miss.result.hits, hit.result.hits);
+
+    // A different k is a different answer — must not alias.
+    let other = service.search(SearchRequest::new(q.clone()).with_k(1));
+    assert_eq!(other.cache, CacheOutcome::Miss);
+    assert_eq!(other.result.hits.len(), 1);
+
+    service.invalidate_cache();
+    let after = service.search(SearchRequest::new(q));
+    assert_eq!(after.cache, CacheOutcome::Miss);
+    assert_eq!(after.result.hits, hit.result.hits);
+
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert!(stats.cache.invalidations >= 2);
+}
+
+/// Deadlines degrade gracefully: an already-expired budget is rejected
+/// without running (and without panicking), and a tiny budget on a real
+/// search surfaces `timed_out` partial results that are not cached.
+#[test]
+fn expired_and_tiny_deadlines_set_timed_out_without_panicking() {
+    let (repo, service) = corpus_service(2, 16);
+    let q = repo.set(SetId(1)).to_vec();
+
+    // Expired before pickup: admission control rejects.
+    let rejected = service.search(SearchRequest::new(q.clone()).with_time_budget(Duration::ZERO));
+    assert!(rejected.rejected);
+    assert!(rejected.result.stats.timed_out);
+    assert!(rejected.result.hits.is_empty());
+
+    // A 1ns budget admits (nanoseconds may remain) or rejects, but either
+    // way the engine must flag the deadline, return, and cache nothing.
+    let tiny =
+        service.search(SearchRequest::new(q.clone()).with_time_budget(Duration::from_nanos(1)));
+    assert!(tiny.result.stats.timed_out || tiny.rejected);
+    assert_eq!(service.cache_len(), 0);
+
+    // The service stays healthy afterwards.
+    let ok = service.search(SearchRequest::new(q));
+    assert!(!ok.rejected);
+    assert!(!ok.result.hits.is_empty());
+    assert!(service.stats().rejected >= 1);
+}
+
+/// Mixed batches keep submission order even when some requests reject.
+#[test]
+fn mixed_batch_keeps_order_and_isolation() {
+    let (repo, service) = corpus_service(4, 16);
+    let good = repo.set(SetId(2)).to_vec();
+    let requests = vec![
+        SearchRequest::new(good.clone()),
+        // bypass_cache: otherwise a worker that cached request 0 first
+        // could serve this from the probe (which runs before admission).
+        SearchRequest::new(good.clone())
+            .with_time_budget(Duration::ZERO)
+            .bypassing_cache(),
+        SearchRequest::new(good.clone()).with_k(0), // invalid override
+        SearchRequest::new(good.clone()),
+    ];
+    let responses = service.search_batch(&requests);
+    assert_eq!(responses.len(), 4);
+    assert!(!responses[0].rejected);
+    assert!(responses[1].rejected);
+    assert!(responses[2].rejected);
+    assert!(!responses[3].rejected);
+    assert_eq!(responses[0].result.hits, responses[3].result.hits);
+}

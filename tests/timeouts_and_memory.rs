@@ -87,7 +87,9 @@ fn stats_are_internally_consistent() {
         "candidate accounting must balance"
     );
     // Post-processing dispositions cannot exceed the sets that entered.
-    assert!(s.no_em + s.em_early_terminated + s.em_full + s.postprocess_ub_pruned
-            <= s.to_postprocess + s.em_full /* re-verification never happens */);
+    assert!(
+        s.no_em + s.em_early_terminated + s.em_full + s.postprocess_ub_pruned
+            <= s.to_postprocess + s.em_full /* re-verification never happens */
+    );
     assert!(s.response_time() >= s.refine_time);
 }
