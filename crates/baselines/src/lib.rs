@@ -12,6 +12,11 @@
 //!   (prefix-filter signatures, similarity-specific) and `Semantic` (the
 //!   generic framework with full-token signatures), plus the θ-fed top-k
 //!   adaptation the paper uses for the comparison.
+//!
+//! Entry points: [`baseline_search`] / [`baseline_plus_search`],
+//! [`vanilla_topk`], [`greedy_topk`], and [`SilkMoth::search_topk`] — all
+//! take the same repository/similarity/query inputs as the Koios engine,
+//! so `koios-bench` swaps them in per experiment.
 
 pub mod exhaustive;
 pub mod greedy_search;

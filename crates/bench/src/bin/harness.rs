@@ -9,16 +9,16 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8
-//! silkmoth ablation all`. Options: `--scale F` (corpus scale, default 0.2),
-//! `--k N`, `--alpha F`, `--partitions N`, `--queries N` (per interval),
-//! `--timeout SECS`, `--seed N`.
+//! silkmoth ablation token_cache all`. Options: `--scale F` (corpus scale,
+//! default 0.2), `--k N`, `--alpha F`, `--partitions N`, `--queries N` (per
+//! interval), `--timeout SECS`, `--seed N`.
 
 use koios_bench::experiments::{self, HarnessConfig};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|all>\n\
+        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|all>\n\
          \x20       [--scale F] [--k N] [--alpha F] [--partitions N] [--queries N] [--timeout SECS] [--seed N]"
     );
     std::process::exit(2);
@@ -64,8 +64,18 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
 fn main() {
     let (cmds, cfg) = parse_args();
     let all = [
-        "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "fig7", "fig8",
-        "silkmoth", "ablation",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "silkmoth",
+        "ablation",
+        "token_cache",
     ];
     let selected: Vec<&str> = if cmds.iter().any(|c| c == "all") {
         all.to_vec()
@@ -95,6 +105,7 @@ fn main() {
             "fig8" => experiments::fig8(&cfg),
             "silkmoth" => experiments::silkmoth(&cfg),
             "ablation" => experiments::ablation(&cfg),
+            "token_cache" => experiments::token_cache(&cfg),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

@@ -11,11 +11,12 @@ use crate::setup::{cap_queries, setup_profile, ProfileRun};
 use crate::table::{fmt_secs, pct, TextTable};
 use koios_baselines::silkmoth::{SilkMoth, SilkMothVariant};
 use koios_baselines::vanilla_topk;
-use koios_common::SetId;
+use koios_common::{SetId, TokenId};
 use koios_core::{Koios, KoiosConfig, PartitionedKoios, SearchResult, UbMode};
 use koios_datagen::profiles;
 use koios_embed::sim::{ElementSimilarity, QGramJaccard};
 use koios_index::inverted::InvertedIndex;
+use koios_index::knn_cache::TokenKnnCache;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -582,6 +583,109 @@ pub fn silkmoth(hc: &HarnessConfig) -> String {
     )
 }
 
+/// Token-level kNN cache experiment (ROADMAP "smarter caching"): cold vs
+/// warm searches on an overlapping-query workload.
+///
+/// The workload takes every benchmark query and adds two sibling queries
+/// sharing all but one element (head/tail dropped), the overlap pattern a
+/// serving workload exhibits (users refining a query, dashboards with
+/// shared dimensions). Three engine passes run over it:
+///
+/// * `no-cache` — the reference engine, fresh vocabulary scans per query;
+/// * `cold` — a [`TokenKnnCache`]-backed engine with an empty cache (this
+///   pass both measures fill overhead and populates the cache);
+/// * `warm` — the same engine again, now served from the shared lists.
+///
+/// All three passes must return identical hits (printed as
+/// `identical: true`); the refine-time column shows the kNN/refinement
+/// work the warm pass avoids.
+pub fn token_cache(hc: &HarnessConfig) -> String {
+    let profile = profiles::opendata(hc.scale);
+    let run = hc.profile_run(profile);
+    let repo = &run.corpus.repository;
+
+    let mut workload: Vec<Vec<TokenId>> = Vec::new();
+    for q in &run.benchmark.queries {
+        workload.push(q.tokens.clone());
+        if q.tokens.len() > 2 {
+            workload.push(q.tokens[1..].to_vec());
+            workload.push(q.tokens[..q.tokens.len() - 1].to_vec());
+        }
+    }
+
+    let plain = Koios::new(repo, Arc::clone(&run.sim), hc.koios_config());
+    let cache = Arc::new(TokenKnnCache::new(256 << 20));
+    let caching = plain.with_config(hc.koios_config().with_token_cache(Arc::clone(&cache)));
+
+    let run_pass = |engine: &Koios| -> (Vec<SearchResult>, f64, f64) {
+        let results: Vec<SearchResult> = workload.iter().map(|q| engine.search(q)).collect();
+        let refine = avg(results.iter().map(|r| r.stats.refine_time.as_secs_f64()));
+        let resp = avg(results
+            .iter()
+            .map(|r| r.stats.response_time().as_secs_f64()));
+        (results, refine, resp)
+    };
+
+    let (ref_results, ref_refine, ref_resp) = run_pass(&plain);
+    let (cold_results, cold_refine, cold_resp) = run_pass(&caching);
+    let (warm_results, warm_refine, warm_resp) = run_pass(&caching);
+
+    let identical = ref_results
+        .iter()
+        .zip(&cold_results)
+        .zip(&warm_results)
+        .all(|((a, b), c)| a.hits == b.hits && c.hits == a.hits);
+
+    let mut t = TextTable::new(vec![
+        "pass",
+        "avg refine",
+        "avg response",
+        "kNN hits",
+        "kNN misses",
+        "hit rate",
+        "bytes served(MB)",
+    ]);
+    let pass_row =
+        |t: &mut TextTable, label: &str, results: &[SearchResult], refine: f64, resp: f64| {
+            let hits: usize = results.iter().map(|r| r.stats.knn_cache.hits).sum();
+            let misses: usize = results.iter().map(|r| r.stats.knn_cache.misses).sum();
+            let served: usize = results.iter().map(|r| r.stats.knn_cache.bytes_served).sum();
+            let total = (hits + misses).max(1);
+            t.row(vec![
+                label.to_string(),
+                fmt_secs(refine),
+                fmt_secs(resp),
+                hits.to_string(),
+                misses.to_string(),
+                pct(hits as f64 / total as f64),
+                format!("{:.1}", served as f64 / (1 << 20) as f64),
+            ]);
+        };
+    pass_row(&mut t, "no-cache", &ref_results, ref_refine, ref_resp);
+    pass_row(
+        &mut t,
+        "cold (fills)",
+        &cold_results,
+        cold_refine,
+        cold_resp,
+    );
+    pass_row(&mut t, "warm", &warm_results, warm_refine, warm_resp);
+
+    let snap = cache.snapshot();
+    format!(
+        "Token cache — cold vs warm on an overlapping workload ({} queries incl.\n\
+         head/tail-dropped siblings, k={}, α={}). identical: {identical}.\n\
+         warm refine speedup vs no-cache: {:.1}x; cache: {} lists, {:.1} MB held.\n{}",
+        workload.len(),
+        hc.k,
+        hc.alpha,
+        ref_refine / warm_refine.max(1e-9),
+        snap.entries,
+        snap.bytes as f64 / (1 << 20) as f64,
+        t.render()
+    )
+}
+
 /// DESIGN §2 ablation: sound row-max iUB vs the paper's greedy iUB.
 pub fn ablation(hc: &HarnessConfig) -> String {
     let profile = profiles::opendata(hc.scale);
@@ -681,6 +785,14 @@ mod tests {
         let hc = tiny();
         assert!(table4(&hc).contains("Candidates"));
         assert!(fig8(&hc).contains("intersection"));
+    }
+
+    #[test]
+    fn token_cache_identical_and_renders() {
+        let out = token_cache(&tiny());
+        assert!(out.contains("identical: true"), "{out}");
+        assert!(out.contains("warm"));
+        assert!(out.contains("hit rate"));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   paper's memory experiments (Table III, Fig. 5d/6d/7d).
 //! * [`sparse::IdxSet`] — a small sorted integer set used for per-candidate
 //!   matched/seen element tracking during refinement.
+//!
+//! Entry points: most users only touch [`TokenId`]/[`SetId`] (returned by
+//! `Repository::intern_query` in `koios-embed`) and import the rest through
+//! [`prelude`]; the other items are engine-internal plumbing.
 
 pub mod fingerprint;
 pub mod ids;

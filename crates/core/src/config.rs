@@ -1,5 +1,7 @@
 //! Search configuration.
 
+use koios_index::knn_cache::TokenKnnCache;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which incremental upper bound drives the refinement buckets (DESIGN §2).
@@ -49,6 +51,16 @@ pub struct KoiosConfig {
     /// queries at 2500 s); partial results are returned with
     /// `stats.timed_out = true`.
     pub time_budget: Option<Duration>,
+    /// Shared token-level kNN cache. When set, [`crate::Koios::search`]
+    /// wraps its kNN source in a
+    /// [`CachedKnn`](koios_index::knn_cache::CachedKnn) so complete
+    /// per-element similarity lists are reused across searches that share
+    /// query elements (same `(token, α)`). `None` (the default) scans
+    /// fresh every time. Cloning a config shares the cache — sibling
+    /// engines ([`crate::Koios::with_config`], partition engines) hit the
+    /// same entries, which is sound because per-element lists are
+    /// query- and partition-independent.
+    pub token_cache: Option<Arc<TokenKnnCache>>,
 }
 
 impl KoiosConfig {
@@ -75,6 +87,7 @@ impl KoiosConfig {
             sweep_interval: 1,
             verify_all: false,
             time_budget: None,
+            token_cache: None,
         }
     }
 
@@ -93,6 +106,15 @@ impl KoiosConfig {
     /// Sets the time budget.
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Shares a token-level kNN cache with this engine (builder style).
+    /// Results are unchanged — cached lists are complete and replayed in
+    /// the exact emission order — only repeated per-element vocabulary
+    /// scans are skipped.
+    pub fn with_token_cache(mut self, cache: Arc<TokenKnnCache>) -> Self {
+        self.token_cache = Some(cache);
         self
     }
 
@@ -161,5 +183,15 @@ mod tests {
         assert_eq!(c.ub_mode, UbMode::PaperGreedy);
         assert_eq!(c.parallel_em, 1); // clamped
         assert!(c.time_budget.is_some());
+        assert!(c.token_cache.is_none());
+    }
+
+    #[test]
+    fn token_cache_is_shared_by_clones() {
+        let cache = Arc::new(TokenKnnCache::new(1 << 16));
+        let c = KoiosConfig::new(1, 0.5).with_token_cache(Arc::clone(&cache));
+        let d = c.clone();
+        let (a, b) = (c.token_cache.unwrap(), d.token_cache.unwrap());
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -12,12 +12,27 @@ use koios_embed::repository::{RepoRef, Repository};
 use koios_embed::sim::ElementSimilarity;
 use koios_index::inverted::InvertedIndex;
 use koios_index::knn::ExactScanKnn;
+use koios_index::knn_cache::CachedKnn;
 use koios_index::token_stream::TokenStream;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// An exact top-k semantic overlap search engine over one repository
-/// (paper Fig. 2: token stream → refinement filters → post-processing).
+/// An exact top-k semantic overlap search engine over one repository.
+///
+/// A search runs the paper's Fig. 2 pipeline, stage by stage:
+///
+/// 1. **Token stream `Ie`** ([`koios_index::token_stream`]): per-query-
+///    element kNN sources — optionally wrapped by the shared token cache,
+///    see [`KoiosConfig::token_cache`] — merged into one globally
+///    descending `(query element, token, similarity)` stream (§IV).
+/// 2. **Refinement filters** ([`crate::refine`]): stream tuples discover
+///    candidates through the inverted index `Is` and maintain incremental
+///    lower/upper bounds; the UB-filter (Lemma 2) and the bucketised
+///    iUB-filter (§V) prune against the running threshold `θlb`.
+/// 3. **Post-processing** ([`crate::postprocess`]): survivors are verified
+///    in upper-bound order — the No-EM filter (Lemma 7) certifies top-k
+///    membership without matching, remaining sets run the Hungarian
+///    algorithm with label-sum early termination (Lemma 8).
 ///
 /// The engine is cheap to clone — it shares the repository (borrowed or
 /// `Arc`-owned, see [`RepoRef`]), the inverted index and the similarity
@@ -106,6 +121,11 @@ impl<'r> Koios<'r> {
 
     /// Runs a search that publishes and consumes the shared pruning
     /// threshold `θlb` — the partitioned-search entry point (§VI).
+    ///
+    /// The default kNN source is an [`ExactScanKnn`]; when the
+    /// configuration carries a [`KoiosConfig::token_cache`], the source is
+    /// wrapped in a [`CachedKnn`] so per-element similarity lists are
+    /// shared with every other search using the same cache.
     pub fn search_shared(&self, query: &[TokenId], theta: &SharedTheta) -> SearchResult {
         let mut q = query.to_vec();
         q.sort_unstable();
@@ -116,7 +136,20 @@ impl<'r> Koios<'r> {
             self.repo.vocab_size(),
             self.cfg.alpha,
         );
-        self.search_with_source(q, knn, theta)
+        match &self.cfg.token_cache {
+            Some(cache) => {
+                // Tag entries with this engine's similarity identity so a
+                // cache shared across engines over *different* metrics can
+                // never replay the wrong lists. Clones, config siblings and
+                // partition engines share the same `Arc`, so they keep
+                // sharing entries.
+                let sim_tag = cache.sim_tag(&self.sim);
+                let knn = CachedKnn::new(Arc::clone(cache), q.clone(), self.cfg.alpha, knn)
+                    .with_sim_tag(sim_tag);
+                self.search_with_source(q, knn, theta)
+            }
+            None => self.search_with_source(q, knn, theta),
+        }
     }
 
     /// Runs a search over a caller-provided kNN source (§IV: "any index
@@ -126,6 +159,15 @@ impl<'r> Koios<'r> {
     /// similarity function; results are exact with respect to the source's
     /// recall. `query` must be sorted and deduplicated, and the source must
     /// have been built for exactly this query vector.
+    ///
+    /// This is also the **cache seam**: the stream is index-agnostic, so a
+    /// [`CachedKnn`] decorator wrapping any exact source slots in here
+    /// without the refinement or post-processing stages noticing — cached
+    /// lists are complete (never truncated mid-stream) and replay in the
+    /// exact emission order, preserving exact top-k semantics. When the
+    /// source reports cache counters
+    /// ([`koios_index::knn::KnnSource::cache_counters`]), they are folded
+    /// into [`SearchStats::knn_cache`](crate::stats::SearchStats::knn_cache).
     pub fn search_with_source<K: koios_index::knn::KnnSource>(
         &self,
         q: Vec<TokenId>,
@@ -155,6 +197,9 @@ impl<'r> Koios<'r> {
             deadline,
         );
         stats.refine_time = t0.elapsed();
+        if let Some(c) = stream.source().cache_counters() {
+            stats.knn_cache = c;
+        }
 
         let t1 = Instant::now();
         let hits = postprocess(
@@ -336,6 +381,44 @@ mod tests {
         assert_eq!(res.stats.iub_pruned, 0);
         assert_eq!(res.stats.no_em, 0);
         assert_eq!(res.stats.em_full, res.stats.candidates);
+    }
+
+    #[test]
+    fn token_cache_preserves_results_and_reports_hits() {
+        use koios_index::knn_cache::TokenKnnCache;
+        let mut b = RepositoryBuilder::new();
+        b.add_set("clean", ["Blaine", "Charleston", "Columbia"]);
+        b.add_set("dirty", ["Blain", "Charlestown", "Columbias"]);
+        b.add_set("other", ["Zebra", "Yak", "Gnu"]);
+        let repo = b.build();
+        let sim = Arc::new(QGramJaccard::new(&repo, 3));
+        let plain = Koios::new(&repo, sim.clone(), KoiosConfig::new(2, 0.4));
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let caching = Koios::new(
+            &repo,
+            sim,
+            KoiosConfig::new(2, 0.4).with_token_cache(Arc::clone(&cache)),
+        );
+        let q = repo.intern_query(["Blaine", "Charleston"]);
+        let expect = plain.search(&q);
+        assert_eq!(expect.stats.knn_cache, Default::default());
+
+        let cold = caching.search(&q);
+        assert_eq!(cold.hits, expect.hits);
+        assert_eq!(cold.stats.knn_cache.misses, q.len());
+
+        // Overlapping query: shares "Blaine", adds "Columbia".
+        let q2 = repo.intern_query(["Blaine", "Columbia"]);
+        let warm = caching.search(&q2);
+        assert_eq!(warm.hits, plain.search(&q2).hits);
+        assert!(warm.stats.knn_cache.hits >= 1, "shared element should hit");
+
+        // Exact repeat: every element hits.
+        let repeat = caching.search(&q);
+        assert_eq!(repeat.hits, expect.hits);
+        assert_eq!(repeat.stats.knn_cache.hits, q.len());
+        assert_eq!(repeat.stats.knn_cache.misses, 0);
+        assert!(repeat.stats.knn_cache.bytes_served > 0);
     }
 
     #[test]

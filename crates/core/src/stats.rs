@@ -7,6 +7,7 @@
 //! Figs. 5–7; `memory` feeds the footprint panels.
 
 use koios_common::memsize::MemoryReport;
+use koios_index::knn_cache::KnnCacheSearchStats;
 use std::time::Duration;
 
 /// Counters and timings collected by one search.
@@ -40,6 +41,11 @@ pub struct SearchStats {
     pub postprocess_time: Duration,
     /// Whether the time budget expired (partial results).
     pub timed_out: bool,
+    /// Token-level kNN cache effectiveness (all zeros when the engine runs
+    /// without a [`crate::KoiosConfig::token_cache`]): how many query
+    /// elements were answered from shared cached lists instead of scanning
+    /// the vocabulary, and how many payload bytes those lists served.
+    pub knn_cache: KnnCacheSearchStats,
     /// Peak footprint of the search data structures.
     pub memory: MemoryReport,
 }
@@ -105,6 +111,7 @@ impl SearchStats {
         self.em_full += other.em_full;
         self.bucket_moves += other.bucket_moves;
         self.timed_out |= other.timed_out;
+        self.knn_cache.merge(&other.knn_cache);
     }
 }
 

@@ -44,7 +44,7 @@ pub struct CorpusSpec {
     pub coherence: f64,
     /// Fraction of tokens without an embedding vector.
     pub oov_fraction: f64,
-    /// Within-cluster embedding noise σ (E[cos] ≈ 1/(1+σ²)).
+    /// Within-cluster embedding noise σ (E\[cos\] ≈ 1/(1+σ²)).
     pub noise: f64,
     /// Embedding dimensionality.
     pub dims: usize,

@@ -18,6 +18,11 @@
 //!
 //! [`profiles`] provides laptop-scaled presets mirroring each paper dataset;
 //! [`benchmark`] samples per-interval query workloads exactly like §VIII-A2.
+//!
+//! Entry points: pick a [`DatasetProfile`] (e.g.
+//! [`profiles::opendata`]), call [`DatasetProfile::generate`] for the
+//! [`Corpus`] and [`DatasetProfile::benchmark`] for its
+//! [`QueryBenchmark`]; `koios-bench::setup` wraps exactly this sequence.
 
 pub mod benchmark;
 pub mod corpus;

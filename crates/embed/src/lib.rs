@@ -13,6 +13,13 @@
 //! pluggable element-similarity functions ([`sim`]): cosine of embeddings,
 //! q-gram Jaccard, word Jaccard, edit similarity, and strict equality
 //! (which degenerates semantic overlap to vanilla overlap).
+//!
+//! Entry points: build a corpus with [`RepositoryBuilder`], intern queries
+//! via [`Repository::intern_query`], and hand an
+//! `Arc<dyn ElementSimilarity>` (e.g. [`CosineSimilarity`] over
+//! [`SyntheticEmbeddings`], or [`QGramJaccard`]) to the engine in
+//! `koios-core`. Serving layers share the repository through
+//! [`repository::RepoRef`].
 
 pub mod rand_util;
 pub mod repository;

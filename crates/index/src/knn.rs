@@ -31,6 +31,13 @@ pub trait KnnSource {
 
     /// Estimated heap bytes held by the source (for the memory experiments).
     fn heap_bytes(&self) -> usize;
+
+    /// Token-cache effectiveness of this source, if it is (or wraps) a
+    /// [`CachedKnn`](crate::knn_cache::CachedKnn). Plain sources report
+    /// `None`; the engine folds `Some` counters into its `SearchStats`.
+    fn cache_counters(&self) -> Option<crate::knn_cache::KnnCacheSearchStats> {
+        None
+    }
 }
 
 /// Shared scoring pass: all vocabulary tokens with `simα(q, t) ≥ α`,

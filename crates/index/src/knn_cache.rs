@@ -1,0 +1,806 @@
+//! A token-level kNN cache shared across similar queries.
+//!
+//! The dominant cost of a Koios search is streaming per-element kNN lists
+//! (paper §IV–§V): for every query element the source scores the whole
+//! vocabulary against `α`. Two queries that *share* an element repeat that
+//! work verbatim — the per-element list depends only on `(token, α)`, never
+//! on the rest of the query. The PR-1 result LRU only catches exact query
+//! repeats; this module catches the much more common *overlapping* repeat.
+//!
+//! [`TokenKnnCache`] is a concurrent, memory-bounded map from
+//! `(token, α, generation, similarity-tag)` to a **complete** descending
+//! similarity list
+//! (every vocabulary token with `simα ≥ α`, self token first). Completeness
+//! is the exactness invariant: a cached list is only ever inserted after its
+//! producing source was drained to exhaustion, so replaying it is
+//! indistinguishable from recomputing it — truncated prefixes are never
+//! stored, because a search that prunes early would otherwise poison later
+//! searches that stream further.
+//!
+//! [`CachedKnn`] is the decorator that any engine wraps around an exact
+//! source ([`ExactScanKnn`](crate::knn::ExactScanKnn) or
+//! [`HeapKnn`](crate::knn::HeapKnn)): per query element it first probes the
+//! cache, and on a miss it transparently records the inner source's emissions,
+//! publishing the list once (and only if) the element's stream completes.
+//!
+//! The `generation` key component makes invalidation O(1) and race-free:
+//! swapping the repository or similarity model bumps the generation
+//! ([`TokenKnnCache::bump_generation`]), after which entries recorded by
+//! in-flight searches of the old world can never be served again.
+
+use crate::knn::KnnSource;
+use koios_common::TokenId;
+use koios_embed::sim::ElementSimilarity;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A complete per-element kNN list: `(similarity, token)` descending by
+/// similarity, ties by ascending token id — exactly the emission order of
+/// the exact sources.
+pub type KnnList = Arc<Vec<(f64, TokenId)>>;
+
+/// Cache key: which element, under which threshold, of which world —
+/// `sim_tag` namespaces entries by similarity-function identity so engines
+/// over *different* metrics sharing one cache can never replay each
+/// other's lists (see [`CachedKnn::with_sim_tag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    token: TokenId,
+    alpha_bits: u64,
+    generation: u64,
+    sim_tag: u64,
+}
+
+/// Bytes attributed to one cached list (entry payload + bookkeeping).
+/// Charges *capacity*, not length, so the budget bounds resident heap
+/// even for lists whose backing allocation grew past their final size.
+fn list_bytes(list: &KnnList) -> usize {
+    list.capacity() * std::mem::size_of::<(f64, TokenId)>() + ENTRY_OVERHEAD
+}
+
+/// Flat per-entry overhead charged against the byte budget (key, map slot,
+/// recency slot, `Arc` header).
+const ENTRY_OVERHEAD: usize = 96;
+
+/// Monotone counters describing global cache behaviour.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KnnCacheCounters {
+    /// Probes that returned a complete list.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Complete lists stored.
+    pub insertions: u64,
+    /// Entries displaced by the byte budget.
+    pub evictions: u64,
+    /// Entries dropped by a generation bump.
+    pub invalidations: u64,
+    /// Inserts skipped because a single list exceeded the whole budget or
+    /// its generation was already stale.
+    pub rejected_inserts: u64,
+}
+
+impl KnnCacheCounters {
+    /// `hits / (hits + misses)`, or 0 when the cache was never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A point-in-time view of the cache for observability surfaces
+/// (`koios-service` reports this through its `ServiceStats`).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct KnnCacheSnapshot {
+    /// Monotone behaviour counters.
+    pub counters: KnnCacheCounters,
+    /// Cached lists currently held.
+    pub entries: usize,
+    /// Bytes currently held (payload + per-entry overhead).
+    pub bytes: usize,
+    /// Byte budget.
+    pub budget_bytes: usize,
+    /// Current generation.
+    pub generation: u64,
+}
+
+struct Entry {
+    list: KnnList,
+    bytes: usize,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    recency: BTreeMap<u64, Key>, // stamp -> key, oldest first
+    tick: u64,
+    bytes: usize,
+    counters: KnnCacheCounters,
+}
+
+/// A concurrent, memory-bounded cache of complete per-element kNN lists,
+/// keyed by `(token, α, generation, sim_tag)` and shared by any number of
+/// engines (all methods take `&self`; share it as `Arc<TokenKnnCache>`).
+///
+/// Eviction is LRU by bytes: inserts displace the least-recently-probed
+/// lists until the payload fits the budget. A single list larger than the
+/// entire budget is not cached at all.
+pub struct TokenKnnCache {
+    budget_bytes: usize,
+    generation: AtomicU64,
+    inner: Mutex<Inner>,
+    // Similarity-identity registry for `sim_tag`. Holding a `Weak` pins
+    // the `ArcInner` allocation (freed only at strong == weak == 0), so a
+    // registered address can never be reused by a *different* similarity
+    // while its entry lives — tags are ABA-safe, unlike raw addresses.
+    sim_tags: Mutex<Vec<(std::sync::Weak<dyn ElementSimilarity>, u64)>>,
+    next_sim_tag: AtomicU64,
+}
+
+impl std::fmt::Debug for TokenKnnCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("TokenKnnCache")
+            .field("entries", &s.entries)
+            .field("bytes", &s.bytes)
+            .field("budget_bytes", &s.budget_bytes)
+            .field("generation", &s.generation)
+            .field("hits", &s.counters.hits)
+            .field("misses", &s.counters.misses)
+            .finish()
+    }
+}
+
+impl TokenKnnCache {
+    /// A cache bounded to `budget_bytes` of list payload. A budget of 0
+    /// disables caching (every probe misses, every insert is rejected).
+    pub fn new(budget_bytes: usize) -> Self {
+        TokenKnnCache {
+            budget_bytes,
+            generation: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+            sim_tags: Mutex::new(Vec::new()),
+            // Tag 0 is the untagged namespace of bare `CachedKnn::new`.
+            next_sim_tag: AtomicU64::new(1),
+        }
+    }
+
+    /// The stable tag identifying `sim` within this cache (assigned on
+    /// first sight, monotonically). Engines pass it to
+    /// [`CachedKnn::with_sim_tag`] so entries are namespaced per
+    /// similarity function: clones of one `Arc<dyn ElementSimilarity>`
+    /// (engine clones, config siblings, partition engines) share a tag,
+    /// while a *different* similarity — even one allocated at a reused
+    /// address after the first was dropped — always gets a fresh tag.
+    pub fn sim_tag(&self, sim: &Arc<dyn ElementSimilarity>) -> u64 {
+        let mut tags = self.sim_tags.lock().expect("sim tag lock");
+        for (weak, tag) in tags.iter() {
+            if let Some(known) = weak.upgrade() {
+                if Arc::ptr_eq(&known, sim) {
+                    return *tag;
+                }
+            }
+        }
+        // Drop registrations whose similarity died; their cache entries
+        // are unreachable (dead tags are never handed out again) and age
+        // out through LRU eviction.
+        tags.retain(|(weak, _)| weak.strong_count() > 0);
+        let tag = self.next_sim_tag.fetch_add(1, Ordering::Relaxed);
+        tags.push((Arc::downgrade(sim), tag));
+        tag
+    }
+
+    /// The byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The current generation. Sources snapshot this at construction so a
+    /// bump mid-search invalidates their inserts, not their reads.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached list: bumps the generation (so stale keys
+    /// can never be probed again) and drops current entries eagerly.
+    /// Call after swapping the repository, embeddings or similarity model.
+    pub fn bump_generation(&self) -> u64 {
+        let gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut inner = self.inner.lock().expect("knn cache lock");
+        inner.counters.invalidations += inner.map.len() as u64;
+        inner.map.clear();
+        inner.recency.clear();
+        inner.bytes = 0;
+        gen
+    }
+
+    /// Looks up the complete list for `(token, α, generation, sim_tag)`,
+    /// refreshing its recency on a hit.
+    pub fn get(
+        &self,
+        token: TokenId,
+        alpha_bits: u64,
+        generation: u64,
+        sim_tag: u64,
+    ) -> Option<KnnList> {
+        let key = Key {
+            token,
+            alpha_bits,
+            generation,
+            sim_tag,
+        };
+        let mut inner = self.inner.lock().expect("knn cache lock");
+        let inner = &mut *inner;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                inner.recency.remove(&entry.stamp);
+                inner.tick += 1;
+                entry.stamp = inner.tick;
+                inner.recency.insert(entry.stamp, key);
+                inner.counters.hits += 1;
+                Some(Arc::clone(&entry.list))
+            }
+            None => {
+                inner.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a **complete** list for `(token, α, generation, sim_tag)`,
+    /// evicting LRU entries until it fits. Returns whether the list was
+    /// stored (a stale generation or an over-budget list is rejected;
+    /// re-inserting an existing key replaces the entry).
+    pub fn insert(
+        &self,
+        token: TokenId,
+        alpha_bits: u64,
+        generation: u64,
+        sim_tag: u64,
+        list: KnnList,
+    ) -> bool {
+        let bytes = list_bytes(&list);
+        let mut inner = self.inner.lock().expect("knn cache lock");
+        if bytes > self.budget_bytes || generation != self.generation.load(Ordering::Acquire) {
+            inner.counters.rejected_inserts += 1;
+            return false;
+        }
+        let key = Key {
+            token,
+            alpha_bits,
+            generation,
+            sim_tag,
+        };
+        inner.tick += 1;
+        let stamp = inner.tick;
+        if let Some(old) = inner.map.insert(key, Entry { list, bytes, stamp }) {
+            inner.recency.remove(&old.stamp);
+            inner.bytes -= old.bytes;
+        }
+        inner.recency.insert(stamp, key);
+        inner.bytes += bytes;
+        inner.counters.insertions += 1;
+        while inner.bytes > self.budget_bytes {
+            let (&oldest, &victim) = inner
+                .recency
+                .iter()
+                .next()
+                .expect("over-budget cache cannot be empty");
+            // The entry just inserted fits the budget on its own (checked
+            // above), so eviction always terminates before removing it.
+            debug_assert!(!(victim == key && inner.map.len() == 1));
+            inner.recency.remove(&oldest);
+            let evicted = inner.map.remove(&victim).expect("recency maps into map");
+            inner.bytes -= evicted.bytes;
+            inner.counters.evictions += 1;
+        }
+        true
+    }
+
+    /// Number of cached lists.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("knn cache lock").map.len()
+    }
+
+    /// Whether the cache holds no lists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("knn cache lock").bytes
+    }
+
+    /// The behaviour counters.
+    pub fn counters(&self) -> KnnCacheCounters {
+        self.inner.lock().expect("knn cache lock").counters
+    }
+
+    /// Zeroes the behaviour counters (entries are kept) — metric windowing.
+    pub fn reset_counters(&self) {
+        self.inner.lock().expect("knn cache lock").counters = KnnCacheCounters::default();
+    }
+
+    /// A consistent observability snapshot.
+    pub fn snapshot(&self) -> KnnCacheSnapshot {
+        let inner = self.inner.lock().expect("knn cache lock");
+        KnnCacheSnapshot {
+            counters: inner.counters,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget_bytes: self.budget_bytes,
+            generation: self.generation.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Per-search cache effectiveness, folded into
+/// `koios_core::SearchStats::knn_cache` and summed across searches by the
+/// service layer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KnnCacheSearchStats {
+    /// Query elements answered from the cache (no vocabulary scan ran).
+    pub hits: usize,
+    /// Query elements that scanned the vocabulary.
+    pub misses: usize,
+    /// Complete lists this search published into the cache.
+    pub inserted: usize,
+    /// Payload bytes served from cached lists.
+    pub bytes_served: usize,
+}
+
+impl KnnCacheSearchStats {
+    /// Accumulates another search's counters (service/partition merging).
+    pub fn merge(&mut self, other: &KnnCacheSearchStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.inserted += other.inserted;
+        self.bytes_served += other.bytes_served;
+    }
+}
+
+/// Per-element state of a [`CachedKnn`].
+enum Elem {
+    /// Never probed by this search.
+    Untouched,
+    /// Replaying a complete cached list.
+    Cached { list: KnnList, pos: usize },
+    /// Cache miss: delegating to the inner source and recording its
+    /// emissions; `done` marks inner exhaustion (buffer published).
+    Streaming {
+        buf: Vec<(f64, TokenId)>,
+        done: bool,
+    },
+}
+
+/// A caching decorator over any exact [`KnnSource`].
+///
+/// Per query element the first probe consults the shared
+/// [`TokenKnnCache`]; a hit replays the complete cached list (the inner
+/// source never computes that element), a miss falls through to the inner
+/// source while recording every emission. When — and only when — the inner
+/// source reports exhaustion for the element, the recorded list is complete
+/// and is published to the cache. A search that stops pulling mid-stream
+/// therefore caches nothing for that element, which is exactly what keeps
+/// cached replays byte-identical to fresh scans.
+pub struct CachedKnn<K: KnnSource> {
+    cache: Arc<TokenKnnCache>,
+    inner: K,
+    query: Vec<TokenId>,
+    alpha_bits: u64,
+    generation: u64,
+    sim_tag: u64,
+    elems: Vec<Elem>,
+    stats: KnnCacheSearchStats,
+}
+
+impl<K: KnnSource> CachedKnn<K> {
+    /// Wraps `inner` (built for exactly `query` under `alpha`) with the
+    /// shared cache. The cache generation is snapshotted here: a
+    /// [`TokenKnnCache::bump_generation`] between construction and search
+    /// start only disables this search's inserts, never its correctness.
+    pub fn new(cache: Arc<TokenKnnCache>, query: Vec<TokenId>, alpha: f64, inner: K) -> Self {
+        let elems = (0..query.len()).map(|_| Elem::Untouched).collect();
+        let generation = cache.generation();
+        CachedKnn {
+            cache,
+            inner,
+            query,
+            alpha_bits: alpha.to_bits(),
+            generation,
+            sim_tag: 0,
+            elems,
+            stats: KnnCacheSearchStats::default(),
+        }
+    }
+
+    /// Namespaces this source's cache entries by similarity-function
+    /// identity (builder style). Sources with different tags never share
+    /// entries, so one cache can safely serve engines over *different*
+    /// similarity metrics — obtain the tag from
+    /// [`TokenKnnCache::sim_tag`], which keeps all clones of one engine
+    /// (and its partition siblings) sharing while isolating every other
+    /// similarity. Defaults to `0` (one shared untagged namespace) when
+    /// the caller guarantees a single similarity per cache.
+    pub fn with_sim_tag(mut self, tag: u64) -> Self {
+        self.sim_tag = tag;
+        self
+    }
+
+    /// This search's cache effectiveness so far.
+    pub fn search_stats(&self) -> KnnCacheSearchStats {
+        self.stats
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<TokenKnnCache> {
+        &self.cache
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+}
+
+impl<K: KnnSource> KnnSource for CachedKnn<K> {
+    fn next(&mut self, q_idx: usize) -> Option<(TokenId, f64)> {
+        if let Elem::Untouched = self.elems[q_idx] {
+            match self.cache.get(
+                self.query[q_idx],
+                self.alpha_bits,
+                self.generation,
+                self.sim_tag,
+            ) {
+                Some(list) => {
+                    self.stats.hits += 1;
+                    self.stats.bytes_served += list.len() * std::mem::size_of::<(f64, TokenId)>();
+                    self.elems[q_idx] = Elem::Cached { list, pos: 0 };
+                }
+                None => {
+                    self.stats.misses += 1;
+                    self.elems[q_idx] = Elem::Streaming {
+                        buf: Vec::new(),
+                        done: false,
+                    };
+                }
+            }
+        }
+        match &mut self.elems[q_idx] {
+            Elem::Untouched => unreachable!("resolved above"),
+            Elem::Cached { list, pos } => {
+                let &(s, t) = list.get(*pos)?;
+                *pos += 1;
+                Some((t, s))
+            }
+            Elem::Streaming { buf, done } => {
+                if *done {
+                    return None;
+                }
+                match self.inner.next(q_idx) {
+                    Some((t, s)) => {
+                        buf.push((s, t));
+                        Some((t, s))
+                    }
+                    None => {
+                        *done = true;
+                        // Push-grown buffers can hold up to 2× their length
+                        // in capacity; trim so the cache's byte accounting
+                        // (which charges capacity) stays tight.
+                        buf.shrink_to_fit();
+                        let list: KnnList = Arc::new(std::mem::take(buf));
+                        if self.cache.insert(
+                            self.query[q_idx],
+                            self.alpha_bits,
+                            self.generation,
+                            self.sim_tag,
+                            list,
+                        ) {
+                            self.stats.inserted += 1;
+                        }
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // Cached `Arc` lists are attributed to the search that holds them:
+        // they are live memory this search keeps reachable, shared or not.
+        self.inner.heap_bytes()
+            + self
+                .elems
+                .iter()
+                .map(|e| match e {
+                    Elem::Untouched => 0,
+                    Elem::Cached { list, .. } => {
+                        list.capacity() * std::mem::size_of::<(f64, TokenId)>()
+                    }
+                    Elem::Streaming { buf, .. } => {
+                        buf.capacity() * std::mem::size_of::<(f64, TokenId)>()
+                    }
+                })
+                .sum::<usize>()
+    }
+
+    fn cache_counters(&self) -> Option<KnnCacheSearchStats> {
+        Some(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{ExactScanKnn, HeapKnn};
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::{ElementSimilarity, QGramJaccard};
+
+    fn setup() -> (Arc<dyn ElementSimilarity>, Vec<TokenId>, usize) {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s", ["Blaine", "Blain", "Blainey", "Zurich", "Zurch"]);
+        let repo = b.build();
+        let q = repo.intern_query(["Blaine", "Zurich"]);
+        let vocab = repo.vocab_size();
+        let sim: Arc<dyn ElementSimilarity> = Arc::new(QGramJaccard::new(&repo, 3));
+        (sim, q, vocab)
+    }
+
+    fn drain(src: &mut dyn KnnSource, q_idx: usize) -> Vec<(TokenId, f64)> {
+        let mut out = Vec::new();
+        while let Some(x) = src.next(q_idx) {
+            out.push(x);
+        }
+        out
+    }
+
+    fn cached(
+        cache: &Arc<TokenKnnCache>,
+        sim: &Arc<dyn ElementSimilarity>,
+        q: &[TokenId],
+        vocab: usize,
+        alpha: f64,
+    ) -> CachedKnn<ExactScanKnn> {
+        CachedKnn::new(
+            Arc::clone(cache),
+            q.to_vec(),
+            alpha,
+            ExactScanKnn::new(Arc::clone(sim), q.to_vec(), vocab, alpha),
+        )
+    }
+
+    #[test]
+    fn warm_replay_is_identical_to_cold_scan() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut cold = cached(&cache, &sim, &q, vocab, 0.3);
+        let cold_lists: Vec<_> = (0..q.len()).map(|i| drain(&mut cold, i)).collect();
+        assert_eq!(cold.search_stats().misses, q.len());
+        assert_eq!(cold.search_stats().inserted, q.len());
+
+        let mut warm = cached(&cache, &sim, &q, vocab, 0.3);
+        for (i, expect) in cold_lists.iter().enumerate() {
+            assert_eq!(&drain(&mut warm, i), expect);
+        }
+        assert_eq!(warm.search_stats().hits, q.len());
+        assert_eq!(warm.search_stats().misses, 0);
+        assert!(warm.search_stats().bytes_served > 0);
+
+        // Reference: a bare exact scan agrees too.
+        let mut bare = ExactScanKnn::new(sim, q.clone(), vocab, 0.3);
+        for (i, expect) in cold_lists.iter().enumerate() {
+            assert_eq!(&drain(&mut bare, i), expect);
+        }
+    }
+
+    #[test]
+    fn heap_inner_source_caches_identically() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut via_heap = CachedKnn::new(
+            Arc::clone(&cache),
+            q.clone(),
+            0.2,
+            HeapKnn::new(Arc::clone(&sim), q.clone(), vocab, 0.2),
+        );
+        let recorded: Vec<_> = (0..q.len()).map(|i| drain(&mut via_heap, i)).collect();
+        let mut warm = cached(&cache, &sim, &q, vocab, 0.2);
+        for (i, expect) in recorded.iter().enumerate() {
+            assert_eq!(&drain(&mut warm, i), expect);
+        }
+        assert_eq!(warm.search_stats().hits, q.len());
+    }
+
+    #[test]
+    fn partial_consumption_is_never_cached() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut src = cached(&cache, &sim, &q, vocab, 0.2);
+        // Pull a single tuple and stop: an incomplete prefix.
+        assert!(src.next(0).is_some());
+        drop(src);
+        assert!(cache.is_empty(), "truncated prefix must not be cached");
+        assert_eq!(cache.counters().insertions, 0);
+    }
+
+    #[test]
+    fn alpha_values_do_not_share_entries() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut a = cached(&cache, &sim, &q, vocab, 0.2);
+        drain(&mut a, 0);
+        let mut b = cached(&cache, &sim, &q, vocab, 0.9);
+        drain(&mut b, 0);
+        assert_eq!(b.search_stats().hits, 0, "different α must miss");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sim_tags_namespace_entries() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut a = cached(&cache, &sim, &q, vocab, 0.3); // tag 0
+        drain(&mut a, 0);
+        let mut b = CachedKnn::new(
+            Arc::clone(&cache),
+            q.clone(),
+            0.3,
+            ExactScanKnn::new(Arc::clone(&sim), q.clone(), vocab, 0.3),
+        )
+        .with_sim_tag(7);
+        drain(&mut b, 0);
+        assert_eq!(b.search_stats().hits, 0, "different sim tag must miss");
+        assert_eq!(cache.len(), 2, "entries live side by side");
+        // Same tag hits its own namespace.
+        let mut c = cached(&cache, &sim, &q, vocab, 0.3);
+        drain(&mut c, 0);
+        assert_eq!(c.search_stats().hits, 1);
+    }
+
+    #[test]
+    fn sim_tag_registry_is_identity_stable() {
+        let (sim, _q, _vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let t1 = cache.sim_tag(&sim);
+        assert_eq!(cache.sim_tag(&Arc::clone(&sim)), t1, "clones share a tag");
+        let (other, ..) = setup();
+        let t2 = cache.sim_tag(&other);
+        assert_ne!(t1, t2, "distinct similarities get distinct tags");
+        // Dropping a similarity never recycles its tag: a successor gets a
+        // fresh one even if the allocator reuses the address.
+        drop(other);
+        for _ in 0..32 {
+            let (fresh, ..) = setup();
+            let t = cache.sim_tag(&fresh);
+            assert_ne!(t, t2, "dead tag must not be reassigned");
+            drop(fresh);
+        }
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut a = cached(&cache, &sim, &q, vocab, 0.3);
+        drain(&mut a, 0);
+        assert_eq!(cache.len(), 1);
+        cache.bump_generation();
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().invalidations, 1);
+        let mut b = cached(&cache, &sim, &q, vocab, 0.3);
+        drain(&mut b, 0);
+        assert_eq!(b.search_stats().hits, 0);
+        assert_eq!(b.search_stats().misses, 1);
+    }
+
+    #[test]
+    fn stale_generation_inserts_are_rejected() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        // Source built against generation 0 …
+        let mut src = cached(&cache, &sim, &q, vocab, 0.3);
+        // … but the world changes mid-search.
+        cache.bump_generation();
+        drain(&mut src, 0);
+        assert_eq!(src.search_stats().inserted, 0);
+        assert!(cache.is_empty());
+        assert!(cache.counters().rejected_inserts >= 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let (sim, q, vocab) = setup();
+        // Budget fits roughly one list (payload + overhead).
+        let mut probe = cached(&Arc::new(TokenKnnCache::new(1 << 20)), &sim, &q, vocab, 0.2);
+        let one_list_bytes = list_bytes(&Arc::new(
+            drain(&mut probe, 0)
+                .into_iter()
+                .map(|(t, s)| (s, t))
+                .collect::<Vec<_>>(),
+        ));
+        let cache = Arc::new(TokenKnnCache::new(one_list_bytes + ENTRY_OVERHEAD / 2));
+        let mut src = cached(&cache, &sim, &q, vocab, 0.2);
+        drain(&mut src, 0);
+        drain(&mut src, 1);
+        assert_eq!(cache.len(), 1, "budget holds one list");
+        assert!(cache.counters().evictions >= 1);
+        assert!(cache.bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(0));
+        let mut src = cached(&cache, &sim, &q, vocab, 0.3);
+        let fresh = drain(&mut src, 0);
+        assert!(!fresh.is_empty(), "search still works without caching");
+        assert!(cache.is_empty());
+        assert!(cache.counters().rejected_inserts >= 1);
+    }
+
+    #[test]
+    fn snapshot_reports_state() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let mut src = cached(&cache, &sim, &q, vocab, 0.3);
+        drain(&mut src, 0);
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 1);
+        assert!(snap.bytes > 0);
+        assert_eq!(snap.generation, 0);
+        assert_eq!(snap.counters.insertions, 1);
+        assert_eq!(snap.budget_bytes, 1 << 20);
+        assert!(format!("{cache:?}").contains("TokenKnnCache"));
+    }
+
+    #[test]
+    fn concurrent_fill_and_probe_is_safe_and_exact() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let expect: Vec<Vec<(TokenId, f64)>> = {
+            let mut bare = ExactScanKnn::new(Arc::clone(&sim), q.clone(), vocab, 0.25);
+            (0..q.len()).map(|i| drain(&mut bare, i)).collect()
+        };
+        std::thread::scope(|sc| {
+            for _ in 0..8 {
+                sc.spawn(|| {
+                    let mut src = cached(&cache, &sim, &q, vocab, 0.25);
+                    for (i, exp) in expect.iter().enumerate() {
+                        assert_eq!(&drain(&mut src, i), exp);
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.hits + c.misses, 8 * q.len() as u64);
+        assert!(c.hits > 0, "overlapping threads should hit");
+    }
+
+    #[test]
+    fn search_stats_merge_accumulates() {
+        let mut a = KnnCacheSearchStats {
+            hits: 1,
+            misses: 2,
+            inserted: 2,
+            bytes_served: 100,
+        };
+        let b = KnnCacheSearchStats {
+            hits: 3,
+            misses: 0,
+            inserted: 0,
+            bytes_served: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.inserted, 2);
+        assert_eq!(a.bytes_served, 150);
+    }
+}

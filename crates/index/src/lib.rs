@@ -13,13 +13,23 @@
 //! in-memory equivalents, see DESIGN.md §3) merged through a priority queue
 //! of size `|Q|`, with the query element itself emitted first so vanilla
 //! overlap seeds the bounds and out-of-vocabulary elements are handled.
+//!
+//! Because per-element kNN lists depend only on `(token, α)` — never on the
+//! rest of the query — they repeat across *similar* queries. The
+//! [`knn_cache`] module exploits that seam: [`TokenKnnCache`] shares
+//! complete per-element lists across searches and [`CachedKnn`] wraps any
+//! source with transparent probe/record caching.
 
 pub mod inverted;
 pub mod knn;
+pub mod knn_cache;
 pub mod minhash;
 pub mod token_stream;
 
 pub use inverted::InvertedIndex;
 pub use knn::{ExactScanKnn, HeapKnn, KnnSource};
+pub use knn_cache::{
+    CachedKnn, KnnCacheCounters, KnnCacheSearchStats, KnnCacheSnapshot, TokenKnnCache,
+};
 pub use minhash::{MinHashIndex, MinHashKnn, MinHashParams};
 pub use token_stream::{StreamTuple, TokenStream};

@@ -115,6 +115,12 @@ impl<K: KnnSource> TokenStream<K> {
         self.emitted
     }
 
+    /// The merged kNN source (e.g. to read
+    /// [`KnnSource::cache_counters`] after the stream was consumed).
+    pub fn source(&self) -> &K {
+        &self.source
+    }
+
     /// Estimated heap bytes of the stream (queue + sources), for the memory
     /// experiments.
     pub fn heap_bytes(&self) -> usize {

@@ -13,6 +13,11 @@
 //! * [`greedy`] — the `O(E log E)` greedy matching whose score lower-bounds
 //!   the optimum by at least ½ (Lemma 3), used by the LB-filter.
 //! * [`exhaustive`] — a factorial-time oracle for property tests.
+//!
+//! Entry points: build a [`WeightMatrix`] from α-thresholded similarities,
+//! then call [`solve_max_matching`] (exact, with optional `theta` early
+//! abort) or [`greedy_matching`] (fast ½-approximation). The Koios engine
+//! calls both through `koios-core`; direct use is for oracles and tests.
 
 pub mod exhaustive;
 pub mod graph;

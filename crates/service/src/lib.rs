@@ -22,6 +22,12 @@
 //!   (`k`, `α`, UB mode, filter toggles), with hit/miss/eviction counters
 //!   and explicit invalidation. Collisions are detected by full-key
 //!   comparison and served as misses, never as wrong results.
+//! * **A shared token-level kNN cache** — one
+//!   [`koios_index::knn_cache::TokenKnnCache`] installed into the engine
+//!   configuration so *overlapping* (not just identical) queries reuse
+//!   complete per-element similarity lists; invalidated together with the
+//!   result cache via a generation bump
+//!   ([`SearchService::invalidate_cache`]).
 //!
 //! Observability is first-class: [`ServiceStats`] aggregates the engine's
 //! per-query [`koios_core::SearchStats`] across the service lifetime next

@@ -7,6 +7,7 @@ use koios_common::{SetId, TokenId};
 use koios_core::{Hit, KoiosConfig, OwnedKoios, SearchResult, SearchStats};
 use koios_embed::repository::Repository;
 use koios_embed::sim::ElementSimilarity;
+use koios_index::knn_cache::TokenKnnCache;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -19,6 +20,14 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Result-cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Byte budget of the shared token-level kNN cache
+    /// ([`TokenKnnCache`]); `0` disables it. Unlike the result cache —
+    /// which only answers *exact* query repeats — the token cache reuses
+    /// per-element similarity lists across *overlapping* queries, cutting
+    /// the kNN/refinement work that dominates search time. The two caches
+    /// compose: a result hit skips the search entirely, a token hit makes
+    /// the search it cannot skip cheaper.
+    pub token_cache_bytes: usize,
     /// Deadline budget applied to requests that carry none. Covers queue
     /// time and search time; `None` means no deadline.
     pub default_time_budget: Option<Duration>,
@@ -29,14 +38,15 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 0,
             cache_capacity: 1024,
+            token_cache_bytes: 16 << 20,
             default_time_budget: None,
         }
     }
 }
 
 impl ServiceConfig {
-    /// Starts from the defaults (auto-sized pool, 1024-entry cache, no
-    /// deadline).
+    /// Starts from the defaults (auto-sized pool, 1024-entry result cache,
+    /// 16 MiB token cache, no deadline).
     pub fn new() -> Self {
         Self::default()
     }
@@ -50,6 +60,12 @@ impl ServiceConfig {
     /// Sets the result-cache capacity.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the token-level kNN cache byte budget (`0` disables it).
+    pub fn with_token_cache_bytes(mut self, bytes: usize) -> Self {
+        self.token_cache_bytes = bytes;
         self
     }
 
@@ -79,9 +95,12 @@ struct StatsInner {
 /// engine is built once over an `Arc<Repository>` (see
 /// [`koios_embed::repository::RepoRef`]) and shared — immutably — by a
 /// fixed pool of scoped worker threads that drain each submitted batch.
-/// Results come back in submission order. Repeated queries are answered
-/// from an LRU result cache keyed by a stable fingerprint of the
-/// normalized query and every result-affecting parameter.
+/// Results come back in submission order. Two caches compose: repeated
+/// queries are answered from an LRU result cache keyed by a stable
+/// fingerprint of the normalized query and every result-affecting
+/// parameter, and *overlapping* queries share per-element kNN lists
+/// through one [`TokenKnnCache`] installed into the engine configuration
+/// (see [`ServiceConfig::token_cache_bytes`]).
 ///
 /// ```
 /// use koios_core::KoiosConfig;
@@ -112,6 +131,9 @@ pub struct SearchService {
     // Values are `Arc`ed so a hit only bumps a refcount while the lock is
     // held; the O(k) hit-vector copy happens outside the critical section.
     cache: Mutex<LruCache<CacheKey, Arc<Vec<Hit>>>>,
+    // Shared token-level kNN cache (also reachable through the engine
+    // config; this handle serves stats and invalidation).
+    token_cache: Option<Arc<TokenKnnCache>>,
     stats: Mutex<StatsInner>,
 }
 
@@ -127,7 +149,14 @@ impl SearchService {
         Self::from_engine(OwnedKoios::new(repo, sim, engine_cfg), cfg)
     }
 
-    /// Wraps an already-built owned engine.
+    /// Wraps an already-built owned engine. When `cfg.token_cache_bytes`
+    /// is non-zero and the engine does not already carry a token cache,
+    /// one shared [`TokenKnnCache`] is created and installed into the
+    /// engine configuration, so every worker (and every per-request
+    /// config override) reuses the same per-element kNN lists. An
+    /// engine-supplied cache is kept (its own byte budget wins); setting
+    /// `token_cache_bytes` to `0` disables token caching even then, by
+    /// stripping the cache from the engine configuration.
     pub fn from_engine(engine: OwnedKoios, cfg: ServiceConfig) -> Self {
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
@@ -136,11 +165,26 @@ impl SearchService {
         } else {
             cfg.workers
         };
+        let (engine, token_cache) = match engine.config().token_cache.clone() {
+            Some(_) if cfg.token_cache_bytes == 0 => {
+                let mut engine_cfg = engine.config().clone();
+                engine_cfg.token_cache = None;
+                (engine.with_config(engine_cfg), None)
+            }
+            Some(existing) => (engine, Some(existing)),
+            None if cfg.token_cache_bytes > 0 => {
+                let cache = Arc::new(TokenKnnCache::new(cfg.token_cache_bytes));
+                let engine_cfg = engine.config().clone().with_token_cache(Arc::clone(&cache));
+                (engine.with_config(engine_cfg), Some(cache))
+            }
+            None => (engine, None),
+        };
         SearchService {
             engine,
             workers,
             default_budget: cfg.default_time_budget,
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            token_cache,
             stats: Mutex::new(StatsInner::default()),
         }
     }
@@ -214,10 +258,21 @@ impl SearchService {
         pairs.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Drops every cached result (call after swapping embeddings or any
-    /// out-of-band change that invalidates previous answers).
+    /// Drops every cached result **and** every cached token kNN list (call
+    /// after swapping embeddings or any out-of-band change that
+    /// invalidates previous answers). The token cache is invalidated by a
+    /// generation bump, so searches already in flight can neither serve
+    /// nor publish stale lists.
     pub fn invalidate_cache(&self) {
         self.cache.lock().expect("cache lock").invalidate_all();
+        if let Some(tc) = &self.token_cache {
+            tc.bump_generation();
+        }
+    }
+
+    /// The shared token-level kNN cache, if enabled.
+    pub fn token_cache(&self) -> Option<&Arc<TokenKnnCache>> {
+        self.token_cache.as_ref()
     }
 
     /// Number of currently cached results.
@@ -237,15 +292,19 @@ impl SearchService {
             rejected: st.rejected,
             timed_out: st.timed_out,
             cache,
+            token_cache: self.token_cache.as_ref().map(|tc| tc.snapshot()),
             engine: st.engine.clone(),
         }
     }
 
-    /// Zeroes every service counter (including the cache's) without
+    /// Zeroes every service counter (including both caches') without
     /// touching cached entries — metric windowing for operators.
     pub fn reset_stats(&self) {
         *self.stats.lock().expect("stats lock") = StatsInner::default();
         self.cache.lock().expect("cache lock").reset_counters();
+        if let Some(tc) = &self.token_cache {
+            tc.reset_counters();
+        }
     }
 
     /// Exact overlap oracle passthrough (auditing cached answers).
@@ -497,6 +556,124 @@ mod tests {
         assert_eq!(svc.cache_len(), 1);
         let again = svc.search(SearchRequest::new(q));
         assert_eq!(again.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn token_cache_is_shared_and_reported() {
+        let (repo, svc) = service(1, 8);
+        assert!(svc.token_cache().is_some(), "enabled by default");
+        let q1 = repo.intern_query(["a", "b", "c"]);
+        let q2 = repo.intern_query(["a", "b", "x"]); // overlaps q1 on a, b
+        let r1 = svc.search(SearchRequest::new(q1));
+        assert!(r1.result.stats.knn_cache.misses > 0);
+        assert_eq!(r1.result.stats.knn_cache.hits, 0);
+        let r2 = svc.search(SearchRequest::new(q2));
+        assert!(
+            r2.result.stats.knn_cache.hits >= 2,
+            "overlapping elements served from the token cache: {:?}",
+            r2.result.stats.knn_cache
+        );
+        let st = svc.stats();
+        let tc = st.token_cache.expect("token cache enabled");
+        assert!(tc.entries > 0 && tc.bytes > 0);
+        assert_eq!(
+            tc.counters.hits as usize, r2.result.stats.knn_cache.hits,
+            "global and per-search views agree"
+        );
+        assert!(st.token_cache_hit_rate() > 0.0);
+        // The folded engine stats carry the summed per-search counters.
+        assert_eq!(
+            st.engine.knn_cache.hits + st.engine.knn_cache.misses,
+            6,
+            "3 elements per query, 2 searched queries"
+        );
+    }
+
+    #[test]
+    fn invalidation_bumps_token_cache_generation() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b"]);
+        svc.search(SearchRequest::new(q.clone()));
+        let before = svc.token_cache().unwrap().snapshot();
+        assert!(before.entries > 0);
+        svc.invalidate_cache();
+        let after = svc.token_cache().unwrap().snapshot();
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.generation, before.generation + 1);
+        // A rerun repopulates under the new generation, results unchanged.
+        let rerun = svc.search(SearchRequest::new(q.clone()).bypassing_cache());
+        assert_eq!(rerun.result.hits, svc.engine().search(&q).hits);
+        assert!(svc.token_cache().unwrap().snapshot().entries > 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_token_cache() {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b"]);
+        let repo = Arc::new(b.build());
+        let svc = SearchService::new(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(1, 0.9),
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_token_cache_bytes(0),
+        );
+        assert!(svc.token_cache().is_none());
+        let q = repo.intern_query(["a", "b"]);
+        let r = svc.search(SearchRequest::new(q));
+        assert_eq!(r.result.stats.knn_cache, Default::default());
+        assert!(svc.stats().token_cache.is_none());
+    }
+
+    #[test]
+    fn zero_budget_strips_engine_supplied_cache() {
+        use koios_index::knn_cache::TokenKnnCache;
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b"]);
+        let repo = Arc::new(b.build());
+        let engine = koios_core::OwnedKoios::new(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(1, 0.9).with_token_cache(Arc::new(TokenKnnCache::new(1 << 20))),
+        );
+        let svc = SearchService::from_engine(
+            engine,
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_token_cache_bytes(0),
+        );
+        assert!(
+            svc.token_cache().is_none(),
+            "0 disables even a preinstalled cache"
+        );
+        assert!(svc.engine().config().token_cache.is_none());
+        let q = repo.intern_query(["a", "b"]);
+        let r = svc.search(SearchRequest::new(q));
+        assert_eq!(r.result.stats.knn_cache, Default::default());
+    }
+
+    #[test]
+    fn batch_workers_share_one_token_cache() {
+        let (repo, svc) = service(4, 0);
+        let q = repo.intern_query(["a", "b", "c", "d"]);
+        // 8 identical requests race across 4 workers; with the result cache
+        // disabled every one searches, but the token cache still bounds the
+        // total element scans: every (element, α) list is computed at most
+        // once per concurrent non-overlapping window — and exactly 4 misses
+        // minimum is guaranteed only for the first finisher, so just assert
+        // correctness plus a shared-cache effect.
+        let reqs: Vec<SearchRequest> = (0..8).map(|_| SearchRequest::new(q.clone())).collect();
+        let responses = svc.search_batch(&reqs);
+        let direct = svc.engine().search(&q);
+        for r in &responses {
+            assert_eq!(r.result.hits, direct.hits);
+        }
+        let tc = svc.stats().token_cache.expect("enabled");
+        assert!(
+            tc.counters.hits > 0,
+            "later requests reuse earlier lists: {tc:?}"
+        );
     }
 
     #[test]

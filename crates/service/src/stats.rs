@@ -2,6 +2,7 @@
 
 use crate::cache::CacheCounters;
 use koios_core::SearchStats;
+use koios_index::knn_cache::KnnCacheSnapshot;
 
 /// Aggregated counters for a [`crate::SearchService`] since construction
 /// (or the last [`crate::SearchService::reset_stats`]).
@@ -30,14 +31,27 @@ pub struct ServiceStats {
     pub timed_out: u64,
     /// Result-cache behaviour (hits/misses/evictions/invalidations).
     pub cache: CacheCounters,
+    /// Shared token-level kNN cache state and behaviour (`None` when the
+    /// service runs with `token_cache_bytes == 0`). Element-level hit
+    /// counts also appear per search in `engine.knn_cache`; this snapshot
+    /// adds the global view: bytes held, entries, evictions, generation.
+    pub token_cache: Option<KnnCacheSnapshot>,
     /// Folded per-search engine instrumentation.
     pub engine: SearchStats,
 }
 
 impl ServiceStats {
-    /// Fraction of non-bypassing requests answered from the cache.
+    /// Fraction of non-bypassing requests answered from the result cache.
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
+    }
+
+    /// Fraction of per-element kNN probes answered from the token cache
+    /// (0 when the token cache is disabled or was never probed).
+    pub fn token_cache_hit_rate(&self) -> f64 {
+        self.token_cache
+            .map(|tc| tc.counters.hit_rate())
+            .unwrap_or(0.0)
     }
 }
 

@@ -13,37 +13,20 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use koios::prelude::*;
-//! use std::sync::Arc;
-//!
-//! // A tiny repository of string sets.
-//! let mut builder = RepositoryBuilder::new();
-//! builder.add_set("c1", ["LA", "Blain", "Appleton", "MtPleasant"]);
-//! builder.add_set("c2", ["LA", "Sacramento", "Blain", "SC", "NewYorkCity"]);
-//! let mut repo = builder.build();
-//!
-//! // Synthetic clustered embeddings stand in for FastText vectors.
-//! let embeddings = SyntheticEmbeddings::builder()
-//!     .dimensions(32)
-//!     .seed(7)
-//!     .synonyms(&mut repo, &[&["NewYorkCity", "BigApple"], &["LA", "WestCoast"]])
-//!     .build(&repo);
-//! let sim = Arc::new(CosineSimilarity::new(Arc::new(embeddings)));
-//!
-//! // Search for the top-1 set under semantic overlap with α = 0.7.
-//! let engine = Koios::new(&repo, sim, KoiosConfig::new(1, 0.7));
-//! let query = repo.intern_query(["LA", "Blaine", "BigApple", "Charleston"]);
-//! let result = engine.search(&query);
-//! assert_eq!(result.hits.len(), 1);
-//! ```
+//! Import everything through [`prelude`]; its module docs compile the
+//! README quick-start snippet verbatim (build a repository, attach
+//! synthetic embeddings, search top-k under semantic overlap), so start
+//! there.
 //!
 //! ## Serving queries
 //!
 //! Long-lived applications should not rebuild an engine per query. Wrap an
 //! owned engine in a [`SearchService`](service::SearchService): it executes
 //! request batches on a fixed worker pool, enforces per-request deadlines,
-//! and answers repeated queries from an LRU result cache.
+//! answers repeated queries from an LRU result cache, and shares complete
+//! per-element kNN lists across *overlapping* queries through a
+//! [`TokenKnnCache`](index::knn_cache::TokenKnnCache) (see
+//! `ARCHITECTURE.md` for the seam).
 //!
 //! ```
 //! use koios::prelude::*;
@@ -92,6 +75,31 @@ pub use koios_matching as matching;
 pub use koios_service as service;
 
 /// One-stop imports for applications.
+///
+/// This compiles the README quick start verbatim, so the snippet can never
+/// rot:
+///
+/// ```
+/// use koios::prelude::*;
+/// use std::sync::Arc;
+///
+/// let mut builder = RepositoryBuilder::new();
+/// builder.add_set("c1", ["LA", "Blain", "Appleton", "MtPleasant"]);
+/// builder.add_set("c2", ["LA", "Sacramento", "Blain", "SC", "NewYorkCity"]);
+/// let mut repo = builder.build();
+///
+/// let embeddings = SyntheticEmbeddings::builder()
+///     .dimensions(32)
+///     .seed(7)
+///     .synonyms(&mut repo, &[&["NewYorkCity", "BigApple"], &["LA", "WestCoast"]])
+///     .build(&repo);
+/// let sim = Arc::new(CosineSimilarity::new(Arc::new(embeddings)));
+///
+/// let engine = Koios::new(&repo, sim, KoiosConfig::new(1, 0.7));
+/// let query = repo.intern_query(["LA", "Blaine", "BigApple", "Charleston"]);
+/// let result = engine.search(&query);
+/// # assert_eq!(result.hits.len(), 1);
+/// ```
 pub mod prelude {
     pub use koios_common::prelude::*;
     pub use koios_core::{
@@ -103,6 +111,7 @@ pub mod prelude {
         CosineSimilarity, EditSimilarity, ElementSimilarity, EqualitySimilarity, QGramJaccard,
     };
     pub use koios_embed::synthetic::SyntheticEmbeddings;
+    pub use koios_index::knn_cache::{KnnCacheSnapshot, TokenKnnCache};
     pub use koios_matching::{solve_max_matching, MatchOutcome};
     pub use koios_service::{
         CacheOutcome, SearchRequest, SearchService, ServiceConfig, ServiceResponse, ServiceStats,
