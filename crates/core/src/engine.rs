@@ -52,6 +52,19 @@ pub struct Koios<'r> {
 /// long-lived serving layer holds.
 pub type OwnedKoios = Koios<'static>;
 
+/// Combines an absolute caller deadline with a relative configuration
+/// budget: whichever expires first bounds the search.
+pub(crate) fn effective_deadline(
+    external: Option<Instant>,
+    budget: Option<std::time::Duration>,
+) -> Option<Instant> {
+    let from_budget = budget.map(|b| Instant::now() + b);
+    match (external, from_budget) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
 impl<'r> Koios<'r> {
     /// Builds the inverted index and wires up an engine over a borrowed
     /// (`&Repository`) or owned (`Arc<Repository>`) repository.
@@ -119,6 +132,22 @@ impl<'r> Koios<'r> {
         self.search_shared(query, &SharedTheta::new())
     }
 
+    /// Runs a top-k search that must finish by `deadline` (an *absolute*
+    /// instant, unlike the relative [`KoiosConfig::time_budget`]).
+    ///
+    /// Serving layers use this to make a request deadline cover queue time
+    /// plus search time without mutating the engine configuration. When the
+    /// configuration also carries a `time_budget`, the earlier of the two
+    /// limits wins. Expiry returns partial results with
+    /// `stats.timed_out = true`, exactly like a budget expiry.
+    pub fn search_with_deadline(
+        &self,
+        query: &[TokenId],
+        deadline: Option<Instant>,
+    ) -> SearchResult {
+        self.search_shared_deadline(query, &SharedTheta::new(), deadline)
+    }
+
     /// Runs a search that publishes and consumes the shared pruning
     /// threshold `θlb` — the partitioned-search entry point (§VI).
     ///
@@ -127,6 +156,19 @@ impl<'r> Koios<'r> {
     /// wrapped in a [`CachedKnn`] so per-element similarity lists are
     /// shared with every other search using the same cache.
     pub fn search_shared(&self, query: &[TokenId], theta: &SharedTheta) -> SearchResult {
+        self.search_shared_deadline(query, theta, None)
+    }
+
+    /// [`Self::search_shared`] with an additional absolute `deadline`
+    /// (see [`Self::search_with_deadline`]): partitioned search threads one
+    /// query-wide deadline through every shard this way, so no shard can
+    /// overrun the budget the merge phase still has to fit into.
+    pub fn search_shared_deadline(
+        &self,
+        query: &[TokenId],
+        theta: &SharedTheta,
+        deadline: Option<Instant>,
+    ) -> SearchResult {
         let mut q = query.to_vec();
         q.sort_unstable();
         q.dedup();
@@ -146,9 +188,9 @@ impl<'r> Koios<'r> {
                 let sim_tag = cache.sim_tag(&self.sim);
                 let knn = CachedKnn::new(Arc::clone(cache), q.clone(), self.cfg.alpha, knn)
                     .with_sim_tag(sim_tag);
-                self.search_with_source(q, knn, theta)
+                self.search_with_source_deadline(q, knn, theta, deadline)
             }
-            None => self.search_with_source(q, knn, theta),
+            None => self.search_with_source_deadline(q, knn, theta, deadline),
         }
     }
 
@@ -174,6 +216,19 @@ impl<'r> Koios<'r> {
         source: K,
         theta: &SharedTheta,
     ) -> SearchResult {
+        self.search_with_source_deadline(q, source, theta, None)
+    }
+
+    /// [`Self::search_with_source`] with an additional absolute `deadline`
+    /// (see [`Self::search_with_deadline`]); the earlier of the deadline and
+    /// the configuration's relative `time_budget` bounds the search.
+    pub fn search_with_source_deadline<K: koios_index::knn::KnnSource>(
+        &self,
+        q: Vec<TokenId>,
+        source: K,
+        theta: &SharedTheta,
+        deadline: Option<Instant>,
+    ) -> SearchResult {
         debug_assert!(q.windows(2).all(|w| w[0] < w[1]), "query must be sorted");
         let mut stats = SearchStats::default();
         if q.is_empty() {
@@ -182,7 +237,7 @@ impl<'r> Koios<'r> {
                 stats,
             };
         }
-        let deadline = self.cfg.time_budget.map(|b| Instant::now() + b);
+        let deadline = effective_deadline(deadline, self.cfg.time_budget);
 
         let t0 = Instant::now();
         let mut stream = TokenStream::new(source, q.len());

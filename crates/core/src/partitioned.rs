@@ -9,7 +9,7 @@
 //! global ranking is well-defined.
 
 use crate::config::KoiosConfig;
-use crate::engine::Koios;
+use crate::engine::{effective_deadline, Koios};
 use crate::overlap::semantic_overlap;
 use crate::result::{Hit, ScoreBound, SearchResult};
 use crate::stats::SearchStats;
@@ -19,6 +19,7 @@ use koios_embed::repository::{RepoRef, Repository};
 use koios_embed::sim::ElementSimilarity;
 use koios_index::inverted::InvertedIndex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A Koios engine fanned out over `p` repository partitions.
 ///
@@ -81,13 +82,74 @@ impl<'r> PartitionedKoios<'r> {
         self.repo.get()
     }
 
+    /// The engine configuration (shared by every shard search).
+    pub fn config(&self) -> &KoiosConfig {
+        &self.cfg
+    }
+
+    /// The similarity function.
+    pub fn similarity(&self) -> &Arc<dyn ElementSimilarity> {
+        &self.sim
+    }
+
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.indexes.len()
     }
 
+    /// A sibling over the same repository, similarity and shard indexes but
+    /// a different configuration (no index rebuild — per-request `k`/`α`
+    /// overrides in serving layers are this cheap, mirroring
+    /// [`Koios::with_config`]).
+    pub fn with_config(&self, cfg: KoiosConfig) -> Self {
+        PartitionedKoios {
+            repo: self.repo.clone(),
+            sim: Arc::clone(&self.sim),
+            cfg,
+            indexes: self.indexes.clone(),
+        }
+    }
+
+    /// The exact semantic overlap of `query` with one set (verification
+    /// without any filtering; mirrors [`Koios::exact_overlap`]).
+    pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        semantic_overlap(self.repo.get(), self.sim.as_ref(), self.cfg.alpha, &q, set)
+    }
+
     /// Runs the query on all partitions in parallel and merges the results.
+    ///
+    /// The configuration's relative [`KoiosConfig::time_budget`] (when set)
+    /// starts counting here and bounds shards *and* merge; see
+    /// [`Self::search_with_deadline`] for the absolute-deadline variant
+    /// serving layers use.
     pub fn search(&self, query: &[TokenId]) -> SearchResult {
+        self.search_with_deadline(query, None)
+    }
+
+    /// Runs the query on all partitions in parallel, bounded by an
+    /// *absolute* deadline, and merges the results deadline-safely.
+    ///
+    /// The deadline (combined with the configuration's relative
+    /// `time_budget` — the earlier limit wins) is threaded through every
+    /// shard search **and** the merge phase, so a request whose budget
+    /// expires mid-merge stops doing exact-verification work immediately
+    /// instead of burning unbounded time after timing out. Hits left
+    /// unverified by an expiry keep their certified interval scores
+    /// ([`ScoreBound::Range`]) and the result honestly reports
+    /// `stats.timed_out = true`; complete runs return exact scores only.
+    pub fn search_with_deadline(
+        &self,
+        query: &[TokenId],
+        deadline: Option<Instant>,
+    ) -> SearchResult {
+        let deadline = effective_deadline(deadline, self.cfg.time_budget);
+        // Shards get the absolute deadline directly; clear the relative
+        // budget so it is not double-applied from each shard's start time.
+        let mut shard_cfg = self.cfg.clone();
+        shard_cfg.time_budget = None;
         let theta = SharedTheta::new();
         let partials: Vec<SearchResult> = std::thread::scope(|sc| {
             let handles: Vec<_> = self
@@ -98,10 +160,10 @@ impl<'r> PartitionedKoios<'r> {
                         self.repo.clone(),
                         Arc::clone(&self.sim),
                         Arc::clone(index),
-                        self.cfg.clone(),
+                        shard_cfg.clone(),
                     );
                     let theta = &theta;
-                    sc.spawn(move || engine.search_shared(query, theta))
+                    sc.spawn(move || engine.search_shared_deadline(query, theta, deadline))
                 })
                 .collect();
             handles
@@ -114,44 +176,95 @@ impl<'r> PartitionedKoios<'r> {
         q.sort_unstable();
         q.dedup();
 
-        // Merge-sort the k·p partial hits by exact score (verify interval
-        // hits on demand — at most k·p cheap matchings).
         let mut stats = SearchStats::default();
-        let mut merged: Vec<Hit> = Vec::new();
+        let mut pool: Vec<Hit> = Vec::new();
         for partial in partials {
             stats.merge_parallel(&partial.stats);
-            for hit in partial.hits {
-                let exact = match hit.score {
-                    ScoreBound::Exact(s) => s,
-                    ScoreBound::Range { .. } => {
-                        stats.em_full += 1; // merge-time verification
-                        semantic_overlap(
-                            self.repo.get(),
-                            self.sim.as_ref(),
-                            self.cfg.alpha,
-                            &q,
-                            hit.set,
-                        )
-                    }
-                };
-                merged.push(Hit {
-                    set: hit.set,
-                    score: ScoreBound::Exact(exact),
-                });
-            }
+            pool.extend(partial.hits);
         }
-        merged.sort_by(|a, b| {
+        let hits = self.merge_partials(&q, pool, deadline, &mut stats);
+        SearchResult { hits, stats }
+    }
+
+    /// Merges the `≤ k·p` partial hits into the global top-k.
+    ///
+    /// Partitions are disjoint, so every set appears at most once; the only
+    /// merge-time work is resolving interval-scored hits (certified by the
+    /// No-EM filter inside their shard) into exact scores so the global
+    /// ranking is well-defined. Hits are verified lazily in descending
+    /// upper-bound order, and verification stops early once the k-th best
+    /// exact score dominates every remaining upper bound — at that point no
+    /// unverified hit can enter the top-k. Before each verification the
+    /// deadline is checked; on expiry the remaining hits keep their
+    /// interval scores and `timed_out` is set.
+    fn merge_partials(
+        &self,
+        q: &[TokenId],
+        mut pool: Vec<Hit>,
+        deadline: Option<Instant>,
+        stats: &mut SearchStats,
+    ) -> Vec<Hit> {
+        // Descending UB, ties by set id — both the verification schedule
+        // and the final report order. A hit's exact score can only be at or
+        // below its UB, so once k exact scores strictly beat `pool[i].ub()`
+        // the suffix from `i` is out.
+        fn rank(a: &Hit, b: &Hit) -> std::cmp::Ordering {
             b.score
                 .ub()
                 .partial_cmp(&a.score.ub())
                 .expect("scores are never NaN")
                 .then_with(|| a.set.cmp(&b.set))
-        });
-        merged.truncate(self.cfg.k);
-        SearchResult {
-            hits: merged,
-            stats,
         }
+        pool.sort_by(rank);
+
+        let k = self.cfg.k;
+        // The k best exact scores so far, ascending (element 0 is the bar
+        // an unverified hit must clear).
+        let mut best: Vec<f64> = Vec::with_capacity(k + 1);
+        let mut resolved: Vec<Hit> = Vec::new();
+        let mut merged: Vec<Hit> = Vec::new();
+        for (i, hit) in pool.iter().enumerate() {
+            if best.len() == k && best[0] > hit.score.ub() {
+                // Top-k certain: every remaining UB sits strictly under the
+                // k-th best exact score. Exact UB ties are still verified —
+                // a tied hit with a smaller set id must win the final
+                // tie-break exactly as it would in an exhaustive merge.
+                break;
+            }
+            let exact = match hit.score {
+                ScoreBound::Exact(s) => s,
+                ScoreBound::Range { .. } => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Budget exhausted: no further exact matchings.
+                        // Surface the suffix as certified intervals.
+                        stats.timed_out = true;
+                        merged.extend_from_slice(&pool[i..]);
+                        break;
+                    }
+                    stats.em_full += 1; // merge-time verification
+                    semantic_overlap(
+                        self.repo.get(),
+                        self.sim.as_ref(),
+                        self.cfg.alpha,
+                        q,
+                        hit.set,
+                    )
+                }
+            };
+            resolved.push(Hit {
+                set: hit.set,
+                score: ScoreBound::Exact(exact),
+            });
+            let at = best.partition_point(|&b| b < exact);
+            best.insert(at, exact);
+            if best.len() > k {
+                best.remove(0);
+            }
+        }
+        merged.append(&mut resolved);
+        merged.sort_by(rank);
+        merged.truncate(k);
+        merged
     }
 }
 
@@ -225,6 +338,121 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_budget_performs_no_merge_verification() {
+        // Regression: merge-time exact verification used to run unbounded
+        // `semantic_overlap` calls with no deadline, so an expired request
+        // kept burning time after timing out.
+        let r = repo();
+        let q = r.intern_query(["t0", "t1", "t2", "t3"]);
+        let part = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(4, 0.9).with_time_budget(std::time::Duration::ZERO),
+            3,
+            1,
+        );
+        let res = part.search(&q);
+        assert!(res.stats.timed_out, "expired budget must be reported");
+        assert_eq!(res.stats.em_full, 0, "no exact matchings after expiry");
+    }
+
+    fn range(set: u32, lb: f64, ub: f64) -> Hit {
+        Hit {
+            set: SetId(set),
+            score: ScoreBound::Range { lb, ub },
+        }
+    }
+
+    #[test]
+    fn merge_stops_verifying_once_top_k_is_certain() {
+        let r = repo();
+        let part = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+            2,
+            1,
+        );
+        let q = r.intern_query(["t0", "t1"]);
+        let pool = vec![
+            Hit {
+                set: SetId(0),
+                score: ScoreBound::Exact(2.0),
+            },
+            Hit {
+                set: SetId(1),
+                score: ScoreBound::Exact(1.9),
+            },
+            // Both UBs sit under the 2nd-best exact score: unreachable.
+            range(2, 0.5, 1.5),
+            range(3, 0.5, 1.2),
+        ];
+        let mut stats = SearchStats::default();
+        let hits = part.merge_partials(&q, pool, None, &mut stats);
+        assert_eq!(stats.em_full, 0, "unreachable hits must not be verified");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.score.exact().is_some()));
+        assert!(!stats.timed_out);
+    }
+
+    #[test]
+    fn merge_verifies_ub_ties_for_deterministic_tie_break() {
+        // Regression for the early-termination bound: a Range hit whose UB
+        // exactly ties the k-th best exact score must still be verified —
+        // if its exact score ties too, the smaller set id wins the final
+        // tie-break, exactly as in an exhaustive merge. Sets 1 and 9 both
+        // have exact overlap 3 with the query; set 9 hides behind a loose
+        // UB of 5 and resolves first.
+        let r = repo();
+        let part = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(1, 0.9),
+            2,
+            1,
+        );
+        let q = r.intern_query(["t0", "t1", "t2", "t3"]);
+        let pool = vec![range(9, 1.0, 5.0), range(1, 1.0, 3.0)];
+        let mut stats = SearchStats::default();
+        let hits = part.merge_partials(&q, pool, None, &mut stats);
+        assert_eq!(stats.em_full, 2, "the tied-UB hit must be verified");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].set, SetId(1), "smaller id wins the exact tie");
+        assert_eq!(hits[0].score.exact(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_with_expired_deadline_keeps_ranges_and_flags_timeout() {
+        let r = repo();
+        let part = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+            2,
+            1,
+        );
+        let q = r.intern_query(["t0", "t1"]);
+        // Range hits whose UBs beat every exact score: the merge *wants* to
+        // verify them, but the deadline has already passed.
+        let pool = vec![
+            range(2, 1.0, 4.0),
+            range(3, 1.0, 3.5),
+            Hit {
+                set: SetId(0),
+                score: ScoreBound::Exact(2.0),
+            },
+        ];
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let mut stats = SearchStats::default();
+        let hits = part.merge_partials(&q, pool, Some(expired), &mut stats);
+        assert!(stats.timed_out, "expiry mid-merge must be reported");
+        assert_eq!(stats.em_full, 0, "no verification may run after expiry");
+        // Partial answer: unverified hits survive with their intervals.
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.score.exact().is_none()));
     }
 
     #[test]

@@ -68,6 +68,53 @@ fn partitioned_handles_k_larger_than_partition_yield() {
     }
 }
 
+/// Regression (merge-deadline fix): a partitioned search whose budget has
+/// already expired must perform **zero** exact verifications — shard-side
+/// or merge-side — while reporting the timeout honestly.
+#[test]
+fn expired_budget_runs_no_exact_verification() {
+    let c = corpus(903);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(c.embeddings.clone())));
+    let query = c.repository.set(SetId(5)).to_vec();
+    let engine = PartitionedKoios::new(
+        &c.repository,
+        sim.clone(),
+        KoiosConfig::new(6, 0.8).with_time_budget(std::time::Duration::ZERO),
+        4,
+        7,
+    );
+    let res = engine.search(&query);
+    assert!(res.stats.timed_out);
+    assert_eq!(res.stats.em_full, 0, "expired budget must not verify");
+
+    // Same through the absolute-deadline entry point serving layers use.
+    let engine = PartitionedKoios::new(&c.repository, sim, KoiosConfig::new(6, 0.8), 4, 7);
+    let expired = std::time::Instant::now() - std::time::Duration::from_millis(1);
+    let res = engine.search_with_deadline(&query, Some(expired));
+    assert!(res.stats.timed_out);
+    assert_eq!(res.stats.em_full, 0);
+}
+
+/// The absolute-deadline entry point with a generous deadline is exact and
+/// agrees with the budget-free search.
+#[test]
+fn generous_deadline_matches_unbounded_search() {
+    let c = corpus(904);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(c.embeddings.clone())));
+    let query = c.repository.set(SetId(9)).to_vec();
+    let engine = PartitionedKoios::new(&c.repository, sim, KoiosConfig::new(6, 0.8), 5, 7);
+    let free = engine.search(&query);
+    let far = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    let bounded = engine.search_with_deadline(&query, Some(far));
+    assert!(!bounded.stats.timed_out);
+    assert_eq!(free.hits.len(), bounded.hits.len());
+    for (a, b) in free.hits.iter().zip(&bounded.hits) {
+        assert!((a.score.ub() - b.score.ub()).abs() < EPS);
+    }
+}
+
 #[test]
 fn partition_seed_changes_sharding_not_results() {
     let c = corpus(902);
