@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8
-//! silkmoth ablation token_cache all`. Options: `--scale F` (corpus scale,
+//! silkmoth ablation token_cache partitioned all`. (`partitioned` also writes
+//! `BENCH_partitioned.json` to the working directory.) Options: `--scale F` (corpus scale,
 //! default 0.2), `--k N`, `--alpha F`, `--partitions N`, `--queries N` (per
 //! interval), `--timeout SECS`, `--seed N`.
 
@@ -18,7 +19,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|all>\n\
+        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|all>\n\
          \x20       [--scale F] [--k N] [--alpha F] [--partitions N] [--queries N] [--timeout SECS] [--seed N]"
     );
     std::process::exit(2);
@@ -76,6 +77,7 @@ fn main() {
         "silkmoth",
         "ablation",
         "token_cache",
+        "partitioned",
     ];
     let selected: Vec<&str> = if cmds.iter().any(|c| c == "all") {
         all.to_vec()
@@ -106,6 +108,7 @@ fn main() {
             "silkmoth" => experiments::silkmoth(&cfg),
             "ablation" => experiments::ablation(&cfg),
             "token_cache" => experiments::token_cache(&cfg),
+            "partitioned" => experiments::partitioned(&cfg),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

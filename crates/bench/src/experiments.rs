@@ -17,6 +17,7 @@ use koios_datagen::profiles;
 use koios_embed::sim::{ElementSimilarity, QGramJaccard};
 use koios_index::inverted::InvertedIndex;
 use koios_index::knn_cache::TokenKnnCache;
+use koios_service::{SearchRequest, SearchService, ServiceConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -686,6 +687,141 @@ pub fn token_cache(hc: &HarnessConfig) -> String {
     )
 }
 
+/// Shard-aware serving scaling experiment (ROADMAP "shard-aware service
+/// routing"; the serving-layer view of Fig. 7a): a [`SearchService`] over a
+/// partitioned backend, swept across shards × workers.
+///
+/// Every combination pushes the same benchmark workload (result cache
+/// bypassed so each request really searches) through the service and
+/// reports wall time, throughput, mean engine response time and timeouts.
+/// The `1 shard × 1 worker` cell is the single-engine reference; every
+/// other cell must return identical hit scores (`identical: true` in the
+/// output — sharding under a shared `θlb` is exact, §VI). Besides the
+/// rendered table, the rows are written to `BENCH_partitioned.json` in the
+/// working directory so CI can track scaling trends across commits.
+pub fn partitioned(hc: &HarnessConfig) -> String {
+    partitioned_with_output(hc, std::path::Path::new("BENCH_partitioned.json"))
+}
+
+/// [`partitioned`] with an explicit JSON artifact path (tests write to a
+/// temp location instead of the working directory).
+pub fn partitioned_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> String {
+    let profile = profiles::opendata(hc.scale);
+    let run = hc.profile_run(profile);
+    let repo = Arc::new(run.corpus.repository.clone());
+    let requests: Vec<SearchRequest> = run
+        .benchmark
+        .queries
+        .iter()
+        .map(|q| {
+            SearchRequest::new(q.tokens.clone())
+                .with_time_budget(hc.timeout)
+                .bypassing_cache()
+        })
+        .collect();
+
+    let mut shard_counts = vec![1usize, 2, hc.partitions.max(1)];
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let worker_counts = [1usize, 2, 4];
+
+    let mut t = TextTable::new(vec![
+        "shards",
+        "workers",
+        "wall",
+        "qps",
+        "avg response",
+        "timeouts",
+        "knn hit rate",
+    ]);
+    let mut reference: Vec<Vec<f64>> = Vec::new();
+    let mut identical = true;
+    let mut json_rows = String::new();
+    for &shards in &shard_counts {
+        for workers in worker_counts {
+            let service = SearchService::new_partitioned(
+                Arc::clone(&repo),
+                Arc::clone(&run.sim),
+                hc.koios_config(),
+                shards,
+                hc.seed,
+                ServiceConfig::new()
+                    .with_workers(workers)
+                    .with_cache_capacity(0),
+            );
+            let t0 = std::time::Instant::now();
+            let responses = service.search_batch(&requests);
+            let wall = t0.elapsed().as_secs_f64();
+
+            let scores: Vec<Vec<f64>> = responses
+                .iter()
+                .map(|r| r.result.hits.iter().map(|h| h.score.ub()).collect())
+                .collect();
+            if reference.is_empty() {
+                reference = scores;
+            } else {
+                identical &= reference.len() == scores.len()
+                    && reference.iter().zip(&scores).all(|(a, b)| {
+                        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+                    });
+            }
+
+            let timeouts = responses
+                .iter()
+                .filter(|r| r.result.stats.timed_out)
+                .count();
+            let avg_resp = avg(responses
+                .iter()
+                .map(|r| r.result.stats.response_time().as_secs_f64()));
+            let qps = requests.len() as f64 / wall.max(1e-9);
+            let st = service.stats();
+            let knn_rate = st.token_cache_hit_rate();
+            t.row(vec![
+                shards.to_string(),
+                workers.to_string(),
+                fmt_secs(wall),
+                format!("{qps:.1}"),
+                fmt_secs(avg_resp),
+                format!("{timeouts}/{}", requests.len()),
+                pct(knn_rate),
+            ]);
+            if !json_rows.is_empty() {
+                json_rows.push(',');
+            }
+            json_rows.push_str(&format!(
+                "\n    {{\"shards\": {shards}, \"workers\": {workers}, \"wall_secs\": {wall:.6}, \
+                 \"qps\": {qps:.3}, \"avg_response_secs\": {avg_resp:.6}, \
+                 \"timeouts\": {timeouts}, \"knn_hit_rate\": {knn_rate:.4}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"partitioned\",\n  \"scale\": {},\n  \"k\": {},\n  \
+         \"alpha\": {},\n  \"queries\": {},\n  \"identical\": {},\n  \"rows\": [{}\n  ]\n}}\n",
+        hc.scale,
+        hc.k,
+        hc.alpha,
+        requests.len(),
+        identical,
+        json_rows
+    );
+    let json_note = match std::fs::write(json_path, &json) {
+        Ok(()) => format!("rows written to {}", json_path.display()),
+        Err(e) => format!("could not write {}: {e}", json_path.display()),
+    };
+
+    format!(
+        "Partitioned serving — shards × workers over {} queries (k={}, α={},\n\
+         result cache bypassed; all cells identical to the 1-shard reference: {identical}).\n\
+         {json_note}.\n{}",
+        requests.len(),
+        hc.k,
+        hc.alpha,
+        t.render()
+    )
+}
+
 /// DESIGN §2 ablation: sound row-max iUB vs the paper's greedy iUB.
 pub fn ablation(hc: &HarnessConfig) -> String {
     let profile = profiles::opendata(hc.scale);
@@ -793,6 +929,22 @@ mod tests {
         assert!(out.contains("identical: true"), "{out}");
         assert!(out.contains("warm"));
         assert!(out.contains("hit rate"));
+    }
+
+    #[test]
+    fn partitioned_serving_is_identical_and_renders() {
+        let dir = std::env::temp_dir().join("koios-bench-partitioned-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("BENCH_partitioned.json");
+        let out = partitioned_with_output(&tiny(), &json_path);
+        assert!(
+            out.contains("identical to the 1-shard reference: true"),
+            "{out}"
+        );
+        assert!(out.contains("qps"));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"experiment\": \"partitioned\""));
+        assert!(json.contains("\"identical\": true"));
     }
 
     #[test]

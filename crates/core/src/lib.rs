@@ -20,6 +20,7 @@
 //! iUB bound ([`UbMode`]).
 
 pub mod audit;
+pub mod backend;
 pub mod buckets;
 pub mod config;
 pub mod engine;
@@ -33,6 +34,7 @@ pub mod stats;
 pub mod theta;
 
 pub use audit::{audit_result, AuditOutcome};
+pub use backend::EngineBackend;
 pub use config::{KoiosConfig, UbMode};
 pub use engine::{Koios, OwnedKoios};
 pub use many_to_one::{bounded_many_to_one_overlap, many_to_one_overlap};

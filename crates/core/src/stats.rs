@@ -31,7 +31,11 @@ pub struct SearchStats {
     pub no_em: usize,
     /// Exact matchings aborted by the label-sum filter (Lemma 8).
     pub em_early_terminated: usize,
-    /// Exact matchings run to completion.
+    /// Exact matchings run to completion. For a partitioned search this
+    /// also counts merge-time verifications of interval-scored hits
+    /// (see [`crate::PartitionedKoios::search_with_deadline`]) — after a deadline
+    /// expiry the merge performs none, so a timed-out partitioned search
+    /// reports exactly the matchings that ran before the budget lapsed.
     pub em_full: usize,
     /// Moves between iUB buckets (filter maintenance cost, §V).
     pub bucket_moves: usize,
@@ -39,7 +43,9 @@ pub struct SearchStats {
     pub refine_time: Duration,
     /// Wall time of the post-processing phase.
     pub postprocess_time: Duration,
-    /// Whether the time budget expired (partial results).
+    /// Whether the time budget expired (partial results). Sticky across
+    /// merges: a partitioned search is timed out if *any* shard — or the
+    /// merge loop itself — observed the expiry.
     pub timed_out: bool,
     /// Token-level kNN cache effectiveness (all zeros when the engine runs
     /// without a [`crate::KoiosConfig::token_cache`]): how many query

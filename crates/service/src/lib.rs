@@ -7,11 +7,18 @@
 //! filter–verification pipeline repeats most of its work across similar
 //! queries. This crate amortizes both:
 //!
-//! * **Owned engines** — [`SearchService`] holds a
-//!   [`Koios<'static>`](koios_core::OwnedKoios) built over an
-//!   `Arc<Repository>` (see [`koios_embed::repository::RepoRef`]), so the
-//!   service has no borrowed lifetime and can live for the process
-//!   duration, shared across threads.
+//! * **Owned engine backends** — [`SearchService`] holds an
+//!   [`EngineBackend`](koios_core::EngineBackend): a single
+//!   [`Koios<'static>`](koios_core::OwnedKoios) or a sharded
+//!   [`PartitionedKoios<'static>`](koios_core::OwnedPartitionedKoios)
+//!   (paper §VI: per-shard indexes searched in parallel under one shared
+//!   monotone `θlb`), built over an `Arc<Repository>` (see
+//!   [`koios_embed::repository::RepoRef`]), so the service has no borrowed
+//!   lifetime and can live for the process duration, shared across
+//!   threads. Routing is backend-transparent: identical queries produce
+//!   identical scores and identical cache keys on either variant, and
+//!   per-request deadlines bound every shard *and* the partitioned
+//!   merge-verification loop.
 //! * **A fixed worker pool** — [`SearchService::search_batch`] drains a
 //!   batch of requests over `std::thread::scope` workers and returns
 //!   responses in submission order. Per-request deadlines cover queue

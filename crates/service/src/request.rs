@@ -129,10 +129,15 @@ pub enum CacheOutcome {
     /// request also reports `Miss`, since the probe runs before admission
     /// control.
     Miss,
-    /// The cache was never consulted: the request opted out via
-    /// [`SearchRequest::bypass_cache`], or was rejected before the probe
-    /// (invalid parameter overrides).
+    /// The cache was never consulted because the request opted out via
+    /// [`SearchRequest::bypass_cache`].
     Bypassed,
+    /// The cache was never consulted because the request was rejected
+    /// before the probe (invalid parameter overrides) — reported truthfully
+    /// instead of masquerading as [`CacheOutcome::Bypassed`], so
+    /// per-outcome metrics never conflate deliberate bypasses with
+    /// rejections.
+    Rejected,
 }
 
 /// The service's answer to one [`SearchRequest`].
@@ -141,7 +146,8 @@ pub struct ServiceResponse {
     /// The search result. For cache hits the hits are the cached ones and
     /// the stats are zeroed (no engine work happened). For rejected
     /// requests the hits are empty; deadline rejections additionally set
-    /// `stats.timed_out` (invalid-parameter rejections do not).
+    /// `stats.timed_out` (invalid-parameter rejections do not, and report
+    /// [`CacheOutcome::Rejected`]).
     pub result: SearchResult,
     /// Cache participation.
     pub cache: CacheOutcome,

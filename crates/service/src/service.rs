@@ -4,7 +4,9 @@ use crate::cache::LruCache;
 use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 use crate::stats::ServiceStats;
 use koios_common::{SetId, TokenId};
-use koios_core::{Hit, KoiosConfig, OwnedKoios, SearchResult, SearchStats};
+use koios_core::{
+    EngineBackend, Hit, KoiosConfig, OwnedKoios, OwnedPartitionedKoios, SearchResult, SearchStats,
+};
 use koios_embed::repository::Repository;
 use koios_embed::sim::ElementSimilarity;
 use koios_index::knn_cache::TokenKnnCache;
@@ -78,6 +80,13 @@ impl ServiceConfig {
 
 /// Mutable service state behind one lock (counters only — the cache has
 /// its own lock so slow searches never serialize behind bookkeeping).
+///
+/// Counter semantics (mirrored on [`ServiceStats`]): `rejected` counts
+/// requests refused without running a search — expired deadline at
+/// admission or invalid parameter overrides. `timed_out` counts every
+/// request that observed a deadline expiry, whether at admission (also
+/// counted in `rejected`) or mid-search, so it always agrees with the
+/// number of responses carrying `stats.timed_out = true`.
 #[derive(Default)]
 struct StatsInner {
     queries: u64,
@@ -89,18 +98,26 @@ struct StatsInner {
     engine: SearchStats,
 }
 
-/// A long-lived, thread-safe serving layer over one owned Koios engine.
+/// A long-lived, thread-safe serving layer over one owned engine backend.
 ///
 /// The service amortizes index and similarity setup across queries: the
-/// engine is built once over an `Arc<Repository>` (see
-/// [`koios_embed::repository::RepoRef`]) and shared — immutably — by a
-/// fixed pool of scoped worker threads that drain each submitted batch.
-/// Results come back in submission order. Two caches compose: repeated
-/// queries are answered from an LRU result cache keyed by a stable
-/// fingerprint of the normalized query and every result-affecting
-/// parameter, and *overlapping* queries share per-element kNN lists
-/// through one [`TokenKnnCache`] installed into the engine configuration
-/// (see [`ServiceConfig::token_cache_bytes`]).
+/// backend — a single [`OwnedKoios`] or a sharded
+/// [`OwnedPartitionedKoios`], see [`EngineBackend`] — is built once over an
+/// `Arc<Repository>` (see [`koios_embed::repository::RepoRef`]) and shared
+/// — immutably — by a fixed pool of scoped worker threads that drain each
+/// submitted batch. Results come back in submission order, identical on
+/// either backend. Two caches compose: repeated queries are answered from
+/// an LRU result cache keyed by a stable fingerprint of the normalized
+/// query and every result-affecting parameter (backend-transparent — a
+/// result cached under one backend is a hit under the other), and
+/// *overlapping* queries share per-element kNN lists through one
+/// [`TokenKnnCache`] installed into the engine configuration and therefore
+/// into every shard engine (see [`ServiceConfig::token_cache_bytes`]; the
+/// `(token, α, generation)` key is shard-agnostic). Per-request deadlines
+/// are enforced end to end: admission control refuses dead requests, and
+/// the remaining budget is passed to the backend as an absolute deadline
+/// that bounds the search — on the partitioned backend, every shard *and*
+/// the merge-time verification loop.
 ///
 /// ```
 /// use koios_core::KoiosConfig;
@@ -125,7 +142,7 @@ struct StatsInner {
 /// assert_eq!(responses[0].result.hits.len(), 1);
 /// ```
 pub struct SearchService {
-    engine: OwnedKoios,
+    backend: EngineBackend,
     workers: usize,
     default_budget: Option<Duration>,
     // Values are `Arc`ed so a hit only bumps a refcount while the lock is
@@ -138,26 +155,54 @@ pub struct SearchService {
 }
 
 impl SearchService {
-    /// Builds the engine (inverted index included) over a shared repository
-    /// and wires up the service.
+    /// Builds a single engine (inverted index included) over a shared
+    /// repository and wires up the service.
     pub fn new(
         repo: Arc<Repository>,
         sim: Arc<dyn ElementSimilarity>,
         engine_cfg: KoiosConfig,
         cfg: ServiceConfig,
     ) -> Self {
-        Self::from_engine(OwnedKoios::new(repo, sim, engine_cfg), cfg)
+        Self::from_backend(OwnedKoios::new(repo, sim, engine_cfg), cfg)
     }
 
-    /// Wraps an already-built owned engine. When `cfg.token_cache_bytes`
-    /// is non-zero and the engine does not already carry a token cache,
-    /// one shared [`TokenKnnCache`] is created and installed into the
-    /// engine configuration, so every worker (and every per-request
-    /// config override) reuses the same per-element kNN lists. An
-    /// engine-supplied cache is kept (its own byte budget wins); setting
+    /// Builds a sharded engine — `partitions` per-shard inverted indexes
+    /// searched in parallel under a shared `θlb` (paper §VI) — and wires up
+    /// the service. `shard_seed` drives the deterministic pseudo-random
+    /// partition assignment. Results, and therefore result-cache keys, are
+    /// identical to the single-engine service.
+    pub fn new_partitioned(
+        repo: Arc<Repository>,
+        sim: Arc<dyn ElementSimilarity>,
+        engine_cfg: KoiosConfig,
+        partitions: usize,
+        shard_seed: u64,
+        cfg: ServiceConfig,
+    ) -> Self {
+        Self::from_backend(
+            OwnedPartitionedKoios::new(repo, sim, engine_cfg, partitions, shard_seed),
+            cfg,
+        )
+    }
+
+    /// Wraps an already-built owned engine (compatibility alias for
+    /// [`Self::from_backend`], which accepts either backend variant).
+    pub fn from_engine(engine: OwnedKoios, cfg: ServiceConfig) -> Self {
+        Self::from_backend(engine, cfg)
+    }
+
+    /// Wraps an already-built owned backend (single or partitioned). When
+    /// `cfg.token_cache_bytes` is non-zero and the backend does not already
+    /// carry a token cache, one shared [`TokenKnnCache`] is created and
+    /// installed into the engine configuration, so every worker, every
+    /// per-request config override — and, on a partitioned backend, every
+    /// shard engine — reuses the same per-element kNN lists (sound: the
+    /// `(token, α, generation)` cache key is query- and shard-agnostic). A
+    /// backend-supplied cache is kept (its own byte budget wins); setting
     /// `token_cache_bytes` to `0` disables token caching even then, by
     /// stripping the cache from the engine configuration.
-    pub fn from_engine(engine: OwnedKoios, cfg: ServiceConfig) -> Self {
+    pub fn from_backend(backend: impl Into<EngineBackend>, cfg: ServiceConfig) -> Self {
+        let backend = backend.into();
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -165,22 +210,25 @@ impl SearchService {
         } else {
             cfg.workers
         };
-        let (engine, token_cache) = match engine.config().token_cache.clone() {
+        let (backend, token_cache) = match backend.config().token_cache.clone() {
             Some(_) if cfg.token_cache_bytes == 0 => {
-                let mut engine_cfg = engine.config().clone();
+                let mut engine_cfg = backend.config().clone();
                 engine_cfg.token_cache = None;
-                (engine.with_config(engine_cfg), None)
+                (backend.with_config(engine_cfg), None)
             }
-            Some(existing) => (engine, Some(existing)),
+            Some(existing) => (backend, Some(existing)),
             None if cfg.token_cache_bytes > 0 => {
                 let cache = Arc::new(TokenKnnCache::new(cfg.token_cache_bytes));
-                let engine_cfg = engine.config().clone().with_token_cache(Arc::clone(&cache));
-                (engine.with_config(engine_cfg), Some(cache))
+                let engine_cfg = backend
+                    .config()
+                    .clone()
+                    .with_token_cache(Arc::clone(&cache));
+                (backend.with_config(engine_cfg), Some(cache))
             }
-            None => (engine, None),
+            None => (backend, None),
         };
         SearchService {
-            engine,
+            backend,
             workers,
             default_budget: cfg.default_time_budget,
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
@@ -189,9 +237,9 @@ impl SearchService {
         }
     }
 
-    /// The shared engine.
-    pub fn engine(&self) -> &OwnedKoios {
-        &self.engine
+    /// The shared engine backend.
+    pub fn backend(&self) -> &EngineBackend {
+        &self.backend
     }
 
     /// The resolved worker-pool width.
@@ -199,9 +247,15 @@ impl SearchService {
         self.workers
     }
 
+    /// Number of index partitions the backend searches (1 for a single
+    /// engine).
+    pub fn partitions(&self) -> usize {
+        self.backend.num_partitions()
+    }
+
     /// The repository behind the engine.
     pub fn repository(&self) -> &Repository {
-        self.engine.repository()
+        self.backend.repository()
     }
 
     /// Runs one request (a batch of one).
@@ -291,6 +345,7 @@ impl SearchService {
             searched: st.searched,
             rejected: st.rejected,
             timed_out: st.timed_out,
+            partitions: self.backend.num_partitions(),
             cache,
             token_cache: self.token_cache.as_ref().map(|tc| tc.snapshot()),
             engine: st.engine.clone(),
@@ -309,7 +364,7 @@ impl SearchService {
 
     /// Exact overlap oracle passthrough (auditing cached answers).
     pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
-        self.engine.exact_overlap(query, set)
+        self.backend.exact_overlap(query, set)
     }
 
     /// The full request lifecycle: normalize → cache probe → admission →
@@ -317,8 +372,9 @@ impl SearchService {
     fn process_one(&self, req: &SearchRequest, submitted: Instant) -> ServiceResponse {
         let queue_time = submitted.elapsed();
 
-        // Effective per-request configuration (cheap: no index rebuild).
-        let mut cfg = self.engine.config().clone();
+        // Effective per-request configuration (cheap: no index rebuild on
+        // either backend).
+        let mut cfg = self.backend.config().clone();
         if let Some(k) = req.k {
             cfg.k = k;
         }
@@ -329,7 +385,7 @@ impl SearchService {
             self.stats.lock().expect("stats lock").rejected += 1;
             return ServiceResponse {
                 result: SearchResult::default(),
-                cache: CacheOutcome::Bypassed,
+                cache: CacheOutcome::Rejected,
                 rejected: true,
                 queue_time,
             };
@@ -359,17 +415,23 @@ impl SearchService {
             }
         }
 
-        // Admission control: refuse to start work for a dead request, and
-        // clamp the engine budget to what remains of the deadline.
+        // Admission control: refuse to start work for a dead request. The
+        // deadline is passed to the backend as an *absolute* instant, so it
+        // bounds the whole remaining search — on a partitioned backend,
+        // every shard and the merge-time verification loop.
         let deadline = req
             .time_budget
             .or(self.default_budget)
             .map(|b| submitted + b);
         if let Some(d) = deadline {
-            let now = Instant::now();
-            if now >= d {
+            if Instant::now() >= d {
                 let mut st = self.stats.lock().expect("stats lock");
+                // A deadline expiry at admission is both a rejection and a
+                // timeout: callers observe `stats.timed_out = true`, so the
+                // service-level counter must agree (it counts every request
+                // that observed an expiry, admitted or not).
                 st.rejected += 1;
+                st.timed_out += 1;
                 let stats = SearchStats {
                     timed_out: true,
                     ..SearchStats::default()
@@ -388,15 +450,10 @@ impl SearchService {
                     queue_time,
                 };
             }
-            let remaining = d - now;
-            cfg.time_budget = Some(match cfg.time_budget {
-                Some(b) => b.min(remaining),
-                None => remaining,
-            });
         }
 
-        let engine = self.engine.with_config(cfg);
-        let result = engine.search(&key.tokens);
+        let backend = self.backend.with_config(cfg);
+        let result = backend.search_with_deadline(&key.tokens, deadline);
 
         // Only complete answers are worth caching: a timed-out search holds
         // partial hits that a later, luckier run could improve on.
@@ -456,7 +513,7 @@ mod tests {
     fn single_request_matches_engine() {
         let (repo, svc) = service(2, 8);
         let q = repo.intern_query(["a", "b", "c"]);
-        let direct = svc.engine().search(&q);
+        let direct = svc.backend().search(&q);
         let resp = svc.search(SearchRequest::new(q));
         assert!(!resp.rejected);
         assert_eq!(resp.cache, CacheOutcome::Miss);
@@ -518,14 +575,24 @@ mod tests {
     }
 
     #[test]
-    fn invalid_overrides_are_rejected() {
+    fn invalid_overrides_are_rejected_with_truthful_outcome() {
         let (repo, svc) = service(1, 8);
         let q = repo.intern_query(["a"]);
         let r = svc.search(SearchRequest::new(q.clone()).with_k(0));
         assert!(r.rejected);
-        let r = svc.search(SearchRequest::new(q).with_alpha(1.5));
+        // The request never asked to bypass the cache, so the outcome must
+        // not claim it did; the cache was skipped because of the rejection.
+        assert_eq!(r.cache, CacheOutcome::Rejected);
+        let r = svc.search(SearchRequest::new(q.clone()).with_alpha(1.5));
         assert!(r.rejected);
-        assert_eq!(svc.stats().rejected, 2);
+        assert_eq!(r.cache, CacheOutcome::Rejected);
+        // A bypassing invalid request also reports the rejection.
+        let r = svc.search(SearchRequest::new(q).with_k(0).bypassing_cache());
+        assert_eq!(r.cache, CacheOutcome::Rejected);
+        let st = svc.stats();
+        assert_eq!(st.rejected, 3);
+        // Parameter rejections are not deadline expiries.
+        assert_eq!(st.timed_out, 0);
     }
 
     #[test]
@@ -539,6 +606,61 @@ mod tests {
         let st = svc.stats();
         assert_eq!(st.rejected, 1);
         assert_eq!(st.searched, 0);
+        // The response reported `timed_out`, so the service counter agrees
+        // (admission expiries used to be invisible in `timed_out`).
+        assert_eq!(st.timed_out, 1);
+    }
+
+    #[test]
+    fn partitioned_backend_serves_identical_results() {
+        let (repo, svc) = service(2, 8);
+        let q = repo.intern_query(["a", "b", "c"]);
+        let single = svc.search(SearchRequest::new(q.clone()));
+        for parts in [1usize, 2, 8] {
+            let parted = SearchService::new_partitioned(
+                Arc::clone(&repo),
+                Arc::new(EqualitySimilarity),
+                KoiosConfig::new(2, 0.9),
+                parts,
+                7,
+                ServiceConfig::new().with_workers(2).with_cache_capacity(8),
+            );
+            assert_eq!(parted.partitions(), parts);
+            assert_eq!(parted.stats().partitions, parts);
+            let r = parted.search(SearchRequest::new(q.clone()));
+            assert_eq!(r.result.hits.len(), single.result.hits.len());
+            for (a, b) in r.result.hits.iter().zip(&single.result.hits) {
+                assert_eq!(a.set, b.set, "parts={parts}");
+                assert!((a.score.ub() - b.score.ub()).abs() < 1e-9, "parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_shards_share_one_token_cache() {
+        let (repo, _) = service(1, 8);
+        let svc = SearchService::new_partitioned(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+            4,
+            7,
+            ServiceConfig::new().with_workers(1).with_cache_capacity(0),
+        );
+        let q = repo.intern_query(["a", "b", "c"]);
+        let cold = svc.search(SearchRequest::new(q.clone()));
+        // 4 shards × 3 elements probe the one shared cache; every probe
+        // resolves (hit or miss), and at least the non-first shards of each
+        // element can hit.
+        let cold_knn = &cold.result.stats.knn_cache;
+        assert_eq!(cold_knn.hits + cold_knn.misses, 4 * 3);
+        assert!(cold_knn.misses >= 3, "first resolver per element misses");
+        // A repeat search hits for every element in every shard.
+        let warm = svc.search(SearchRequest::new(q));
+        let warm_knn = &warm.result.stats.knn_cache;
+        assert_eq!(warm_knn.hits, 4 * 3, "warm shards all hit: {warm_knn:?}");
+        assert_eq!(warm_knn.misses, 0);
+        assert_eq!(warm.result.hits, cold.result.hits);
     }
 
     #[test]
@@ -602,7 +724,7 @@ mod tests {
         assert_eq!(after.generation, before.generation + 1);
         // A rerun repopulates under the new generation, results unchanged.
         let rerun = svc.search(SearchRequest::new(q.clone()).bypassing_cache());
-        assert_eq!(rerun.result.hits, svc.engine().search(&q).hits);
+        assert_eq!(rerun.result.hits, svc.backend().search(&q).hits);
         assert!(svc.token_cache().unwrap().snapshot().entries > 0);
     }
 
@@ -647,7 +769,7 @@ mod tests {
             svc.token_cache().is_none(),
             "0 disables even a preinstalled cache"
         );
-        assert!(svc.engine().config().token_cache.is_none());
+        assert!(svc.backend().config().token_cache.is_none());
         let q = repo.intern_query(["a", "b"]);
         let r = svc.search(SearchRequest::new(q));
         assert_eq!(r.result.stats.knn_cache, Default::default());
@@ -665,7 +787,7 @@ mod tests {
         // correctness plus a shared-cache effect.
         let reqs: Vec<SearchRequest> = (0..8).map(|_| SearchRequest::new(q.clone())).collect();
         let responses = svc.search_batch(&reqs);
-        let direct = svc.engine().search(&q);
+        let direct = svc.backend().search(&q);
         for r in &responses {
             assert_eq!(r.result.hits, direct.hits);
         }
@@ -696,7 +818,7 @@ mod tests {
         let responses = svc.search_batch(&requests);
         assert_eq!(responses.len(), queries.len());
         for (q, r) in queries.iter().zip(&responses) {
-            let direct = svc.engine().search(q);
+            let direct = svc.backend().search(q);
             assert_eq!(r.result.hits, direct.hits, "order mismatch for {q:?}");
         }
     }

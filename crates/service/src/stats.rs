@@ -23,12 +23,19 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Requests that had to run a search.
     pub searched: u64,
-    /// Requests refused by admission control (deadline already expired
-    /// or invalid parameter overrides).
+    /// Requests refused without running a search: their deadline had
+    /// already expired at admission, or their parameter overrides were
+    /// invalid. Deadline expiries are *also* counted in `timed_out`.
     pub rejected: u64,
-    /// Searches that ran but hit their deadline mid-flight (partial
-    /// results, not cached).
+    /// Requests that observed a deadline expiry — rejected at admission
+    /// (also in `rejected`) or expired mid-search (partial results, not
+    /// cached). Always agrees with the number of responses whose
+    /// `result.stats.timed_out` is set, so callers and operators see the
+    /// same count.
     pub timed_out: u64,
+    /// Number of index partitions the backend searches (1 for a single
+    /// engine; see [`koios_core::EngineBackend`]).
+    pub partitions: usize,
     /// Result-cache behaviour (hits/misses/evictions/invalidations).
     pub cache: CacheCounters,
     /// Shared token-level kNN cache state and behaviour (`None` when the

@@ -103,8 +103,8 @@ pub use koios_service as service;
 pub mod prelude {
     pub use koios_common::prelude::*;
     pub use koios_core::{
-        Hit, Koios, KoiosConfig, OwnedKoios, PartitionedKoios, ScoreBound, SearchResult,
-        SharedTheta, UbMode,
+        EngineBackend, Hit, Koios, KoiosConfig, OwnedKoios, OwnedPartitionedKoios,
+        PartitionedKoios, ScoreBound, SearchResult, SharedTheta, UbMode,
     };
     pub use koios_embed::repository::{RepoRef, Repository, RepositoryBuilder};
     pub use koios_embed::sim::{

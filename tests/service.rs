@@ -34,7 +34,10 @@ fn concurrent_batch_matches_sequential_search() {
         .map(|i| repo.set(SetId((i % 16) as u32)).to_vec())
         .collect();
 
-    let expected: Vec<SearchResult> = queries.iter().map(|q| service.engine().search(q)).collect();
+    let expected: Vec<SearchResult> = queries
+        .iter()
+        .map(|q| service.backend().search(q))
+        .collect();
 
     let requests: Vec<SearchRequest> = queries.iter().cloned().map(SearchRequest::new).collect();
     let responses = service.search_batch(&requests);
@@ -130,6 +133,159 @@ fn expired_and_tiny_deadlines_set_timed_out_without_panicking() {
     assert!(!ok.rejected);
     assert!(!ok.result.hits.is_empty());
     assert!(service.stats().rejected >= 1);
+}
+
+/// A service routed to a partitioned backend is indistinguishable from the
+/// single-engine service: identical hit scores across partition counts,
+/// including under per-request `k`/`α` overrides (§VI: sharded search under
+/// one shared `θlb` is exact).
+#[test]
+fn partitioned_service_matches_single_engine_service() {
+    let corpus = Corpus::generate(CorpusSpec::small(7));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    // no_em_filter off: every hit carries an exact score, so single and
+    // partitioned answers are comparable hit-for-hit.
+    let mut engine_cfg = KoiosConfig::new(5, 0.8);
+    engine_cfg.no_em_filter = false;
+    let single = SearchService::new(
+        Arc::clone(&repo),
+        Arc::clone(&sim),
+        engine_cfg.clone(),
+        ServiceConfig::new().with_workers(2).with_cache_capacity(0),
+    );
+
+    let queries: Vec<Vec<TokenId>> = (0..8).map(|i| repo.set(SetId(i as u32)).to_vec()).collect();
+    let overrides: [(Option<usize>, Option<f64>); 3] =
+        [(None, None), (Some(2), None), (Some(3), Some(0.7))];
+
+    for parts in [1usize, 2, 8] {
+        let parted = SearchService::new_partitioned(
+            Arc::clone(&repo),
+            Arc::clone(&sim),
+            engine_cfg.clone(),
+            parts,
+            0xBEEF,
+            ServiceConfig::new().with_workers(2).with_cache_capacity(0),
+        );
+        assert_eq!(parted.partitions(), parts);
+        for q in &queries {
+            for (k, alpha) in overrides {
+                let mut req = SearchRequest::new(q.clone());
+                if let Some(k) = k {
+                    req = req.with_k(k);
+                }
+                if let Some(a) = alpha {
+                    req = req.with_alpha(a);
+                }
+                let want = single.search(req.clone());
+                let got = parted.search(req);
+                assert!(!got.rejected && !want.rejected);
+                let want_scores: Vec<f64> = want.result.hits.iter().map(|h| h.score.ub()).collect();
+                let got_scores: Vec<f64> = got.result.hits.iter().map(|h| h.score.ub()).collect();
+                assert_eq!(
+                    got_scores.len(),
+                    want_scores.len(),
+                    "parts={parts} k={k:?} α={alpha:?}"
+                );
+                for (a, b) in got_scores.iter().zip(&want_scores) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "parts={parts} k={k:?} α={alpha:?}: {got_scores:?} vs {want_scores:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One token cache serves every shard of a partitioned service: overlapping
+/// queries hit lists another shard (or query) filled, and the result cache
+/// stays backend-transparent.
+#[test]
+fn partitioned_service_shares_token_cache_across_shards() {
+    let corpus = Corpus::generate(CorpusSpec::small(11));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    let svc = SearchService::new_partitioned(
+        Arc::clone(&repo),
+        sim,
+        KoiosConfig::new(5, 0.8),
+        4,
+        3,
+        ServiceConfig::new().with_workers(1).with_cache_capacity(16),
+    );
+    assert!(svc.token_cache().is_some());
+
+    let q = repo.set(SetId(0)).to_vec();
+    let cold = svc.search(SearchRequest::new(q.clone()));
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    let knn = &cold.result.stats.knn_cache;
+    // Every (element, shard) probe resolved against the one shared cache.
+    // Shards race within a search, so an element can miss in several shards
+    // before the first list is recorded — but never fewer than once.
+    assert_eq!(knn.hits + knn.misses, 4 * q.len());
+    assert!(knn.misses >= q.len(), "first resolver per element misses");
+
+    // An overlapping (not identical) query reuses the shared lists.
+    let mut overlapping = q.clone();
+    overlapping.pop();
+    let warm = svc.search(SearchRequest::new(overlapping));
+    assert_eq!(warm.cache, CacheOutcome::Miss);
+    assert!(
+        warm.result.stats.knn_cache.hits >= 4 * (q.len() - 1),
+        "shared elements hit in every shard: {:?}",
+        warm.result.stats.knn_cache
+    );
+
+    // Identical resubmission: served by the result cache, backend never runs.
+    let hit = svc.search(SearchRequest::new(q));
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(hit.result.hits, cold.result.hits);
+}
+
+/// Deadline accounting is consistent between responses and service stats on
+/// both backends, and an expired partitioned request does no merge work.
+#[test]
+fn partitioned_service_timeout_accounting_is_consistent() {
+    let corpus = Corpus::generate(CorpusSpec::small(13));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    let svc = SearchService::new_partitioned(
+        Arc::clone(&repo),
+        sim,
+        KoiosConfig::new(5, 0.8),
+        4,
+        3,
+        ServiceConfig::new().with_workers(2).with_cache_capacity(16),
+    );
+    let q = repo.set(SetId(2)).to_vec();
+
+    // Admission expiry: rejected, flagged, and *counted* as timed out.
+    let dead = svc.search(
+        SearchRequest::new(q.clone())
+            .bypassing_cache()
+            .with_time_budget(Duration::ZERO),
+    );
+    assert!(dead.rejected);
+    assert!(dead.result.stats.timed_out);
+    assert_eq!(dead.result.stats.em_full, 0, "no work for a dead request");
+    let st = svc.stats();
+    assert_eq!(st.rejected, 1);
+    assert_eq!(
+        st.timed_out, 1,
+        "admission expiry must be visible in timed_out"
+    );
+    assert_eq!(st.searched, 0);
+
+    // A healthy follow-up still works and leaves the counters alone.
+    let ok = svc.search(SearchRequest::new(q));
+    assert!(!ok.rejected && !ok.result.stats.timed_out);
+    let st = svc.stats();
+    assert_eq!((st.rejected, st.timed_out, st.searched), (1, 1, 1));
 }
 
 /// Mixed batches keep submission order even when some requests reject.
