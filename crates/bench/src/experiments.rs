@@ -11,7 +11,7 @@ use crate::setup::{cap_queries, setup_profile, ProfileRun};
 use crate::table::{fmt_secs, pct, TextTable};
 use koios_baselines::silkmoth::{SilkMoth, SilkMothVariant};
 use koios_baselines::vanilla_topk;
-use koios_common::{SetId, TokenId};
+use koios_common::{Json, SetId, TokenId};
 use koios_core::{Koios, KoiosConfig, PartitionedKoios, SearchResult, UbMode};
 use koios_datagen::profiles;
 use koios_embed::sim::{ElementSimilarity, QGramJaccard};
@@ -736,7 +736,7 @@ pub fn partitioned_with_output(hc: &HarnessConfig, json_path: &std::path::Path) 
     ]);
     let mut reference: Vec<Vec<f64>> = Vec::new();
     let mut identical = true;
-    let mut json_rows = String::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     for &shards in &shard_counts {
         for workers in worker_counts {
             let service = SearchService::new_partitioned(
@@ -785,27 +785,32 @@ pub fn partitioned_with_output(hc: &HarnessConfig, json_path: &std::path::Path) 
                 format!("{timeouts}/{}", requests.len()),
                 pct(knn_rate),
             ]);
-            if !json_rows.is_empty() {
-                json_rows.push(',');
-            }
-            json_rows.push_str(&format!(
-                "\n    {{\"shards\": {shards}, \"workers\": {workers}, \"wall_secs\": {wall:.6}, \
-                 \"qps\": {qps:.3}, \"avg_response_secs\": {avg_resp:.6}, \
-                 \"timeouts\": {timeouts}, \"knn_hit_rate\": {knn_rate:.4}}}"
-            ));
+            json_rows.push(Json::obj([
+                ("shards", Json::num(shards as f64)),
+                ("workers", Json::num(workers as f64)),
+                ("wall_secs", Json::num(wall)),
+                ("qps", Json::num(qps)),
+                ("avg_response_secs", Json::num(avg_resp)),
+                ("timeouts", Json::num(timeouts as f64)),
+                ("knn_hit_rate", Json::num(knn_rate)),
+            ]));
         }
     }
 
-    let json = format!(
-        "{{\n  \"experiment\": \"partitioned\",\n  \"scale\": {},\n  \"k\": {},\n  \
-         \"alpha\": {},\n  \"queries\": {},\n  \"identical\": {},\n  \"rows\": [{}\n  ]\n}}\n",
-        hc.scale,
-        hc.k,
-        hc.alpha,
-        requests.len(),
-        identical,
-        json_rows
-    );
+    // The artifact goes through the shared encoder (one JSON
+    // implementation in the workspace; non-finite values become `null`
+    // instead of invalid JSON). CI greps for `"identical":true`.
+    let json = Json::obj([
+        ("experiment", Json::str("partitioned")),
+        ("scale", Json::num(hc.scale)),
+        ("k", Json::num(hc.k as f64)),
+        ("alpha", Json::num(hc.alpha)),
+        ("queries", Json::num(requests.len() as f64)),
+        ("identical", Json::Bool(identical)),
+        ("rows", Json::Arr(json_rows)),
+    ])
+    .encode()
+        + "\n";
     let json_note = match std::fs::write(json_path, &json) {
         Ok(()) => format!("rows written to {}", json_path.display()),
         Err(e) => format!("could not write {}: {e}", json_path.display()),
@@ -818,6 +823,190 @@ pub fn partitioned_with_output(hc: &HarnessConfig, json_path: &std::path::Path) 
         requests.len(),
         hc.k,
         hc.alpha,
+        t.render()
+    )
+}
+
+/// Network serving experiment (ROADMAP "async / network front-end"): an
+/// in-process [`KoiosServer`](koios_net::KoiosServer) driven by N
+/// concurrent HTTP clients.
+///
+/// The service (partitioned backend, persistent worker pool, result cache
+/// bypassed so every request really searches) is bound to an ephemeral
+/// loopback port; client-count sweeps push the benchmark workload through
+/// `POST /search` and measure end-to-end latency — HTTP framing, JSON,
+/// queueing *and* engine time. Every wire response is checked against the
+/// in-process reference scores (`identical: true`), and the rows are
+/// written to `BENCH_serving.json` (throughput + p50/p99 latency) so CI can
+/// track the serving path across commits.
+pub fn serving(hc: &HarnessConfig) -> String {
+    serving_with_output(hc, std::path::Path::new("BENCH_serving.json"))
+}
+
+/// [`serving`] with an explicit JSON artifact path (tests write to a temp
+/// location instead of the working directory).
+pub fn serving_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> String {
+    use koios_net::{client::KoiosClient, server::KoiosServer};
+
+    let profile = profiles::opendata(hc.scale);
+    let run = hc.profile_run(profile);
+    let repo = Arc::new(run.corpus.repository.clone());
+    let service = Arc::new(SearchService::new_partitioned(
+        Arc::clone(&repo),
+        Arc::clone(&run.sim),
+        hc.koios_config(),
+        hc.partitions.max(1),
+        hc.seed,
+        ServiceConfig::new().with_workers(4).with_cache_capacity(0),
+    ));
+
+    let queries: Vec<Vec<TokenId>> = run
+        .benchmark
+        .queries
+        .iter()
+        .map(|q| q.tokens.clone())
+        .collect();
+    // In-process reference scores for the identity check.
+    let reference: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| {
+            service
+                .search(SearchRequest::new(q.clone()).bypassing_cache())
+                .result
+                .hits
+                .iter()
+                .map(|h| h.score.ub())
+                .collect()
+        })
+        .collect();
+    let bodies: Vec<Json> = queries
+        .iter()
+        .map(|q| {
+            Json::obj([
+                ("tokens", Json::arr(q.iter().map(|t| Json::num(t.0 as f64)))),
+                ("bypass_cache", Json::Bool(true)),
+                ("time_budget_ms", Json::num(hc.timeout.as_millis() as f64)),
+            ])
+        })
+        .collect();
+
+    let server = match KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => return format!("Serving — could not bind a loopback port: {e}"),
+    };
+    let addr = server.addr();
+
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+
+    let mut t = TextTable::new(vec![
+        "clients",
+        "requests",
+        "wall",
+        "qps",
+        "p50 latency",
+        "p99 latency",
+    ]);
+    let mut identical = true;
+    let mut json_rows: Vec<Json> = Vec::new();
+    for clients in [1usize, 2, 4] {
+        let t0 = std::time::Instant::now();
+        let per_thread: Vec<(Vec<f64>, bool)> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let bodies = &bodies;
+                    let reference = &reference;
+                    sc.spawn(move || {
+                        let mut client = KoiosClient::new(addr);
+                        let mut latencies = Vec::with_capacity(bodies.len());
+                        let mut ok = true;
+                        for (body, want) in bodies.iter().zip(reference) {
+                            let r0 = std::time::Instant::now();
+                            let reply = client.search(body);
+                            latencies.push(r0.elapsed().as_secs_f64() * 1e3);
+                            let mut got: Option<Vec<f64>> = None;
+                            if let Ok((200, j)) = reply {
+                                if let Some(hits) = j.get("hits").and_then(Json::as_array) {
+                                    let scores: Vec<f64> = hits
+                                        .iter()
+                                        .filter_map(|h| h.get("ub").and_then(Json::as_f64))
+                                        .collect();
+                                    if scores.len() == hits.len() {
+                                        got = Some(scores);
+                                    }
+                                }
+                            }
+                            ok &= matches!(
+                                &got,
+                                Some(got) if got.len() == want.len()
+                                    && got.iter().zip(want).all(|(a, b)| (a - b).abs() < 1e-9)
+                            );
+                        }
+                        (latencies, ok)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+
+        let mut latencies: Vec<f64> = Vec::new();
+        for (lat, ok) in per_thread {
+            identical &= ok;
+            latencies.extend(lat);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let requests = latencies.len();
+        let qps = requests as f64 / wall.max(1e-9);
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        t.row(vec![
+            clients.to_string(),
+            requests.to_string(),
+            fmt_secs(wall),
+            format!("{qps:.1}"),
+            format!("{p50:.2}ms"),
+            format!("{p99:.2}ms"),
+        ]);
+        json_rows.push(Json::obj([
+            ("clients", Json::num(clients as f64)),
+            ("requests", Json::num(requests as f64)),
+            ("wall_secs", Json::num(wall)),
+            ("qps", Json::num(qps)),
+            ("p50_ms", Json::num(p50)),
+            ("p99_ms", Json::num(p99)),
+        ]));
+    }
+
+    // Shared encoder, same as `partitioned` — CI greps `"identical":true`.
+    let json = Json::obj([
+        ("experiment", Json::str("serving")),
+        ("scale", Json::num(hc.scale)),
+        ("k", Json::num(hc.k as f64)),
+        ("alpha", Json::num(hc.alpha)),
+        ("partitions", Json::num(hc.partitions.max(1) as f64)),
+        ("queries", Json::num(queries.len() as f64)),
+        ("identical", Json::Bool(identical)),
+        ("rows", Json::Arr(json_rows)),
+    ])
+    .encode()
+        + "\n";
+    let json_note = match std::fs::write(json_path, &json) {
+        Ok(()) => format!("rows written to {}", json_path.display()),
+        Err(e) => format!("could not write {}: {e}", json_path.display()),
+    };
+
+    format!(
+        "Serving over HTTP — clients × {} queries against an in-process koios-net\n\
+         server ({} partitions, 4 workers, result cache bypassed; all wire scores\n\
+         identical to in-process search: {identical}).\n{json_note}.\n{}",
+        queries.len(),
+        hc.partitions.max(1),
         t.render()
     )
 }
@@ -943,8 +1132,25 @@ mod tests {
         );
         assert!(out.contains("qps"));
         let json = std::fs::read_to_string(&json_path).unwrap();
-        assert!(json.contains("\"experiment\": \"partitioned\""));
-        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"experiment\":\"partitioned\""));
+        assert!(json.contains("\"identical\":true"));
+    }
+
+    #[test]
+    fn serving_over_http_is_identical_and_renders() {
+        let dir = std::env::temp_dir().join("koios-bench-serving-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("BENCH_serving.json");
+        let out = serving_with_output(&tiny(), &json_path);
+        assert!(
+            out.contains("identical to in-process search: true"),
+            "{out}"
+        );
+        assert!(out.contains("p50 latency"));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"experiment\":\"serving\""));
+        assert!(json.contains("\"identical\":true"));
+        assert!(json.contains("\"p99_ms\""));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   paper's memory experiments (Table III, Fig. 5d/6d/7d).
 //! * [`sparse::IdxSet`] — a small sorted integer set used for per-candidate
 //!   matched/seen element tracking during refinement.
+//! * [`json::Json`] — a minimal JSON value with an encoder/decoder (the wire
+//!   format of the `koios-net` HTTP front-end; crates.io — and therefore
+//!   `serde` — is unreachable here).
 //!
 //! Entry points: most users only touch [`TokenId`]/[`SetId`] (returned by
 //! `Repository::intern_query` in `koios-embed`) and import the rest through
@@ -24,6 +27,7 @@
 pub mod fingerprint;
 pub mod ids;
 pub mod interner;
+pub mod json;
 pub mod memsize;
 pub mod sim;
 pub mod sparse;
@@ -32,6 +36,7 @@ pub mod topk;
 pub use fingerprint::Fingerprinter;
 pub use ids::{SetId, TokenId};
 pub use interner::Interner;
+pub use json::Json;
 pub use memsize::HeapSize;
 pub use sim::Sim;
 
@@ -40,6 +45,7 @@ pub mod prelude {
     pub use crate::fingerprint::Fingerprinter;
     pub use crate::ids::{SetId, TokenId};
     pub use crate::interner::Interner;
+    pub use crate::json::Json;
     pub use crate::memsize::HeapSize;
     pub use crate::sim::Sim;
     pub use crate::topk::TopKList;

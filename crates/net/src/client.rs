@@ -1,0 +1,205 @@
+//! A tiny blocking HTTP client for the Koios server.
+//!
+//! Just enough for tests, examples and the bench harness: keep-alive
+//! connection reuse, JSON request/response bodies, automatic one-shot
+//! reconnect when the pooled connection was closed under us. Not a general
+//! HTTP client — it only speaks to [`crate::server::KoiosServer`]-shaped
+//! peers (HTTP/1.1, `Content-Length` framing).
+
+use crate::http::{HttpError, HttpResponse};
+use koios_common::Json;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The peer answered bytes that are not valid HTTP or not valid JSON.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<HttpError> for NetError {
+    fn from(e: HttpError) -> Self {
+        match e {
+            HttpError::Io(e) => NetError::Io(e),
+            other => NetError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A status code plus the decoded JSON body.
+pub type JsonReply = (u16, Json);
+
+/// A blocking client bound to one server address.
+pub struct KoiosClient {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl KoiosClient {
+    /// A client for `addr`; connections are opened lazily and reused
+    /// (keep-alive) across calls.
+    pub fn new(addr: SocketAddr) -> Self {
+        KoiosClient {
+            addr,
+            timeout: Some(Duration::from_secs(30)),
+            conn: None,
+        }
+    }
+
+    /// Sets the per-read socket timeout (default 30 s; `None` blocks
+    /// indefinitely).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `POST /search` with `body` (see [`crate::wire`] for the schema).
+    pub fn search(&mut self, body: &Json) -> Result<JsonReply, NetError> {
+        self.request("POST", "/search", Some(body))
+    }
+
+    /// Convenience `POST /search` for plain string elements.
+    pub fn search_elements<S: AsRef<str>>(
+        &mut self,
+        elements: &[S],
+    ) -> Result<JsonReply, NetError> {
+        let body = Json::obj([(
+            "elements",
+            Json::arr(elements.iter().map(|e| Json::str(e.as_ref()))),
+        )]);
+        self.search(&body)
+    }
+
+    /// `GET /stats`.
+    pub fn stats(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/stats", None)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/healthz", None)
+    }
+
+    /// `POST /invalidate`.
+    pub fn invalidate(&mut self) -> Result<JsonReply, NetError> {
+        self.request("POST", "/invalidate", None)
+    }
+
+    /// One HTTP exchange; retried once on a fresh connection **only** when
+    /// the pooled keep-alive connection turned out to be stale in a way
+    /// that cannot have double-executed the request: the write itself
+    /// failed, or the server closed the connection without sending a
+    /// single response byte ([`HttpError::Closed`] — the server writes the
+    /// response before any keep-alive close, so no status byte means the
+    /// request was not answered). A failure *mid-response* is returned as
+    /// an error instead of re-sent, since the server has already executed
+    /// the request by the time it answers.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<JsonReply, NetError> {
+        let had_pooled_conn = self.conn.is_some();
+        match self.request_once(method, path, body) {
+            Err((e, retryable)) => {
+                if retryable && had_pooled_conn {
+                    self.request_once(method, path, body).map_err(|(e, _)| e)
+                } else {
+                    Err(e)
+                }
+            }
+            Ok(reply) => Ok(reply),
+        }
+    }
+
+    /// One exchange; errors carry whether a retry on a fresh connection is
+    /// safe (no risk of double execution).
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<JsonReply, (NetError, bool)> {
+        if self.conn.is_none() {
+            let fresh = (|| {
+                let stream = TcpStream::connect(self.addr)?;
+                stream.set_read_timeout(self.timeout)?;
+                stream.set_nodelay(true)?;
+                Ok::<TcpStream, io::Error>(stream)
+            })()
+            .map_err(|e| (NetError::Io(e), false))?;
+            self.conn = Some(BufReader::new(fresh));
+        }
+        let reader = self.conn.as_mut().expect("just ensured");
+
+        let payload = body.map(|b| b.encode().into_bytes()).unwrap_or_default();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: koios\r\n");
+        if body.is_some() {
+            head.push_str("content-type: application/json\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", payload.len()));
+
+        let write_result = (|| {
+            let stream = reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&payload)?;
+            stream.flush()
+        })();
+        if let Err(e) = write_result {
+            // Nothing of the response was consumed; the request may sit in
+            // a dead socket's buffer but was provably not answered.
+            self.conn = None;
+            return Err((e.into(), true));
+        }
+
+        let response = match HttpResponse::read_from(reader) {
+            Ok(r) => r,
+            Err(e) => {
+                self.conn = None;
+                // EOF before any status byte is the stale keep-alive
+                // signature — safe to retry. Anything later (garbled or
+                // truncated mid-response) is not.
+                let retryable = matches!(e, HttpError::Closed);
+                return Err((e.into(), retryable));
+            }
+        };
+        if matches!(response.header("connection"), Some(v) if v.eq_ignore_ascii_case("close")) {
+            self.conn = None;
+        }
+        let text = std::str::from_utf8(&response.body).map_err(|_| {
+            (
+                NetError::Protocol("response body is not UTF-8".into()),
+                false,
+            )
+        })?;
+        let json = if text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(text).map_err(|e| (NetError::Protocol(e.to_string()), false))?
+        };
+        Ok((response.status, json))
+    }
+}

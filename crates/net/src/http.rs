@@ -1,0 +1,435 @@
+//! Hand-rolled HTTP/1.1 framing (no dependencies, `std::io` only).
+//!
+//! Implements exactly the subset the Koios front-end needs: request/status
+//! lines, `\r\n`-terminated headers, `Content-Length`-framed bodies, and
+//! keep-alive negotiation. No chunked transfer encoding, no TLS, no
+//! pipelining (one in-flight request per connection). Every framing
+//! violation is a typed [`HttpError`] so the server can answer `400` and
+//! the client can surface a useful message, and both header block and body
+//! are size-capped *during* reading (the cap is enforced chunk by chunk,
+//! never after buffering a whole line) so a malicious peer cannot balloon
+//! memory.
+//!
+//! Timeout semantics on a socket with a read timeout: a timeout **before
+//! the first byte** of a new message surfaces as [`HttpError::IdleTimeout`]
+//! (the keep-alive poll point — nothing was consumed, retrying is safe); a
+//! timeout **mid-message** surfaces as [`HttpError::Io`], and since bytes
+//! already consumed are gone, the only safe reaction is closing the
+//! connection.
+
+use std::io::{self, BufRead, ErrorKind, Write};
+
+/// Maximum accepted size of the request/status line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+/// Maximum accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Why reading one HTTP message failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying transport failed *mid-message*; bytes already
+    /// consumed are lost, so the connection must be closed.
+    Io(io::Error),
+    /// The socket's read timeout fired before the first byte of a new
+    /// message: nothing was consumed, so waiting again is safe. This is
+    /// the poll point keep-alive servers use to notice shutdown.
+    IdleTimeout,
+    /// The peer closed the connection before sending a status line (stale
+    /// keep-alive teardown on the client side; the request may never have
+    /// been processed).
+    Closed,
+    /// The peer sent bytes that are not a valid HTTP/1.1 message.
+    Malformed(String),
+    /// The message exceeded [`MAX_HEAD_BYTES`] or [`MAX_BODY_BYTES`].
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::IdleTimeout => write!(f, "idle read timeout"),
+            HttpError::Closed => write!(f, "connection closed before a response arrived"),
+            HttpError::Malformed(m) => write!(f, "malformed HTTP message: {m}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, query string included, e.g. `/search`.
+    pub path: String,
+    /// The protocol version (`HTTP/1.1` or `HTTP/1.0`).
+    pub version: String,
+    /// `(name, value)` pairs in arrival order; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to keep the connection open, honoring each
+    /// version's default: HTTP/1.1 keeps alive unless `Connection: close`,
+    /// HTTP/1.0 closes unless `Connection: keep-alive` (1.0 clients often
+    /// delimit responses by reading to EOF, so holding their socket open
+    /// would hang them).
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection");
+        if self.version == "HTTP/1.0" {
+            matches!(connection, Some(v) if v.eq_ignore_ascii_case("keep-alive"))
+        } else {
+            !matches!(connection, Some(v) if v.eq_ignore_ascii_case("close"))
+        }
+    }
+
+    /// Reads one request off `reader`. `Ok(None)` means the peer closed
+    /// the connection cleanly before sending anything (normal keep-alive
+    /// teardown); a read timeout in that same position is
+    /// [`HttpError::IdleTimeout`] (retry-safe); everything else is either
+    /// a request or an error.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Option<HttpRequest>, HttpError> {
+        let mut consumed = 0usize;
+        let Some(request_line) = read_crlf_line(reader, &mut consumed)? else {
+            return Ok(None);
+        };
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+                (m.to_ascii_uppercase(), p.to_string(), v.to_string())
+            }
+            _ => {
+                return Err(HttpError::Malformed(format!(
+                    "bad request line: {request_line:?}"
+                )))
+            }
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+        if !path.starts_with('/') {
+            return Err(HttpError::Malformed(format!("bad request target {path:?}")));
+        }
+        let headers = read_headers(reader, &mut consumed)?;
+        let body = read_body(reader, &headers)?;
+        Ok(Some(HttpRequest {
+            method,
+            path,
+            version,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// One response, built by the handler and serialized by the server (or
+/// parsed by the client).
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// `(name, value)` pairs; names lower-cased when parsed.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response with the right `Content-Type`.
+    pub fn json(status: u16, body: &koios_common::Json) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.encode().into_bytes(),
+        }
+    }
+
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes status line, headers (plus `Content-Length` and
+    /// `Connection`) and body onto `w`.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        };
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason)?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(
+            w,
+            "connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Reads one response off `reader` (the client side). A connection
+    /// closed before any status byte is [`HttpError::Closed`] — the stale
+    /// keep-alive signature a client may retry on.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<HttpResponse, HttpError> {
+        let mut consumed = 0;
+        let status_line = read_crlf_line(reader, &mut consumed)?.ok_or(HttpError::Closed)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let (version, code) = match (parts.next(), parts.next()) {
+            (Some(v), Some(c)) => (v, c),
+            _ => {
+                return Err(HttpError::Malformed(format!(
+                    "bad status line: {status_line:?}"
+                )))
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+        let status: u16 = code
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad status code {code:?}")))?;
+        let headers = read_headers(reader, &mut consumed)?;
+        let body = read_body(reader, &headers)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads one `\n`-terminated line, enforcing the cumulative head cap
+/// **while** reading (a line that never ends cannot buffer more than the
+/// cap). `Ok(None)` only on EOF before the first byte of the whole
+/// message; [`HttpError::IdleTimeout`] on a read timeout in that same
+/// nothing-consumed-yet position.
+fn read_crlf_line(
+    reader: &mut impl BufRead,
+    consumed: &mut usize,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && *consumed == 0
+                    && line.is_empty() =>
+            {
+                return Err(HttpError::IdleTimeout);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if buf.is_empty() {
+            // EOF. Clean only if the peer closed between messages.
+            if *consumed == 0 && line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Malformed("truncated line".into()));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(buf.len());
+        if *consumed + take > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("header block"));
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        *consumed += take;
+        if newline.is_some() {
+            line.pop(); // '\n'
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::Malformed("line is not UTF-8".into()));
+        }
+    }
+}
+
+fn read_headers(
+    reader: &mut impl BufRead,
+    consumed: &mut usize,
+) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_crlf_line(reader, consumed)?
+            .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn read_body(
+    reader: &mut impl BufRead,
+    headers: &[(String, String)],
+) -> Result<Vec<u8>, HttpError> {
+    let length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported".into(),
+        ));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_common::Json;
+    use std::io::BufReader;
+
+    fn req(raw: &str) -> Result<Option<HttpRequest>, HttpError> {
+        HttpRequest::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = req("POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert_eq!(r.body, b"abcd");
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let r = req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = req("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.version, "HTTP/1.0");
+        assert!(!r.keep_alive(), "1.0 closes unless asked to keep alive");
+        let r = req("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_none() {
+        assert!(req("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_error() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(req(raw).is_err(), "accepted: {raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(req(&huge), Err(HttpError::TooLarge(_))));
+        // A line that *never* ends must hit the cap mid-read — the reader
+        // may not buffer unboundedly hoping for a newline.
+        let endless = "a".repeat(4 * MAX_HEAD_BYTES);
+        assert!(matches!(req(&endless), Err(HttpError::TooLarge(_))));
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(req(&big_body), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::json(200, &Json::obj([("ok", Json::Bool(true))]));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        let body = Json::parse(std::str::from_utf8(&parsed.body).unwrap()).unwrap();
+        assert_eq!(body.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let a = HttpRequest::read_from(&mut reader).unwrap().unwrap();
+        let b = HttpRequest::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/healthz", "/stats"));
+        assert!(HttpRequest::read_from(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! The HTTP server: a `std::net::TcpListener` accept loop in front of a
+//! shared [`SearchService`].
+//!
+//! One thread accepts connections; each connection gets a handler thread
+//! that reads HTTP/1.1 requests in a keep-alive loop and dispatches them.
+//! The *search work itself* still runs on the service's persistent worker
+//! pool — connection threads only parse, submit, await and serialize, so a
+//! slow search does not monopolize a listener and the pool keeps applying
+//! admission control and deadlines uniformly for network and in-process
+//! callers alike.
+//!
+//! Routes:
+//!
+//! | Route | Meaning |
+//! |-------|---------|
+//! | `POST /search` | run one top-k search (body: see [`crate::wire`]) |
+//! | `GET /stats` | [`ServiceStats`](koios_service::ServiceStats) snapshot |
+//! | `GET /healthz` | liveness + basic shape of the backend |
+//! | `POST /invalidate` | drop result cache + bump token-cache generation |
+//!
+//! Unknown paths give `404`, known paths with the wrong method `405`,
+//! framing or JSON errors `400` (with an `"error"` body), oversized
+//! messages `413`. Shutdown is graceful: stop accepting, then join every
+//! connection thread (idle keep-alive connections notice within
+//! [`IDLE_POLL`]).
+
+use crate::http::{HttpError, HttpRequest, HttpResponse};
+use crate::wire;
+use koios_common::Json;
+use koios_service::SearchService;
+use std::io::{self, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle keep-alive connection re-checks the shutdown flag.
+pub const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Maximum concurrently served connections. The per-message size caps in
+/// [`crate::http`] bound memory per connection; this bounds the *number*
+/// of handler threads, so a connection flood gets `503`s instead of
+/// exhausting threads. Generous for a search service whose real ceiling
+/// is the worker pool behind the queue.
+pub const MAX_CONNECTIONS: usize = 256;
+
+/// How many announced-but-unread body bytes the server drains before
+/// answering `413` and closing — gives a client mid-upload a chance to
+/// finish writing and actually *read* the rejection instead of seeing a
+/// connection reset.
+const DRAIN_LIMIT: u64 = 16 << 20;
+
+/// A running server; dropping it (or calling [`KoiosServer::shutdown`])
+/// stops the accept loop and joins every connection handler.
+pub struct KoiosServer {
+    service: Arc<SearchService>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl KoiosServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving `service` immediately.
+    pub fn bind(service: Arc<SearchService>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, service, stop))
+        };
+        Ok(KoiosServer {
+            service,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the listener.
+    pub fn service(&self) -> &Arc<SearchService> {
+        &self.service
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins every connection
+    /// thread. In-flight requests finish; idle keep-alive connections are
+    /// closed at their next [`IDLE_POLL`] tick. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            // Poke the blocking `accept` so it observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for KoiosServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<SearchService>, stop: Arc<AtomicBool>) {
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let live = Arc::new(AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // Admission at the socket level: refuse the connection with a 503
+        // instead of spawning an unbounded number of handler threads.
+        if live.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+            let body = Json::obj([("error", Json::str("too many connections"))]);
+            let _ = HttpResponse::json(503, &body).write_to(&mut stream, false);
+            continue;
+        }
+        live.fetch_add(1, Ordering::SeqCst);
+        let service = Arc::clone(&service);
+        let stop_flag = Arc::clone(&stop);
+        let live_count = Arc::clone(&live);
+        let handle = std::thread::spawn(move || {
+            handle_connection(stream, &service, &stop_flag);
+            live_count.fetch_sub(1, Ordering::SeqCst);
+        });
+        let mut guard = handlers.lock().expect("handler registry");
+        guard.push(handle);
+        // Opportunistic reaping keeps the registry from growing without
+        // bound on long-lived servers.
+        guard.retain(|h| !h.is_finished());
+    }
+    for handle in handlers.lock().expect("handler registry").drain(..) {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &SearchService, stop: &AtomicBool) {
+    // Short read timeouts turn idle blocking reads into shutdown-flag polls.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let request = match HttpRequest::read_from(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close
+            Err(HttpError::IdleTimeout) => {
+                // Idle between requests, nothing consumed: poll the flag,
+                // keep waiting.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            // Peer went away — or stalled *mid-message* past the read
+            // timeout. Bytes of the half-read message are already consumed,
+            // so resynchronizing is impossible; drop the connection rather
+            // than parse the remainder as a fresh request.
+            Err(HttpError::Io(_) | HttpError::Closed) => return,
+            Err(e @ HttpError::TooLarge(_)) => {
+                // The peer is probably still writing the oversized message;
+                // drain a bounded amount so it can finish its send and read
+                // the 413 instead of hitting a connection reset.
+                let mut sink = std::io::sink();
+                let _ = std::io::copy(&mut (&mut reader).take(DRAIN_LIMIT), &mut sink);
+                let body = Json::obj([("error", Json::str(e.to_string()))]);
+                let _ = HttpResponse::json(413, &body).write_to(&mut writer, false);
+                return;
+            }
+            Err(e @ HttpError::Malformed(_)) => {
+                let body = Json::obj([("error", Json::str(e.to_string()))]);
+                let _ = HttpResponse::json(400, &body).write_to(&mut writer, false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive() && !stop.load(Ordering::SeqCst);
+        let response = dispatch(&request, service);
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("POST", "/search") => search(request, service),
+        ("GET", "/stats") => HttpResponse::json(200, &wire::stats_to_json(&service.stats())),
+        ("GET", "/healthz") => HttpResponse::json(
+            200,
+            &Json::obj([
+                ("status", Json::str("ok")),
+                ("partitions", Json::num(service.partitions() as f64)),
+                ("workers", Json::num(service.workers() as f64)),
+                ("sets", Json::num(service.repository().num_sets() as f64)),
+            ]),
+        ),
+        ("POST", "/invalidate") => {
+            service.invalidate_cache();
+            HttpResponse::json(200, &Json::obj([("invalidated", Json::Bool(true))]))
+        }
+        (_, "/search" | "/stats" | "/healthz" | "/invalidate") => HttpResponse::json(
+            405,
+            &Json::obj([("error", Json::str("method not allowed"))]),
+        ),
+        _ => HttpResponse::json(404, &Json::obj([("error", Json::str("not found"))])),
+    }
+}
+
+fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return bad_request("body is not UTF-8"),
+    };
+    let json = match Json::parse(text) {
+        Ok(json) => json,
+        Err(e) => return bad_request(&e.to_string()),
+    };
+    let search_request = match wire::parse_search_request(&json, service.repository()) {
+        Ok(req) => req,
+        Err(e) => return bad_request(&e),
+    };
+    // Submit-then-await on the persistent pool: the connection thread
+    // blocks, the queue applies the same admission control as in-process
+    // callers.
+    let response = service.submit(search_request).wait();
+    HttpResponse::json(
+        200,
+        &wire::response_to_json(&response, service.repository()),
+    )
+}
+
+fn bad_request(message: &str) -> HttpResponse {
+    HttpResponse::json(400, &Json::obj([("error", Json::str(message))]))
+}

@@ -1,0 +1,270 @@
+//! The JSON wire contract: request/response mapping between HTTP payloads
+//! and the service types.
+//!
+//! Once queries cross a network boundary, the request/response model has to
+//! be a serialized, versionable contract rather than rust structs. This
+//! module is that contract, in one place:
+//!
+//! * **`POST /search` request** — `{"elements": ["LA", "SC"]}` (strings,
+//!   interned against the server's repository; unknown strings are dropped,
+//!   exactly like [`Repository::intern_query`]) and/or `{"tokens": [1, 2]}`
+//!   (raw token ids, validated against the vocabulary). Optional knobs
+//!   mirror [`SearchRequest`]: `"k"`, `"alpha"`, `"time_budget_ms"`,
+//!   `"bypass_cache"`.
+//! * **`POST /search` response** — hits with set id, set name and certified
+//!   score bounds, the cache outcome, rejection/timeout flags and timings.
+//! * **`GET /stats` response** — a [`ServiceStats`] snapshot.
+//!
+//! Malformed payloads return `Err(String)` which the server maps to a 400;
+//! *semantically* invalid parameter overrides (k = 0, α out of range) are
+//! deliberately not wire errors — they travel to the service, are refused
+//! by its admission logic, and come back as `"rejected": true` with
+//! `"cache": "rejected"`, keeping one source of truth for validation.
+
+use koios_common::{Json, TokenId};
+use koios_embed::repository::Repository;
+use koios_service::{CacheOutcome, SearchRequest, ServiceResponse, ServiceStats};
+use std::time::Duration;
+
+/// Decodes a `POST /search` body into a [`SearchRequest`].
+pub fn parse_search_request(body: &Json, repo: &Repository) -> Result<SearchRequest, String> {
+    if !matches!(body, Json::Obj(_)) {
+        return Err("request body must be a JSON object".into());
+    }
+    let elements = body.get("elements");
+    let token_ids = body.get("tokens");
+    if elements.is_none() && token_ids.is_none() {
+        return Err("provide \"elements\" (strings) and/or \"tokens\" (ids)".into());
+    }
+
+    let mut tokens: Vec<TokenId> = Vec::new();
+    if let Some(v) = elements {
+        let items = v
+            .as_array()
+            .ok_or_else(|| "\"elements\" must be an array of strings".to_string())?;
+        let strs = items
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .ok_or_else(|| "\"elements\" must contain only strings".to_string())
+            })
+            .collect::<Result<Vec<&str>, String>>()?;
+        tokens.extend(repo.intern_query(strs));
+    }
+    if let Some(v) = token_ids {
+        let items = v
+            .as_array()
+            .ok_or_else(|| "\"tokens\" must be an array of token ids".to_string())?;
+        for item in items {
+            let id = item
+                .as_u64()
+                .ok_or_else(|| "\"tokens\" must contain non-negative integers".to_string())?;
+            if id >= repo.vocab_size() as u64 {
+                return Err(format!(
+                    "token id {id} out of range (vocabulary has {} tokens)",
+                    repo.vocab_size()
+                ));
+            }
+            tokens.push(TokenId(id as u32));
+        }
+    }
+
+    let mut req = SearchRequest::new(tokens);
+    if let Some(v) = body.get("k") {
+        let k = v
+            .as_u64()
+            .ok_or_else(|| "\"k\" must be a non-negative integer".to_string())?;
+        req = req.with_k(k as usize);
+    }
+    if let Some(v) = body.get("alpha") {
+        let alpha = v
+            .as_f64()
+            .ok_or_else(|| "\"alpha\" must be a number".to_string())?;
+        req = req.with_alpha(alpha);
+    }
+    if let Some(v) = body.get("time_budget_ms") {
+        let ms = v
+            .as_u64()
+            .ok_or_else(|| "\"time_budget_ms\" must be a non-negative integer".to_string())?;
+        req = req.with_time_budget(Duration::from_millis(ms));
+    }
+    if let Some(v) = body.get("bypass_cache") {
+        let b = v
+            .as_bool()
+            .ok_or_else(|| "\"bypass_cache\" must be a boolean".to_string())?;
+        if b {
+            req = req.bypassing_cache();
+        }
+    }
+    Ok(req)
+}
+
+fn cache_outcome_str(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Bypassed => "bypassed",
+        CacheOutcome::Rejected => "rejected",
+    }
+}
+
+fn millis(d: Duration) -> Json {
+    Json::num(d.as_secs_f64() * 1e3)
+}
+
+/// Encodes a [`ServiceResponse`] as the `POST /search` reply.
+pub fn response_to_json(resp: &ServiceResponse, repo: &Repository) -> Json {
+    let hits = resp
+        .result
+        .hits
+        .iter()
+        .map(|h| {
+            Json::obj([
+                ("set", Json::num(h.set.0 as f64)),
+                ("name", Json::str(repo.set_name(h.set))),
+                ("lb", Json::num(h.score.lb())),
+                ("ub", Json::num(h.score.ub())),
+                ("exact", Json::Bool(h.score.exact().is_some())),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let s = &resp.result.stats;
+    Json::obj([
+        ("hits", Json::Arr(hits)),
+        ("cache", Json::str(cache_outcome_str(resp.cache))),
+        ("rejected", Json::Bool(resp.rejected)),
+        ("timed_out", Json::Bool(s.timed_out)),
+        ("queue_ms", millis(resp.queue_time)),
+        ("response_ms", millis(s.response_time())),
+        (
+            "stats",
+            Json::obj([
+                ("candidates", Json::num(s.candidates as f64)),
+                ("em_full", Json::num(s.em_full as f64)),
+                ("no_em", Json::num(s.no_em as f64)),
+                ("knn_cache_hits", Json::num(s.knn_cache.hits as f64)),
+                ("knn_cache_misses", Json::num(s.knn_cache.misses as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes a [`ServiceStats`] snapshot as the `GET /stats` reply.
+pub fn stats_to_json(st: &ServiceStats) -> Json {
+    let token_cache = match &st.token_cache {
+        None => Json::Null,
+        Some(tc) => Json::obj([
+            ("entries", Json::num(tc.entries as f64)),
+            ("bytes", Json::num(tc.bytes as f64)),
+            ("generation", Json::num(tc.generation as f64)),
+            ("hits", Json::num(tc.counters.hits as f64)),
+            ("misses", Json::num(tc.counters.misses as f64)),
+        ]),
+    };
+    Json::obj([
+        ("queries", Json::num(st.queries as f64)),
+        ("batches", Json::num(st.batches as f64)),
+        ("cache_hits", Json::num(st.cache_hits as f64)),
+        ("searched", Json::num(st.searched as f64)),
+        ("rejected", Json::num(st.rejected as f64)),
+        ("timed_out", Json::num(st.timed_out as f64)),
+        ("partitions", Json::num(st.partitions as f64)),
+        (
+            "result_cache",
+            Json::obj([
+                ("hits", Json::num(st.cache.hits as f64)),
+                ("misses", Json::num(st.cache.misses as f64)),
+                ("evictions", Json::num(st.cache.evictions as f64)),
+                ("invalidations", Json::num(st.cache.invalidations as f64)),
+                ("insertions", Json::num(st.cache.insertions as f64)),
+                ("expirations", Json::num(st.cache.expirations as f64)),
+            ]),
+        ),
+        ("token_cache", token_cache),
+        (
+            "engine",
+            Json::obj([
+                ("candidates", Json::num(st.engine.candidates as f64)),
+                ("em_full", Json::num(st.engine.em_full as f64)),
+                ("no_em", Json::num(st.engine.no_em as f64)),
+                ("stream_tuples", Json::num(st.engine.stream_tuples as f64)),
+                ("cumulative_engine_ms", millis(st.engine.response_time())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+
+    fn repo() -> Repository {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b", "c"]);
+        b.add_set("s1", ["a", "x", "y"]);
+        b.build()
+    }
+
+    #[test]
+    fn parses_elements_and_knobs() {
+        let repo = repo();
+        let body = Json::parse(
+            r#"{"elements": ["a", "b", "nope"], "k": 2, "alpha": 0.75,
+                "time_budget_ms": 250, "bypass_cache": true}"#,
+        )
+        .unwrap();
+        let req = parse_search_request(&body, &repo).unwrap();
+        assert_eq!(req.tokens.len(), 2, "unknown element dropped");
+        assert_eq!(req.k, Some(2));
+        assert_eq!(req.alpha, Some(0.75));
+        assert_eq!(req.time_budget, Some(Duration::from_millis(250)));
+        assert!(req.bypass_cache);
+    }
+
+    #[test]
+    fn parses_raw_token_ids_and_validates_them() {
+        let repo = repo();
+        let ok = Json::parse(r#"{"tokens": [0, 1]}"#).unwrap();
+        let req = parse_search_request(&ok, &repo).unwrap();
+        assert_eq!(req.tokens, vec![TokenId(0), TokenId(1)]);
+        let bad = Json::parse(r#"{"tokens": [999]}"#).unwrap();
+        assert!(parse_search_request(&bad, &repo)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        let repo = repo();
+        for bad in [
+            r#"[1, 2]"#,
+            r#"{}"#,
+            r#"{"elements": "a"}"#,
+            r#"{"elements": [1]}"#,
+            r#"{"tokens": ["a"]}"#,
+            r#"{"tokens": [1.5]}"#,
+            r#"{"elements": ["a"], "k": -1}"#,
+            r#"{"elements": ["a"], "k": 1.5}"#,
+            r#"{"elements": ["a"], "alpha": "x"}"#,
+            r#"{"elements": ["a"], "time_budget_ms": -5}"#,
+            r#"{"elements": ["a"], "bypass_cache": 1}"#,
+        ] {
+            let body = Json::parse(bad).unwrap();
+            assert!(
+                parse_search_request(&body, &repo).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn semantically_invalid_overrides_pass_through() {
+        // k = 0 / α out of range are the *service's* call, not the wire's.
+        let repo = repo();
+        let body = Json::parse(r#"{"elements": ["a"], "k": 0, "alpha": 7.5}"#).unwrap();
+        let req = parse_search_request(&body, &repo).unwrap();
+        assert_eq!(req.k, Some(0));
+        assert_eq!(req.alpha, Some(7.5));
+    }
+}

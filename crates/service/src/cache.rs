@@ -10,9 +10,16 @@
 //! index, giving `O(log n)` touch/insert/evict without unsafe pointer
 //! juggling.
 //!
+//! Entries can carry a **TTL** ([`LruCache::with_ttl`]): each entry
+//! remembers its insertion instant, and a probe that finds an entry older
+//! than the TTL evicts it and reports a miss — the first half of the
+//! ROADMAP "cache admission/TTL policies" item, bounding how stale a served
+//! answer can be when the corpus changes out of band.
+//!
 //! [fingerprint]: koios_common::fingerprint::Fingerprinter
 
 use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
 
 /// Monotone counters describing cache behaviour since construction (or the
 /// last [`LruCache::reset_counters`]).
@@ -28,6 +35,9 @@ pub struct CacheCounters {
     pub invalidations: u64,
     /// Values stored.
     pub insertions: u64,
+    /// Entries found past their TTL on probe (evicted, also counted as
+    /// misses).
+    pub expirations: u64,
 }
 
 impl CacheCounters {
@@ -46,14 +56,17 @@ struct Entry<K, V> {
     key: K,
     value: V,
     stamp: u64,
+    created: Instant,
 }
 
-/// A least-recently-used map from `(fingerprint, full key)` to values.
+/// A least-recently-used map from `(fingerprint, full key)` to values,
+/// optionally with a per-entry time-to-live.
 pub struct LruCache<K, V> {
     map: HashMap<u64, Entry<K, V>>,
     recency: BTreeMap<u64, u64>, // stamp -> fingerprint, oldest first
     tick: u64,
     capacity: usize,
+    ttl: Option<Duration>,
     counters: CacheCounters,
 }
 
@@ -66,8 +79,22 @@ impl<K: Eq, V: Clone> LruCache<K, V> {
             recency: BTreeMap::new(),
             tick: 0,
             capacity,
+            ttl: None,
             counters: CacheCounters::default(),
         }
+    }
+
+    /// Sets a time-to-live: probes evict (and miss on) entries inserted
+    /// more than `ttl` ago. `None` restores the default — entries live
+    /// until displaced or invalidated.
+    pub fn with_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// The configured time-to-live, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
     }
 
     /// Number of cached entries.
@@ -95,8 +122,22 @@ impl<K: Eq, V: Clone> LruCache<K, V> {
         self.counters = CacheCounters::default();
     }
 
-    /// Looks up `key` under `fp`, refreshing its recency on a hit.
+    /// Looks up `key` under `fp`, refreshing its recency on a hit. An entry
+    /// past the configured TTL is evicted and reported as a miss — the
+    /// probe is the eviction point, so an idle cache holds expired entries
+    /// only until someone asks for them (or capacity displaces them).
     pub fn get(&mut self, fp: u64, key: &K) -> Option<V> {
+        let expired = matches!(
+            (self.map.get(&fp), self.ttl),
+            (Some(entry), Some(ttl)) if entry.key == *key && entry.created.elapsed() >= ttl
+        );
+        if expired {
+            let old = self.map.remove(&fp).expect("checked above");
+            self.recency.remove(&old.stamp);
+            self.counters.expirations += 1;
+            self.counters.misses += 1;
+            return None;
+        }
         let tick = &mut self.tick;
         match self.map.get_mut(&fp) {
             Some(entry) if entry.key == *key => {
@@ -123,7 +164,14 @@ impl<K: Eq, V: Clone> LruCache<K, V> {
         }
         self.tick += 1;
         let stamp = self.tick;
-        if let Some(old) = self.map.insert(fp, Entry { key, value, stamp }) {
+        let created = Instant::now();
+        let entry = Entry {
+            key,
+            value,
+            stamp,
+            created,
+        };
+        if let Some(old) = self.map.insert(fp, entry) {
             self.recency.remove(&old.stamp);
         } else if self.map.len() > self.capacity {
             if let Some((&oldest, &victim)) = self.recency.iter().next() {
@@ -215,6 +263,55 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.counters().evictions, 0);
         assert_eq!(c.get(1, &1), Some(20));
+    }
+
+    #[test]
+    fn zero_ttl_expires_on_first_probe() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4).with_ttl(Some(Duration::ZERO));
+        c.insert(1, 1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1, &1), None, "already past its TTL");
+        assert!(c.is_empty(), "expired entry evicted on probe");
+        let n = c.counters();
+        assert_eq!((n.misses, n.expirations, n.hits), (1, 1, 0));
+        // Reinsertion works; the entry expires again on the next probe.
+        c.insert(1, 1, 12);
+        assert_eq!(c.get(1, &1), None);
+        assert_eq!(c.counters().expirations, 2);
+    }
+
+    #[test]
+    fn entries_survive_within_ttl_and_expire_after() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4).with_ttl(Some(Duration::from_millis(40)));
+        c.insert(1, 1, 11);
+        assert_eq!(c.get(1, &1), Some(11), "fresh entry hits");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(c.get(1, &1), None, "aged out");
+        let n = c.counters();
+        assert_eq!((n.hits, n.misses, n.expirations), (1, 1, 1));
+    }
+
+    #[test]
+    fn no_ttl_means_no_expiry() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        assert_eq!(c.ttl(), None);
+        c.insert(1, 1, 11);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(c.get(1, &1), Some(11));
+        assert_eq!(c.counters().expirations, 0);
+    }
+
+    #[test]
+    fn expiry_does_not_shadow_collision_semantics() {
+        // A fingerprint collision (different full key) is a plain miss even
+        // under a zero TTL: the expiry path only fires for the *matching*
+        // key, so collision counting stays truthful.
+        let mut c: LruCache<u32, u32> = LruCache::new(4).with_ttl(Some(Duration::ZERO));
+        c.insert(7, 100, 1);
+        assert_eq!(c.get(7, &200), None);
+        let n = c.counters();
+        assert_eq!((n.misses, n.expirations), (1, 0));
+        assert_eq!(c.len(), 1, "colliding probe does not evict");
     }
 
     #[test]

@@ -19,11 +19,17 @@
 //!   identical scores and identical cache keys on either variant, and
 //!   per-request deadlines bound every shard *and* the partitioned
 //!   merge-verification loop.
-//! * **A fixed worker pool** — [`SearchService::search_batch`] drains a
-//!   batch of requests over `std::thread::scope` workers and returns
-//!   responses in submission order. Per-request deadlines cover queue
-//!   *and* search time; requests whose deadline lapses before pickup are
-//!   rejected unrun (admission control).
+//! * **A persistent worker pool with a submission queue** —
+//!   [`pool::WorkerPool`] keeps a fixed set of long-lived threads draining
+//!   one hand-rolled MPMC queue (`Mutex<VecDeque>` + `Condvar`).
+//!   [`SearchService::submit`] enqueues a single request and returns a
+//!   [`ResponseHandle`] to await later; [`SearchService::search_batch`] is
+//!   a thin submit-all/await-all wrapper that returns responses in
+//!   submission order (each lands in its own ticket slot — no re-sort).
+//!   Per-request deadlines cover queue *and* search time; requests whose
+//!   deadline lapses before pickup are rejected unrun (admission control).
+//!   Shutdown drains: every handle issued before [`SearchService::shutdown`]
+//!   (or drop) resolves.
 //! * **An LRU result cache** — keyed by a stable 64-bit fingerprint of the
 //!   normalized query tokens and every result-affecting parameter
 //!   (`k`, `α`, UB mode, filter toggles), with hit/miss/eviction counters
@@ -41,11 +47,13 @@
 //! to cache and admission counters.
 
 pub mod cache;
+pub mod pool;
 pub mod request;
 pub mod service;
 pub mod stats;
 
 pub use cache::{CacheCounters, LruCache};
+pub use pool::{Ticket, WorkerPool};
 pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
-pub use service::{SearchService, ServiceConfig};
+pub use service::{ResponseHandle, SearchService, ServiceConfig};
 pub use stats::ServiceStats;

@@ -1,6 +1,7 @@
 //! The concurrent query-serving layer.
 
 use crate::cache::LruCache;
+use crate::pool::{Ticket, WorkerPool};
 use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 use crate::stats::ServiceStats;
 use koios_common::{SetId, TokenId};
@@ -10,7 +11,6 @@ use koios_core::{
 use koios_embed::repository::Repository;
 use koios_embed::sim::ElementSimilarity;
 use koios_index::knn_cache::TokenKnnCache;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,6 +33,10 @@ pub struct ServiceConfig {
     /// Deadline budget applied to requests that carry none. Covers queue
     /// time and search time; `None` means no deadline.
     pub default_time_budget: Option<Duration>,
+    /// Time-to-live of result-cache entries; a probe that finds an older
+    /// entry evicts it and misses. `None` (the default) keeps entries until
+    /// displaced or invalidated.
+    pub result_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +46,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             token_cache_bytes: 16 << 20,
             default_time_budget: None,
+            result_ttl: None,
         }
     }
 }
@@ -76,6 +81,12 @@ impl ServiceConfig {
         self.default_time_budget = Some(budget);
         self
     }
+
+    /// Sets the result-cache entry time-to-live.
+    pub fn with_result_ttl(mut self, ttl: Duration) -> Self {
+        self.result_ttl = Some(ttl);
+        self
+    }
 }
 
 /// Mutable service state behind one lock (counters only — the cache has
@@ -104,8 +115,13 @@ struct StatsInner {
 /// backend — a single [`OwnedKoios`] or a sharded
 /// [`OwnedPartitionedKoios`], see [`EngineBackend`] — is built once over an
 /// `Arc<Repository>` (see [`koios_embed::repository::RepoRef`]) and shared
-/// — immutably — by a fixed pool of scoped worker threads that drain each
-/// submitted batch. Results come back in submission order, identical on
+/// — immutably — by a **persistent pool** of long-lived worker threads
+/// draining one MPMC submission queue ([`crate::pool::WorkerPool`]).
+/// Callers either fire-and-await single requests ([`SearchService::submit`]
+/// returns a [`ResponseHandle`] to wait on later) or push whole batches
+/// ([`SearchService::search_batch`], a thin submit-all/await-all wrapper
+/// whose responses come back in submission order — each response lands in
+/// its own ticket slot, so no re-sorting happens). Results are identical on
 /// either backend. Two caches compose: repeated queries are answered from
 /// an LRU result cache keyed by a stable fingerprint of the normalized
 /// query and every result-affecting parameter (backend-transparent — a
@@ -142,8 +158,18 @@ struct StatsInner {
 /// assert_eq!(responses[0].result.hits.len(), 1);
 /// ```
 pub struct SearchService {
+    inner: Arc<ServiceInner>,
+    pool: WorkerPool,
+}
+
+/// A handle to one submitted request's eventual [`ServiceResponse`]
+/// (see [`SearchService::submit`]).
+pub type ResponseHandle = Ticket<ServiceResponse>;
+
+/// Everything the workers need, behind one `Arc` so jobs on the persistent
+/// pool (which outlive any one call frame) can share it `'static`-ly.
+struct ServiceInner {
     backend: EngineBackend,
-    workers: usize,
     default_budget: Option<Duration>,
     // Values are `Arc`ed so a hit only bumps a refcount while the lock is
     // held; the O(k) hit-vector copy happens outside the critical section.
@@ -228,34 +254,42 @@ impl SearchService {
             None => (backend, None),
         };
         SearchService {
-            backend,
-            workers,
-            default_budget: cfg.default_time_budget,
-            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-            token_cache,
-            stats: Mutex::new(StatsInner::default()),
+            inner: Arc::new(ServiceInner {
+                backend,
+                default_budget: cfg.default_time_budget,
+                cache: Mutex::new(LruCache::new(cfg.cache_capacity).with_ttl(cfg.result_ttl)),
+                token_cache,
+                stats: Mutex::new(StatsInner::default()),
+            }),
+            pool: WorkerPool::new(workers),
         }
     }
 
     /// The shared engine backend.
     pub fn backend(&self) -> &EngineBackend {
-        &self.backend
+        &self.inner.backend
     }
 
-    /// The resolved worker-pool width.
+    /// The worker-pool width (long-lived threads draining the submission
+    /// queue).
     pub fn workers(&self) -> usize {
-        self.workers
+        self.pool.workers()
+    }
+
+    /// Requests submitted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.pool.queued()
     }
 
     /// Number of index partitions the backend searches (1 for a single
     /// engine).
     pub fn partitions(&self) -> usize {
-        self.backend.num_partitions()
+        self.inner.backend.num_partitions()
     }
 
     /// The repository behind the engine.
     pub fn repository(&self) -> &Repository {
-        self.backend.repository()
+        self.inner.backend.repository()
     }
 
     /// Runs one request (a batch of one).
@@ -265,8 +299,36 @@ impl SearchService {
             .expect("batch of one yields one response")
     }
 
+    /// Enqueues one request on the persistent pool and returns immediately;
+    /// redeem the handle with [`Ticket::wait`] whenever the answer is
+    /// needed (submit-then-await).
+    ///
+    /// The request's deadline budget starts *now*: time spent queued behind
+    /// other requests counts against it, and a request whose deadline
+    /// expires before a worker picks it up is rejected without running
+    /// (admission control).
+    pub fn submit(&self, request: SearchRequest) -> ResponseHandle {
+        self.inner.stats.lock().expect("stats lock").queries += 1;
+        self.submit_at(request, Instant::now())
+    }
+
+    fn submit_at(&self, request: SearchRequest, submitted: Instant) -> ResponseHandle {
+        let inner = Arc::clone(&self.inner);
+        match self
+            .pool
+            .submit(move || inner.process_one(&request, submitted))
+        {
+            Ok(ticket) => ticket,
+            // Pool shut down ([`SearchService::shutdown`]): run inline so
+            // the handle still resolves.
+            Err(job) => Ticket::ready(job()),
+        }
+    }
+
     /// Executes a batch of requests concurrently on the worker pool and
-    /// returns responses in submission order.
+    /// returns responses in submission order — a thin submit-all/await-all
+    /// wrapper over [`SearchService::submit`]. Each response is written
+    /// into its own pre-allocated ticket slot, so ordering costs nothing.
     ///
     /// Each request's deadline budget starts at submission, so time spent
     /// queued behind other requests counts against it; a request whose
@@ -275,41 +337,24 @@ impl SearchService {
     pub fn search_batch(&self, requests: &[SearchRequest]) -> Vec<ServiceResponse> {
         let submitted = Instant::now();
         {
-            let mut st = self.stats.lock().expect("stats lock");
+            let mut st = self.inner.stats.lock().expect("stats lock");
             st.batches += 1;
             st.queries += requests.len() as u64;
         }
-        let n = requests.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let pool = self.workers.min(n);
-        if pool <= 1 {
-            return requests
-                .iter()
-                .map(|r| self.process_one(r, submitted))
-                .collect();
-        }
+        let handles: Vec<ResponseHandle> = requests
+            .iter()
+            .map(|r| self.submit_at(r.clone(), submitted))
+            .collect();
+        handles.into_iter().map(Ticket::wait).collect()
+    }
 
-        let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, ServiceResponse)>> = Mutex::new(Vec::with_capacity(n));
-        std::thread::scope(|sc| {
-            for _ in 0..pool {
-                sc.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let resp = self.process_one(&requests[i], submitted);
-                    collected.lock().expect("result lock").push((i, resp));
-                });
-            }
-        });
-
-        let mut pairs = collected.into_inner().expect("result lock");
-        pairs.sort_by_key(|(i, _)| *i);
-        debug_assert_eq!(pairs.len(), n);
-        pairs.into_iter().map(|(_, r)| r).collect()
+    /// Closes the submission queue, lets the workers drain every already
+    /// submitted request (their handles all resolve), and joins them. Later
+    /// `submit`/`search` calls still answer — inline on the caller's
+    /// thread. Also runs on drop; calling it explicitly just makes the
+    /// drain point deterministic.
+    pub fn shutdown(&mut self) {
+        self.pool.shutdown();
     }
 
     /// Drops every cached result **and** every cached token kNN list (call
@@ -318,26 +363,30 @@ impl SearchService {
     /// generation bump, so searches already in flight can neither serve
     /// nor publish stale lists.
     pub fn invalidate_cache(&self) {
-        self.cache.lock().expect("cache lock").invalidate_all();
-        if let Some(tc) = &self.token_cache {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .invalidate_all();
+        if let Some(tc) = &self.inner.token_cache {
             tc.bump_generation();
         }
     }
 
     /// The shared token-level kNN cache, if enabled.
     pub fn token_cache(&self) -> Option<&Arc<TokenKnnCache>> {
-        self.token_cache.as_ref()
+        self.inner.token_cache.as_ref()
     }
 
     /// Number of currently cached results.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.inner.cache.lock().expect("cache lock").len()
     }
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        let st = self.stats.lock().expect("stats lock");
-        let cache = self.cache.lock().expect("cache lock").counters();
+        let st = self.inner.stats.lock().expect("stats lock");
+        let cache = self.inner.cache.lock().expect("cache lock").counters();
         ServiceStats {
             queries: st.queries,
             batches: st.batches,
@@ -345,9 +394,9 @@ impl SearchService {
             searched: st.searched,
             rejected: st.rejected,
             timed_out: st.timed_out,
-            partitions: self.backend.num_partitions(),
+            partitions: self.inner.backend.num_partitions(),
             cache,
-            token_cache: self.token_cache.as_ref().map(|tc| tc.snapshot()),
+            token_cache: self.inner.token_cache.as_ref().map(|tc| tc.snapshot()),
             engine: st.engine.clone(),
         }
     }
@@ -355,18 +404,24 @@ impl SearchService {
     /// Zeroes every service counter (including both caches') without
     /// touching cached entries — metric windowing for operators.
     pub fn reset_stats(&self) {
-        *self.stats.lock().expect("stats lock") = StatsInner::default();
-        self.cache.lock().expect("cache lock").reset_counters();
-        if let Some(tc) = &self.token_cache {
+        *self.inner.stats.lock().expect("stats lock") = StatsInner::default();
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock")
+            .reset_counters();
+        if let Some(tc) = &self.inner.token_cache {
             tc.reset_counters();
         }
     }
 
     /// Exact overlap oracle passthrough (auditing cached answers).
     pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
-        self.backend.exact_overlap(query, set)
+        self.inner.backend.exact_overlap(query, set)
     }
+}
 
+impl ServiceInner {
     /// The full request lifecycle: normalize → cache probe → admission →
     /// search → cache fill → bookkeeping.
     fn process_one(&self, req: &SearchRequest, submitted: Instant) -> ServiceResponse {

@@ -1,0 +1,117 @@
+//! Network serving demo: the whole stack behind one socket.
+//!
+//! Generates a synthetic corpus, wraps a sharded engine in a
+//! [`SearchService`] (persistent worker pool + submission queue), binds a
+//! [`KoiosServer`] to an ephemeral loopback port, and then acts as its own
+//! remote client: top-k searches over HTTP (string elements and raw token
+//! ids), a per-request `k` override, a cache hit, a malformed request that
+//! bounces with a 400, `/stats`, and `/invalidate`.
+//!
+//! ```text
+//! cargo run --release --example http_service
+//! ```
+
+use koios::datagen::corpus::{Corpus, CorpusSpec};
+use koios::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let corpus = Corpus::generate(CorpusSpec::small(42));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+
+    let service = Arc::new(SearchService::new_partitioned(
+        Arc::clone(&repo),
+        sim,
+        KoiosConfig::new(5, 0.8),
+        4,
+        0xC0FFEE,
+        ServiceConfig::new()
+            .with_workers(4)
+            .with_cache_capacity(256),
+    ));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    println!(
+        "koios-net server on http://{} — {} sets, {} shards, {} workers\n",
+        server.addr(),
+        repo.num_sets(),
+        service.partitions(),
+        service.workers()
+    );
+
+    let mut client = KoiosClient::new(server.addr());
+
+    // Health first, like any load balancer would.
+    let (status, health) = client.healthz().expect("healthz");
+    println!("GET /healthz -> {status} {health}");
+
+    // A top-k search by raw token ids (the tokens of set 0).
+    let tokens = repo.set(SetId(0)).to_vec();
+    let body = Json::obj([(
+        "tokens",
+        Json::arr(tokens.iter().map(|t| Json::num(t.0 as f64))),
+    )]);
+    let (status, reply) = client.search(&body).expect("search");
+    let hits = reply.get("hits").expect("hits").as_array().expect("array");
+    println!(
+        "\nPOST /search (token ids) -> {status}, {} hits:",
+        hits.len()
+    );
+    for h in hits {
+        println!(
+            "  {} (set {}) score [{:.3}, {:.3}]",
+            h.get("name").unwrap().as_str().unwrap(),
+            h.get("set").unwrap().as_u64().unwrap(),
+            h.get("lb").unwrap().as_f64().unwrap(),
+            h.get("ub").unwrap().as_f64().unwrap(),
+        );
+    }
+
+    // Same query again: served from the result cache.
+    let (_, again) = client.search(&body).expect("search");
+    println!(
+        "repeat -> cache outcome {:?}",
+        again.get("cache").unwrap().as_str().unwrap()
+    );
+
+    // String elements with a k override — the server interns them.
+    let elements: Vec<String> = tokens
+        .iter()
+        .take(4)
+        .map(|t| repo.token_str(*t).to_string())
+        .collect();
+    let narrow = Json::obj([
+        ("elements", Json::arr(elements.iter().map(Json::str))),
+        ("k", Json::num(1.0)),
+    ]);
+    let (status, reply) = client.search(&narrow).expect("search");
+    println!(
+        "\nPOST /search (elements, k=1) -> {status}, {} hit(s)",
+        reply.get("hits").unwrap().as_array().unwrap().len()
+    );
+
+    // A malformed request bounces without hurting the connection.
+    let bad = Json::obj([("tokens", Json::str("not-an-array"))]);
+    let (status, err) = client.search(&bad).expect("transport ok");
+    println!(
+        "\nPOST /search (malformed) -> {status} {}",
+        err.get("error").unwrap().as_str().unwrap()
+    );
+
+    // Observability and invalidation round out the operator surface.
+    let (_, stats) = client.stats().expect("stats");
+    println!(
+        "\nGET /stats -> queries {}, searched {}, cache_hits {}, partitions {}",
+        stats.get("queries").unwrap().as_u64().unwrap(),
+        stats.get("searched").unwrap().as_u64().unwrap(),
+        stats.get("cache_hits").unwrap().as_u64().unwrap(),
+        stats.get("partitions").unwrap().as_u64().unwrap(),
+    );
+    let (status, _) = client.invalidate().expect("invalidate");
+    let (_, after) = client.search(&body).expect("search");
+    println!(
+        "POST /invalidate -> {status}; repeat search now a {:?}",
+        after.get("cache").unwrap().as_str().unwrap()
+    );
+}

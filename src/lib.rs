@@ -21,12 +21,19 @@
 //! ## Serving queries
 //!
 //! Long-lived applications should not rebuild an engine per query. Wrap an
-//! owned engine in a [`SearchService`](service::SearchService): it executes
-//! request batches on a fixed worker pool, enforces per-request deadlines,
-//! answers repeated queries from an LRU result cache, and shares complete
-//! per-element kNN lists across *overlapping* queries through a
+//! owned engine in a [`SearchService`](service::SearchService): it runs
+//! requests on a persistent worker pool fed by a submission queue
+//! (submit-then-await via [`submit`](service::SearchService::submit), or
+//! batch via [`search_batch`](service::SearchService::search_batch)),
+//! enforces per-request deadlines, answers repeated queries from a
+//! TTL-aware LRU result cache, and shares complete per-element kNN lists
+//! across *overlapping* queries through a
 //! [`TokenKnnCache`](index::knn_cache::TokenKnnCache) (see
-//! `ARCHITECTURE.md` for the seam).
+//! `ARCHITECTURE.md` for the seam). To serve remote clients, put a
+//! [`KoiosServer`](net::KoiosServer) in front of the service: a
+//! dependency-free HTTP/1.1 listener exposing `POST /search`,
+//! `GET /stats`, `GET /healthz` and `POST /invalidate` over a JSON wire
+//! contract ([`net::wire`]).
 //!
 //! ```
 //! use koios::prelude::*;
@@ -63,7 +70,8 @@
 //! | [`datagen`] | `koios-datagen` | synthetic corpora, dataset profiles, query benchmarks |
 //! | [`core`] | `koios-core` | the Koios search engine (refinement + post-processing) |
 //! | [`baselines`] | `koios-baselines` | exhaustive baseline, SilkMoth, vanilla top-k |
-//! | [`service`] | `koios-service` | concurrent query serving: worker pool, result cache, stats |
+//! | [`service`] | `koios-service` | concurrent query serving: persistent worker pool, result cache, stats |
+//! | [`net`] | `koios-net` | HTTP/1.1 front-end: server over `std::net`, JSON wire contract, blocking client |
 
 pub use koios_baselines as baselines;
 pub use koios_common as common;
@@ -72,6 +80,7 @@ pub use koios_datagen as datagen;
 pub use koios_embed as embed;
 pub use koios_index as index;
 pub use koios_matching as matching;
+pub use koios_net as net;
 pub use koios_service as service;
 
 /// One-stop imports for applications.
@@ -113,7 +122,9 @@ pub mod prelude {
     pub use koios_embed::synthetic::SyntheticEmbeddings;
     pub use koios_index::knn_cache::{KnnCacheSnapshot, TokenKnnCache};
     pub use koios_matching::{solve_max_matching, MatchOutcome};
+    pub use koios_net::{KoiosClient, KoiosServer};
     pub use koios_service::{
-        CacheOutcome, SearchRequest, SearchService, ServiceConfig, ServiceResponse, ServiceStats,
+        CacheOutcome, ResponseHandle, SearchRequest, SearchService, ServiceConfig, ServiceResponse,
+        ServiceStats,
     };
 }

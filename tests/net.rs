@@ -1,0 +1,323 @@
+//! End-to-end tests for the `koios-net` HTTP front-end: a remote client
+//! must get byte-for-byte the scores an in-process `SearchService::search`
+//! call produces, on either engine backend; framing and payload errors
+//! must answer clean 4xx JSON instead of dropping the connection silently.
+
+use koios::datagen::corpus::{Corpus, CorpusSpec};
+use koios::net::client::KoiosClient;
+use koios::net::server::KoiosServer;
+use koios::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn corpus_parts() -> (Arc<Repository>, Arc<dyn ElementSimilarity>) {
+    let corpus = Corpus::generate(CorpusSpec::small(11));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    (repo, sim)
+}
+
+fn single_service(repo: &Arc<Repository>, sim: &Arc<dyn ElementSimilarity>) -> SearchService {
+    SearchService::new(
+        Arc::clone(repo),
+        Arc::clone(sim),
+        KoiosConfig::new(5, 0.8),
+        ServiceConfig::new().with_workers(2).with_cache_capacity(64),
+    )
+}
+
+fn partitioned_service(repo: &Arc<Repository>, sim: &Arc<dyn ElementSimilarity>) -> SearchService {
+    SearchService::new_partitioned(
+        Arc::clone(repo),
+        Arc::clone(sim),
+        KoiosConfig::new(5, 0.8),
+        4,
+        13,
+        ServiceConfig::new().with_workers(2).with_cache_capacity(64),
+    )
+}
+
+/// The acceptance criterion of the subsystem: an HTTP client runs a top-k
+/// search end-to-end against a server backed by *either* `EngineBackend`
+/// variant and sees scores identical to calling the service in-process.
+#[test]
+fn http_search_matches_in_process_on_both_backends() {
+    let (repo, sim) = corpus_parts();
+    for (label, service) in [
+        ("single", single_service(&repo, &sim)),
+        ("partitioned", partitioned_service(&repo, &sim)),
+    ] {
+        let service = Arc::new(service);
+        let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = KoiosClient::new(server.addr());
+
+        for set in 0..6u32 {
+            let tokens = repo.set(SetId(set)).to_vec();
+            let in_process = service
+                .search(SearchRequest::new(tokens.clone()).bypassing_cache())
+                .result;
+            let body = Json::obj([
+                (
+                    "tokens",
+                    Json::arr(tokens.iter().map(|t| Json::num(t.0 as f64))),
+                ),
+                ("bypass_cache", Json::Bool(true)),
+            ]);
+            let (status, reply) = client.search(&body).unwrap();
+            assert_eq!(status, 200, "{label}: {reply}");
+            let hits = reply.get("hits").unwrap().as_array().unwrap();
+            assert_eq!(hits.len(), in_process.hits.len(), "{label} set {set}");
+            for (wire, want) in hits.iter().zip(&in_process.hits) {
+                assert_eq!(
+                    wire.get("set").unwrap().as_u64(),
+                    Some(want.set.0 as u64),
+                    "{label} set {set}"
+                );
+                assert_eq!(
+                    wire.get("name").unwrap().as_str(),
+                    Some(repo.set_name(want.set)),
+                    "{label} set {set}"
+                );
+                let lb = wire.get("lb").unwrap().as_f64().unwrap();
+                let ub = wire.get("ub").unwrap().as_f64().unwrap();
+                assert!(
+                    (lb - want.score.lb()).abs() < 1e-9 && (ub - want.score.ub()).abs() < 1e-9,
+                    "{label} set {set}: wire ({lb}, {ub}) != engine ({}, {})",
+                    want.score.lb(),
+                    want.score.ub()
+                );
+            }
+            assert_eq!(reply.get("rejected").unwrap().as_bool(), Some(false));
+        }
+    }
+}
+
+/// String elements intern server-side exactly like `intern_query` (unknown
+/// strings dropped), and per-request k overrides work over the wire.
+#[test]
+fn element_queries_and_overrides_work_over_http() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(single_service(&repo, &sim));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = KoiosClient::new(server.addr());
+
+    // Use a real set's element strings as the query.
+    let elements: Vec<String> = repo
+        .set(SetId(0))
+        .iter()
+        .map(|t| repo.token_str(*t).to_string())
+        .collect();
+    let mut with_unknown = elements.clone();
+    with_unknown.push("certainly-not-in-the-vocabulary".to_string());
+
+    let body = Json::obj([
+        ("elements", Json::arr(with_unknown.iter().map(Json::str))),
+        ("k", Json::num(2.0)),
+        ("bypass_cache", Json::Bool(true)),
+    ]);
+    let (status, reply) = client.search(&body).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let hits = reply.get("hits").unwrap().as_array().unwrap();
+    assert_eq!(hits.len(), 2, "k override respected: {reply}");
+
+    let expected = service
+        .search(
+            SearchRequest::new(repo.intern_query(elements.iter()))
+                .with_k(2)
+                .bypassing_cache(),
+        )
+        .result;
+    for (wire, want) in hits.iter().zip(&expected.hits) {
+        assert_eq!(wire.get("set").unwrap().as_u64(), Some(want.set.0 as u64));
+    }
+}
+
+/// The result cache is observable over the wire: a repeated query reports
+/// `"cache": "hit"`, `/invalidate` resets it, `/stats` counts it.
+#[test]
+fn cache_lifecycle_over_http() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(single_service(&repo, &sim));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = KoiosClient::new(server.addr());
+
+    let body = Json::obj([(
+        "tokens",
+        Json::arr(repo.set(SetId(1)).iter().map(|t| Json::num(t.0 as f64))),
+    )]);
+    let (_, first) = client.search(&body).unwrap();
+    assert_eq!(first.get("cache").unwrap().as_str(), Some("miss"));
+    let (_, second) = client.search(&body).unwrap();
+    assert_eq!(second.get("cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(first.get("hits").unwrap(), second.get("hits").unwrap());
+
+    let (status, inv) = client.invalidate().unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(inv.get("invalidated").unwrap().as_bool(), Some(true));
+    let (_, third) = client.search(&body).unwrap();
+    assert_eq!(third.get("cache").unwrap().as_str(), Some("miss"));
+
+    let (status, stats) = client.stats().unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("queries").unwrap().as_u64(), Some(3));
+    assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("searched").unwrap().as_u64(), Some(2));
+    let rc = stats.get("result_cache").unwrap();
+    assert_eq!(rc.get("invalidations").unwrap().as_u64(), Some(1));
+    assert!(stats.get("token_cache").unwrap().get("entries").is_some());
+    assert_eq!(stats.get("partitions").unwrap().as_u64(), Some(1));
+}
+
+/// `/healthz` answers, and semantically invalid overrides come back as
+/// service-level rejections (HTTP 200, `"rejected": true`), not 400s.
+#[test]
+fn healthz_and_service_level_rejections() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(single_service(&repo, &sim));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = KoiosClient::new(server.addr());
+
+    let (status, health) = client.healthz().unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(
+        health.get("sets").unwrap().as_u64(),
+        Some(repo.num_sets() as u64)
+    );
+
+    let body = Json::obj([
+        ("tokens", Json::arr([Json::num(0.0)])),
+        ("k", Json::num(0.0)),
+    ]);
+    let (status, reply) = client.search(&body).unwrap();
+    assert_eq!(status, 200, "wire-valid but service-invalid");
+    assert_eq!(reply.get("rejected").unwrap().as_bool(), Some(true));
+    assert_eq!(reply.get("cache").unwrap().as_str(), Some("rejected"));
+    assert!(reply.get("hits").unwrap().as_array().unwrap().is_empty());
+}
+
+/// Malformed payloads and wrong routes answer clean JSON errors.
+#[test]
+fn malformed_requests_get_4xx_json() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(single_service(&repo, &sim));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = KoiosClient::new(server.addr());
+
+    // Invalid JSON body.
+    let (status, reply) = client
+        .request("POST", "/search", Some(&Json::str("{not json")))
+        .unwrap();
+    assert_eq!(status, 400, "{reply}");
+    // (A JSON *string* body parses fine but is not an object.)
+    assert!(reply.get("error").is_some());
+
+    // Schema violations.
+    for bad in [
+        Json::obj([("elements", Json::num(3.0))]),
+        Json::obj([("tokens", Json::arr([Json::str("x")]))]),
+        Json::obj([("tokens", Json::arr([Json::num(1e9)]))]),
+        Json::obj::<String>([]),
+    ] {
+        let (status, reply) = client.search(&bad).unwrap();
+        assert_eq!(status, 400, "accepted {bad}: {reply}");
+        assert!(reply.get("error").unwrap().as_str().is_some());
+    }
+
+    // Unknown route and wrong method.
+    let (status, _) = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("GET", "/search", None).unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client.request("POST", "/healthz", None).unwrap();
+    assert_eq!(status, 405);
+
+    // Raw garbage on the socket: the server answers 400 and closes.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 400"), "{buf:?}");
+
+    // The service is fine afterwards.
+    let (status, _) = client.healthz().unwrap();
+    assert_eq!(status, 200);
+}
+
+/// Many client threads hammer one server concurrently; every reply must
+/// equal the sequential in-process answer for its query.
+#[test]
+fn concurrent_http_clients_get_consistent_answers() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(partitioned_service(&repo, &sim));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let queries: Vec<Vec<TokenId>> = (0..8).map(|i| repo.set(SetId(i as u32)).to_vec()).collect();
+    let expected: Vec<Vec<(u64, f64)>> = queries
+        .iter()
+        .map(|q| {
+            service
+                .search(SearchRequest::new(q.clone()).bypassing_cache())
+                .result
+                .hits
+                .iter()
+                .map(|h| (h.set.0 as u64, h.score.ub()))
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|sc| {
+        for t in 0..4 {
+            let queries = &queries;
+            let expected = &expected;
+            sc.spawn(move || {
+                let mut client = KoiosClient::new(addr);
+                for round in 0..3 {
+                    for (q, want) in queries.iter().zip(expected) {
+                        let body = Json::obj([
+                            (
+                                "tokens",
+                                Json::arr(q.iter().map(|tok| Json::num(tok.0 as f64))),
+                            ),
+                            ("bypass_cache", Json::Bool(true)),
+                        ]);
+                        let (status, reply) = client.search(&body).unwrap();
+                        assert_eq!(status, 200, "thread {t} round {round}");
+                        let hits = reply.get("hits").unwrap().as_array().unwrap();
+                        assert_eq!(hits.len(), want.len());
+                        for (wire, (set, ub)) in hits.iter().zip(want) {
+                            assert_eq!(wire.get("set").unwrap().as_u64(), Some(*set));
+                            let got = wire.get("ub").unwrap().as_f64().unwrap();
+                            assert!((got - ub).abs() < 1e-9, "thread {t}: {got} != {ub}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Shutdown while clients hold open keep-alive connections: the server
+/// joins cleanly and the port stops answering.
+#[test]
+fn shutdown_closes_cleanly() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(single_service(&repo, &sim));
+    let mut server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let mut client = KoiosClient::new(addr);
+    let (status, _) = client.healthz().unwrap();
+    assert_eq!(status, 200);
+
+    // Keep the connection open across shutdown.
+    server.shutdown();
+    assert!(
+        client.healthz().is_err(),
+        "server must stop answering after shutdown"
+    );
+    drop(repo);
+}

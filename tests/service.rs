@@ -288,6 +288,124 @@ fn partitioned_service_timeout_accounting_is_consistent() {
     assert_eq!((st.rejected, st.timed_out, st.searched), (1, 1, 1));
 }
 
+/// Many threads race submit/await on *one* persistent pool; every handle
+/// must resolve to exactly the sequential in-process answer for its query,
+/// and the pool must survive to serve afterwards.
+#[test]
+fn concurrent_submitters_racing_one_pool_match_sequential() {
+    let (repo, service) = corpus_service(3, 0);
+    let service = Arc::new(service);
+    let queries: Vec<Vec<TokenId>> = (0..8).map(|i| repo.set(SetId(i as u32)).to_vec()).collect();
+    let expected: Vec<Vec<Hit>> = queries
+        .iter()
+        .map(|q| service.backend().search(q).hits)
+        .collect();
+
+    std::thread::scope(|sc| {
+        for t in 0..6 {
+            let service = Arc::clone(&service);
+            let queries = &queries;
+            let expected = &expected;
+            sc.spawn(move || {
+                // Submit a whole wave, then await it — interleaving with
+                // five other submitters on the same queue.
+                let handles: Vec<ResponseHandle> = queries
+                    .iter()
+                    .map(|q| service.submit(SearchRequest::new(q.clone())))
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    let resp = h.wait();
+                    assert!(!resp.rejected, "thread {t} query {i}");
+                    assert_eq!(
+                        resp.result.hits, expected[i],
+                        "thread {t} query {i} diverged under contention"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.queries, 6 * 8);
+    assert_eq!(stats.searched, 6 * 8, "cache disabled: every submit ran");
+    // The pool is still alive for ordinary traffic.
+    let after = service.search(SearchRequest::new(queries[0].clone()));
+    assert_eq!(after.result.hits, expected[0]);
+}
+
+/// Graceful shutdown: handles submitted before `shutdown` all resolve
+/// (the queue drains), and the service still answers inline afterwards.
+#[test]
+fn shutdown_drains_in_flight_tickets() {
+    let (repo, mut service) = corpus_service(1, 0);
+    let queries: Vec<Vec<TokenId>> = (0..6).map(|i| repo.set(SetId(i as u32)).to_vec()).collect();
+    let expected: Vec<Vec<Hit>> = queries
+        .iter()
+        .map(|q| service.backend().search(q).hits)
+        .collect();
+
+    // Six searches pile up behind a single worker…
+    let handles: Vec<ResponseHandle> = queries
+        .iter()
+        .map(|q| service.submit(SearchRequest::new(q.clone())))
+        .collect();
+    // …and shutdown must not drop any of them.
+    service.shutdown();
+    for (i, h) in handles.into_iter().enumerate() {
+        let resp = h.wait();
+        assert!(!resp.rejected, "queued request {i} was dropped by shutdown");
+        assert_eq!(resp.result.hits, expected[i], "request {i}");
+    }
+
+    // Post-shutdown submissions run inline on the caller thread.
+    let inline = service.submit(SearchRequest::new(queries[0].clone()));
+    assert!(inline.is_ready(), "inline fallback resolves immediately");
+    assert_eq!(inline.wait().result.hits, expected[0]);
+    let batch = service.search_batch(&[SearchRequest::new(queries[1].clone())]);
+    assert_eq!(batch[0].result.hits, expected[1]);
+}
+
+/// `ServiceConfig::result_ttl` bounds staleness: within the TTL a repeat
+/// hits, past it the entry expires (counted, evicted) and the service
+/// searches again.
+#[test]
+fn result_ttl_expires_cached_entries() {
+    let corpus = Corpus::generate(CorpusSpec::small(7));
+    let repo = Arc::new(corpus.repository);
+    let sim: Arc<dyn ElementSimilarity> =
+        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    let service = SearchService::new(
+        Arc::clone(&repo),
+        sim,
+        KoiosConfig::new(5, 0.8),
+        ServiceConfig::new()
+            .with_workers(1)
+            .with_cache_capacity(16)
+            .with_result_ttl(Duration::from_millis(80)),
+    );
+    let q = repo.set(SetId(4)).to_vec();
+
+    let miss = service.search(SearchRequest::new(q.clone()));
+    assert_eq!(miss.cache, CacheOutcome::Miss);
+    let hit = service.search(SearchRequest::new(q.clone()));
+    assert_eq!(hit.cache, CacheOutcome::Hit, "fresh entry within TTL");
+
+    std::thread::sleep(Duration::from_millis(120));
+    let expired = service.search(SearchRequest::new(q.clone()));
+    assert_eq!(expired.cache, CacheOutcome::Miss, "entry aged out");
+    assert_eq!(
+        expired.result.hits, miss.result.hits,
+        "same answer, recomputed"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.cache.expirations, 1);
+    assert_eq!(stats.searched, 2);
+
+    // The refill is cached again.
+    let rehit = service.search(SearchRequest::new(q));
+    assert_eq!(rehit.cache, CacheOutcome::Hit);
+}
+
 /// Mixed batches keep submission order even when some requests reject.
 #[test]
 fn mixed_batch_keeps_order_and_isolation() {
