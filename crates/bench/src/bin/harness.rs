@@ -9,8 +9,9 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8
-//! silkmoth ablation token_cache partitioned serving all`. (`partitioned` and
-//! `serving` also write `BENCH_partitioned.json` / `BENCH_serving.json` to
+//! silkmoth ablation token_cache partitioned serving snapshot all`.
+//! (`partitioned`, `serving` and `snapshot` also write
+//! `BENCH_partitioned.json` / `BENCH_serving.json` / `BENCH_store.json` to
 //! the working directory.) Options: `--scale F` (corpus scale,
 //! default 0.2), `--k N`, `--alpha F`, `--partitions N`, `--queries N` (per
 //! interval), `--timeout SECS`, `--seed N`.
@@ -20,7 +21,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|all>\n\
+        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|snapshot|all>\n\
          \x20       [--scale F] [--k N] [--alpha F] [--partitions N] [--queries N] [--timeout SECS] [--seed N]"
     );
     std::process::exit(2);
@@ -80,6 +81,7 @@ fn main() {
         "token_cache",
         "partitioned",
         "serving",
+        "snapshot",
     ];
     let selected: Vec<&str> = if cmds.iter().any(|c| c == "all") {
         all.to_vec()
@@ -112,6 +114,7 @@ fn main() {
             "token_cache" => experiments::token_cache(&cfg),
             "partitioned" => experiments::partitioned(&cfg),
             "serving" => experiments::serving(&cfg),
+            "snapshot" => experiments::snapshot(&cfg),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

@@ -59,7 +59,10 @@ pub struct KoiosConfig {
     /// fresh every time. Cloning a config shares the cache — sibling
     /// engines ([`crate::Koios::with_config`], partition engines) hit the
     /// same entries, which is sound because per-element lists are
-    /// query- and partition-independent.
+    /// query- and partition-independent. Entry lifetime policies travel
+    /// with the cache itself: build it with [`TokenKnnCache::with_ttl`] to
+    /// have lists expire at probe time (serving layers expose this as
+    /// `ServiceConfig::token_cache_ttl`).
     pub token_cache: Option<Arc<TokenKnnCache>>,
 }
 

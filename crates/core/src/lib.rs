@@ -27,6 +27,7 @@ pub mod engine;
 pub mod many_to_one;
 pub mod overlap;
 pub mod partitioned;
+pub mod persist;
 pub mod postprocess;
 pub mod refine;
 pub mod result;

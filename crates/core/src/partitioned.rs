@@ -32,6 +32,7 @@ pub struct PartitionedKoios<'r> {
     sim: Arc<dyn ElementSimilarity>,
     cfg: KoiosConfig,
     indexes: Vec<Arc<InvertedIndex>>,
+    seed: u64,
 }
 
 /// A partitioned engine that owns its repository.
@@ -74,6 +75,34 @@ impl<'r> PartitionedKoios<'r> {
             sim,
             cfg,
             indexes,
+            seed,
+        }
+    }
+
+    /// Wires up a partitioned engine over **pre-built** shard indexes — the
+    /// snapshot warm-start path (`koios-store` restores each shard's
+    /// inverted index bit-exactly, so no set assignment or index build runs
+    /// here). `seed` records the shard-assignment seed the indexes were
+    /// originally built with (observability only; the shard contents come
+    /// from the indexes themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indexes` is empty.
+    pub fn from_indexes(
+        repo: impl Into<RepoRef<'r>>,
+        sim: Arc<dyn ElementSimilarity>,
+        cfg: KoiosConfig,
+        indexes: Vec<Arc<InvertedIndex>>,
+        seed: u64,
+    ) -> Self {
+        assert!(!indexes.is_empty(), "need at least one partition index");
+        PartitionedKoios {
+            repo: repo.into(),
+            sim,
+            cfg,
+            indexes,
+            seed,
         }
     }
 
@@ -97,6 +126,17 @@ impl<'r> PartitionedKoios<'r> {
         self.indexes.len()
     }
 
+    /// The per-shard inverted indexes, in shard order (what a snapshot
+    /// serializes).
+    pub fn indexes(&self) -> &[Arc<InvertedIndex>] {
+        &self.indexes
+    }
+
+    /// The deterministic shard-assignment seed this engine was built with.
+    pub fn partition_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// A sibling over the same repository, similarity and shard indexes but
     /// a different configuration (no index rebuild — per-request `k`/`α`
     /// overrides in serving layers are this cheap, mirroring
@@ -107,6 +147,7 @@ impl<'r> PartitionedKoios<'r> {
             sim: Arc::clone(&self.sim),
             cfg,
             indexes: self.indexes.clone(),
+            seed: self.seed,
         }
     }
 

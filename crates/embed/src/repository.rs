@@ -74,6 +74,32 @@ impl RepositoryBuilder {
         self.repo.interner.intern(s)
     }
 
+    /// Rebuilds a repository from decoded snapshot parts: the vocabulary in
+    /// token-id order (ids are dense, so position *is* the id) and the sets
+    /// in set-id order with their already-interned tokens. This is the
+    /// warm-start restore path of `koios-store` — the interner is rebuilt
+    /// with identical ids, so token ids recorded in snapshotted indexes
+    /// stay valid without any remapping.
+    ///
+    /// Set token vectors are sorted and deduplicated defensively, exactly
+    /// like [`Self::add_token_set`] (snapshots store them sorted, so this
+    /// is a no-op pass on trusted input).
+    pub fn from_snapshot<V, S, T>(vocab: V, sets: S) -> Repository
+    where
+        V: IntoIterator<Item = T>,
+        S: IntoIterator<Item = (String, Vec<TokenId>)>,
+        T: AsRef<str>,
+    {
+        let mut b = RepositoryBuilder::new();
+        for s in vocab {
+            b.intern(s.as_ref());
+        }
+        for (name, tokens) in sets {
+            b.add_token_set(&name, tokens);
+        }
+        b.build()
+    }
+
     /// Finalises the repository.
     pub fn build(self) -> Repository {
         self.repo
@@ -392,6 +418,27 @@ mod tests {
         // Clones are cheap and deref to the same contents.
         let c = owned.clone();
         assert_eq!(c.set_name(SetId(1)), "c2");
+    }
+
+    #[test]
+    fn from_snapshot_restores_ids_exactly() {
+        let r = sample_repo();
+        let vocab: Vec<String> = r.interner().iter().map(|(_, s)| s.to_string()).collect();
+        let sets: Vec<(String, Vec<TokenId>)> = r
+            .iter_sets()
+            .map(|(id, set)| (r.set_name(id).to_string(), set.to_vec()))
+            .collect();
+        let restored = RepositoryBuilder::from_snapshot(vocab, sets);
+        assert_eq!(restored.vocab_size(), r.vocab_size());
+        assert_eq!(restored.num_sets(), r.num_sets());
+        for (id, set) in r.iter_sets() {
+            assert_eq!(restored.set(id), set);
+            assert_eq!(restored.set_name(id), r.set_name(id));
+        }
+        // Token ids (not just strings) are preserved.
+        for (id, s) in r.interner().iter() {
+            assert_eq!(restored.token_id(s), Some(id));
+        }
     }
 
     #[test]

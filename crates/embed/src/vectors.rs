@@ -30,6 +30,38 @@ impl Embeddings {
         }
     }
 
+    /// Rebuilds a table from raw storage — the snapshot restore path of
+    /// `koios-store`. Unlike [`Self::set`], vectors are **not**
+    /// re-normalised: the stored `f32` bit patterns are adopted verbatim,
+    /// so a reloaded table is bit-identical to the one that was saved (and
+    /// therefore every cosine, bound and hit score is too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `data.len() != dim * present.len()` (the
+    /// snapshot decoder validates both before calling).
+    pub fn from_raw(dim: usize, data: Vec<f32>, present: Vec<bool>) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert_eq!(
+            data.len(),
+            dim * present.len(),
+            "raw data must be dim * vocab values"
+        );
+        Embeddings { dim, data, present }
+    }
+
+    /// The raw vector storage, row-major by token id (absent tokens hold
+    /// zeroes). Paired with [`Self::present_mask`] this is the inverse of
+    /// [`Self::from_raw`] — the snapshot writer reads it verbatim.
+    pub fn raw_data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Which tokens have a vector, aligned with token ids.
+    pub fn present_mask(&self) -> &[bool] {
+        &self.present
+    }
+
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
@@ -160,6 +192,27 @@ mod tests {
         e.set(TokenId(0), &[1.0, 0.0]);
         e.set(TokenId(2), &[0.0, 1.0]);
         assert!((e.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_raw_is_bit_identical() {
+        let mut e = Embeddings::new(3, 2);
+        e.set(TokenId(0), &[1.0, 2.0, 3.0]);
+        let restored =
+            Embeddings::from_raw(e.dim(), e.raw_data().to_vec(), e.present_mask().to_vec());
+        assert_eq!(restored.raw_data(), e.raw_data());
+        assert_eq!(restored.present_mask(), e.present_mask());
+        assert_eq!(
+            restored.cosine(TokenId(0), TokenId(0)),
+            e.cosine(TokenId(0), TokenId(0))
+        );
+        assert!(!restored.has(TokenId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dim * vocab")]
+    fn from_raw_rejects_mismatched_lengths() {
+        let _ = Embeddings::from_raw(2, vec![0.0; 3], vec![false; 2]);
     }
 
     #[test]

@@ -38,6 +38,30 @@ impl InvertedIndex {
         }
     }
 
+    /// Rebuilds an index from decoded posting lists (the snapshot restore
+    /// path of `koios-store`): one list per vocabulary token, each sorted
+    /// ascending — exactly the layout [`Self::build`] produces and the
+    /// snapshot writer reads back via [`Self::iter_postings`].
+    pub fn from_postings(postings: Vec<Box<[SetId]>>) -> Self {
+        let total = postings.iter().map(|p| p.len()).sum();
+        InvertedIndex {
+            postings,
+            total_postings: total,
+        }
+    }
+
+    /// Iterates every posting list in token-id order (including empty
+    /// lists, so positions align with token ids — the snapshot writer
+    /// relies on that alignment).
+    pub fn iter_postings(&self) -> impl ExactSizeIterator<Item = &[SetId]> {
+        self.postings.iter().map(|p| &**p)
+    }
+
+    /// Number of posting-list slots (the vocabulary size at build time).
+    pub fn num_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
     /// The sets containing token `t` (empty for unknown/query-only tokens).
     #[inline]
     pub fn postings(&self, t: TokenId) -> &[SetId] {
@@ -106,6 +130,19 @@ mod tests {
         assert_eq!(idx.postings(c), &[SetId(1), SetId(2)]);
         let a = r.token_id("a").unwrap();
         assert!(idx.postings(a).is_empty());
+    }
+
+    #[test]
+    fn from_postings_matches_build() {
+        let r = repo();
+        let built = InvertedIndex::build(&r);
+        let restored = InvertedIndex::from_postings(built.iter_postings().map(Box::from).collect());
+        assert_eq!(restored.num_tokens(), built.num_tokens());
+        assert_eq!(restored.total_postings(), built.total_postings());
+        assert_eq!(restored.max_posting_len(), built.max_posting_len());
+        for t in 0..built.num_tokens() as u32 {
+            assert_eq!(restored.postings(TokenId(t)), built.postings(TokenId(t)));
+        }
     }
 
     #[test]

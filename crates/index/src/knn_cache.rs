@@ -34,6 +34,7 @@ use koios_embed::sim::ElementSimilarity;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A complete per-element kNN list: `(similarity, token)` descending by
 /// similarity, ties by ascending token id — exactly the emission order of
@@ -76,6 +77,10 @@ pub struct KnnCacheCounters {
     pub evictions: u64,
     /// Entries dropped by a generation bump.
     pub invalidations: u64,
+    /// Entries evicted at probe time because they outlived the cache's
+    /// entry TTL (see [`TokenKnnCache::with_ttl`]); each expiry is also a
+    /// miss.
+    pub expirations: u64,
     /// Inserts skipped because a single list exceeded the whole budget or
     /// its generation was already stale.
     pub rejected_inserts: u64,
@@ -113,6 +118,7 @@ struct Entry {
     list: KnnList,
     bytes: usize,
     stamp: u64,
+    inserted_at: Instant,
 }
 
 #[derive(Default)]
@@ -133,6 +139,7 @@ struct Inner {
 /// entire budget is not cached at all.
 pub struct TokenKnnCache {
     budget_bytes: usize,
+    ttl: Option<Duration>,
     generation: AtomicU64,
     inner: Mutex<Inner>,
     // Similarity-identity registry for `sim_tag`. Holding a `Weak` pins
@@ -163,12 +170,31 @@ impl TokenKnnCache {
     pub fn new(budget_bytes: usize) -> Self {
         TokenKnnCache {
             budget_bytes,
+            ttl: None,
             generation: AtomicU64::new(0),
             inner: Mutex::new(Inner::default()),
             sim_tags: Mutex::new(Vec::new()),
             // Tag 0 is the untagged namespace of bare `CachedKnn::new`.
             next_sim_tag: AtomicU64::new(1),
         }
+    }
+
+    /// Gives entries a time-to-live (builder style, before the cache is
+    /// shared): a probe that finds an entry older than `ttl` evicts it and
+    /// misses, so stale similarity lists age out even without memory
+    /// pressure — the knob long-lived services use when embeddings are
+    /// refreshed out of band on a schedule rather than via an explicit
+    /// [`Self::bump_generation`]. `None` (the default) keeps entries until
+    /// displaced or invalidated. Expiries are counted in
+    /// [`KnnCacheCounters::expirations`] (each is also a miss).
+    pub fn with_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// The entry time-to-live, if one was configured.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
     }
 
     /// The stable tag identifying `sim` within this cache (assigned on
@@ -237,20 +263,33 @@ impl TokenKnnCache {
         };
         let mut inner = self.inner.lock().expect("knn cache lock");
         let inner = &mut *inner;
-        match inner.map.get_mut(&key) {
-            Some(entry) => {
-                inner.recency.remove(&entry.stamp);
-                inner.tick += 1;
-                entry.stamp = inner.tick;
-                inner.recency.insert(entry.stamp, key);
-                inner.counters.hits += 1;
-                Some(Arc::clone(&entry.list))
-            }
+        // Probe-time TTL eviction: an expired entry is removed and reported
+        // as a miss, so the prober recomputes (and republishes) a fresh
+        // list.
+        let expired = match inner.map.get(&key) {
             None => {
                 inner.counters.misses += 1;
-                None
+                return None;
             }
+            Some(entry) => self
+                .ttl
+                .is_some_and(|ttl| entry.inserted_at.elapsed() > ttl),
+        };
+        if expired {
+            let dead = inner.map.remove(&key).expect("entry just probed");
+            inner.recency.remove(&dead.stamp);
+            inner.bytes -= dead.bytes;
+            inner.counters.expirations += 1;
+            inner.counters.misses += 1;
+            return None;
         }
+        let entry = inner.map.get_mut(&key).expect("entry just probed");
+        inner.recency.remove(&entry.stamp);
+        inner.tick += 1;
+        entry.stamp = inner.tick;
+        inner.recency.insert(entry.stamp, key);
+        inner.counters.hits += 1;
+        Some(Arc::clone(&entry.list))
     }
 
     /// Stores a **complete** list for `(token, α, generation, sim_tag)`,
@@ -279,7 +318,13 @@ impl TokenKnnCache {
         };
         inner.tick += 1;
         let stamp = inner.tick;
-        if let Some(old) = inner.map.insert(key, Entry { list, bytes, stamp }) {
+        let entry = Entry {
+            list,
+            bytes,
+            stamp,
+            inserted_at: Instant::now(),
+        };
+        if let Some(old) = inner.map.insert(key, entry) {
             inner.recency.remove(&old.stamp);
             inner.bytes -= old.bytes;
         }
@@ -732,6 +777,46 @@ mod tests {
         assert_eq!(cache.len(), 1, "budget holds one list");
         assert!(cache.counters().evictions >= 1);
         assert!(cache.bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn ttl_expires_entries_at_probe_time() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20).with_ttl(Some(Duration::ZERO)));
+        assert_eq!(cache.ttl(), Some(Duration::ZERO));
+        let mut a = cached(&cache, &sim, &q, vocab, 0.3);
+        let fresh = drain(&mut a, 0);
+        assert!(!fresh.is_empty());
+        assert_eq!(cache.len(), 1, "entry is stored until probed");
+        // A zero TTL makes every later probe find an expired entry: it is
+        // evicted, counted, and the prober recomputes identically.
+        let mut b = cached(&cache, &sim, &q, vocab, 0.3);
+        assert_eq!(drain(&mut b, 0), fresh);
+        assert_eq!(b.search_stats().hits, 0);
+        assert_eq!(b.search_stats().misses, 1);
+        let c = cache.counters();
+        assert_eq!(c.expirations, 1);
+        // Two misses total: the cold fill, then the expiry-as-miss.
+        assert_eq!(c.misses, 2);
+        assert!(cache.bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn generous_ttl_never_expires() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20).with_ttl(Some(Duration::from_secs(3600))));
+        let mut a = cached(&cache, &sim, &q, vocab, 0.3);
+        drain(&mut a, 0);
+        let mut b = cached(&cache, &sim, &q, vocab, 0.3);
+        drain(&mut b, 0);
+        assert_eq!(b.search_stats().hits, 1);
+        assert_eq!(cache.counters().expirations, 0);
+    }
+
+    #[test]
+    fn no_ttl_is_the_default() {
+        let cache = TokenKnnCache::new(1 << 20);
+        assert_eq!(cache.ttl(), None);
     }
 
     #[test]

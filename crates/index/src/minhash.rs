@@ -51,6 +51,15 @@ pub struct MinHashIndex {
     signatures: Vec<Box<[u64]>>,
 }
 
+impl std::fmt::Debug for MinHashIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MinHashIndex")
+            .field("params", &self.params)
+            .field("tokens", &self.signatures.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Cheap 2-universal-ish hash of a gram under permutation `i`.
 #[inline]
 fn perm_hash(gram: u64, perm_seed: u64) -> u64 {
@@ -86,6 +95,19 @@ impl MinHashIndex {
             }
             signatures.push(sig.into_boxed_slice());
         }
+        Self::from_signatures(params, signatures)
+    }
+
+    /// Rebuilds the index from per-token signatures — the snapshot restore
+    /// path of `koios-store`. The band tables are derived data (a hash of
+    /// each signature slice), so snapshots store only the signatures and
+    /// this constructor regenerates the tables, bit-identically to
+    /// [`Self::build`] on the original grams.
+    ///
+    /// Each signature must be `params.bands * params.rows_per_band` values
+    /// long (an all-`u64::MAX` signature marks an empty gram set and is not
+    /// banded, exactly as in [`Self::build`]).
+    pub fn from_signatures(params: MinHashParams, signatures: Vec<Box<[u64]>>) -> Self {
         let mut tables: Vec<HashMap<u64, Vec<TokenId>>> = vec![HashMap::new(); params.bands];
         for (t, sig) in signatures.iter().enumerate() {
             if sig.iter().all(|&v| v == u64::MAX) {
@@ -106,6 +128,18 @@ impl MinHashIndex {
             tables,
             signatures,
         }
+    }
+
+    /// The LSH parameters this index was built with.
+    pub fn params(&self) -> MinHashParams {
+        self.params
+    }
+
+    /// Per-token signatures in token-id order (`bands * rows_per_band`
+    /// values each) — with [`Self::params`], everything
+    /// [`Self::from_signatures`] needs to reconstruct the index.
+    pub fn signatures(&self) -> &[Box<[u64]>] {
+        &self.signatures
     }
 
     /// Tokens colliding with `t` in at least one band (including `t`).
@@ -329,6 +363,23 @@ mod tests {
         // An unrelated token colliding in 0 bands is overwhelmingly likely
         // to be absent (probability of a false collision ≈ b·2^-64·...).
         assert!(!c.contains(&zebra));
+    }
+
+    #[test]
+    fn from_signatures_reconstructs_collisions() {
+        let (repo, _) = setup();
+        let grams = vocabulary_grams(&repo, 3);
+        let built = MinHashIndex::build(&grams, MinHashParams::default());
+        let restored = MinHashIndex::from_signatures(built.params(), built.signatures().to_vec());
+        assert_eq!(restored.params().bands, built.params().bands);
+        assert_eq!(restored.signatures(), built.signatures());
+        for t in 0..repo.vocab_size() as u32 {
+            assert_eq!(
+                restored.collisions(TokenId(t)),
+                built.collisions(TokenId(t)),
+                "token {t}"
+            );
+        }
     }
 
     #[test]

@@ -159,6 +159,19 @@ pub fn stats_to_json(st: &ServiceStats) -> Json {
             ("generation", Json::num(tc.generation as f64)),
             ("hits", Json::num(tc.counters.hits as f64)),
             ("misses", Json::num(tc.counters.misses as f64)),
+            ("expirations", Json::num(tc.counters.expirations as f64)),
+        ]),
+    };
+    let snapshot = match &st.snapshot {
+        None => Json::Null,
+        Some(sn) => Json::obj([
+            ("path", Json::str(&sn.path)),
+            ("format_version", Json::num(sn.format_version as f64)),
+            ("bytes", Json::num(sn.bytes as f64)),
+            ("partitions", Json::num(sn.partitions as f64)),
+            ("num_sets", Json::num(sn.num_sets as f64)),
+            ("vocab_size", Json::num(sn.vocab_size as f64)),
+            ("load_ms", millis(sn.load_time)),
         ]),
     };
     Json::obj([
@@ -181,6 +194,7 @@ pub fn stats_to_json(st: &ServiceStats) -> Json {
             ]),
         ),
         ("token_cache", token_cache),
+        ("snapshot", snapshot),
         (
             "engine",
             Json::obj([

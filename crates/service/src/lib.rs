@@ -56,4 +56,4 @@ pub use cache::{CacheCounters, LruCache};
 pub use pool::{Ticket, WorkerPool};
 pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 pub use service::{ResponseHandle, SearchService, ServiceConfig};
-pub use stats::ServiceStats;
+pub use stats::{ServiceStats, SnapshotInfo};

@@ -3,14 +3,17 @@
 use crate::cache::LruCache;
 use crate::pool::{Ticket, WorkerPool};
 use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
-use crate::stats::ServiceStats;
+use crate::stats::{ServiceStats, SnapshotInfo};
 use koios_common::{SetId, TokenId};
 use koios_core::{
     EngineBackend, Hit, KoiosConfig, OwnedKoios, OwnedPartitionedKoios, SearchResult, SearchStats,
 };
 use koios_embed::repository::Repository;
 use koios_embed::sim::ElementSimilarity;
+use koios_embed::vectors::Embeddings;
 use koios_index::knn_cache::TokenKnnCache;
+use koios_store::snapshot::StoreError;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -37,6 +40,13 @@ pub struct ServiceConfig {
     /// entry evicts it and misses. `None` (the default) keeps entries until
     /// displaced or invalidated.
     pub result_ttl: Option<Duration>,
+    /// Time-to-live of token-cache entries (the per-element kNN lists):
+    /// a probe that finds an older list evicts it, counts an expiration
+    /// and recomputes. `None` (the default) keeps lists until displaced or
+    /// invalidated. Only applies to the cache the service creates itself —
+    /// a backend-supplied [`TokenKnnCache`] keeps whatever TTL it was
+    /// built with.
+    pub token_cache_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -47,6 +57,7 @@ impl Default for ServiceConfig {
             token_cache_bytes: 16 << 20,
             default_time_budget: None,
             result_ttl: None,
+            token_cache_ttl: None,
         }
     }
 }
@@ -85,6 +96,12 @@ impl ServiceConfig {
     /// Sets the result-cache entry time-to-live.
     pub fn with_result_ttl(mut self, ttl: Duration) -> Self {
         self.result_ttl = Some(ttl);
+        self
+    }
+
+    /// Sets the token-cache entry time-to-live (per-element kNN lists).
+    pub fn with_token_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.token_cache_ttl = Some(ttl);
         self
     }
 }
@@ -177,6 +194,10 @@ struct ServiceInner {
     // Shared token-level kNN cache (also reachable through the engine
     // config; this handle serves stats and invalidation).
     token_cache: Option<Arc<TokenKnnCache>>,
+    // Where the backend came from, when it was warm-started from a
+    // snapshot ([`SearchService::from_snapshot`]); surfaced in
+    // [`ServiceStats::snapshot`].
+    snapshot: Option<SnapshotInfo>,
     stats: Mutex<StatsInner>,
 }
 
@@ -228,7 +249,67 @@ impl SearchService {
     /// `token_cache_bytes` to `0` disables token caching even then, by
     /// stripping the cache from the engine configuration.
     pub fn from_backend(backend: impl Into<EngineBackend>, cfg: ServiceConfig) -> Self {
-        let backend = backend.into();
+        Self::from_backend_with_provenance(backend.into(), cfg, None)
+    }
+
+    /// Warm-starts a service from a `koios-store` snapshot: the backend —
+    /// single or sharded, whichever layout the snapshot holds — is restored
+    /// without any index rebuild, searching under a cosine similarity over
+    /// the snapshotted token vectors. `engine_cfg` supplies the serving
+    /// `k`/`α` and filter settings (they are not part of the snapshot — the
+    /// same state serves any configuration). The snapshot's provenance
+    /// (path, sizes, load time) is reported in [`ServiceStats::snapshot`].
+    pub fn from_snapshot(
+        path: impl AsRef<Path>,
+        engine_cfg: KoiosConfig,
+        cfg: ServiceConfig,
+    ) -> Result<Self, StoreError> {
+        Self::from_snapshot_with(path, engine_cfg, cfg, |_, emb| match emb {
+            Some(emb) => Ok(Arc::new(koios_embed::sim::CosineSimilarity::new(emb))
+                as Arc<dyn ElementSimilarity>),
+            None => Err(StoreError::MissingSection(
+                koios_store::snapshot::SectionKind::Embeddings,
+            )),
+        })
+    }
+
+    /// [`Self::from_snapshot`] with a caller-chosen similarity factory (for
+    /// snapshots written without embeddings, or engines over non-cosine
+    /// similarities). The factory sees the restored repository and token
+    /// vectors and returns the similarity the service will search under.
+    pub fn from_snapshot_with<F>(
+        path: impl AsRef<Path>,
+        engine_cfg: KoiosConfig,
+        cfg: ServiceConfig,
+        make_sim: F,
+    ) -> Result<Self, StoreError>
+    where
+        F: FnOnce(
+            &Repository,
+            Option<Arc<Embeddings>>,
+        ) -> Result<Arc<dyn ElementSimilarity>, StoreError>,
+    {
+        let path = path.as_ref();
+        let t0 = Instant::now();
+        let state = koios_store::snapshot::read_snapshot(path)?;
+        let (backend, meta) = EngineBackend::from_state(state, engine_cfg, make_sim)?;
+        let info = SnapshotInfo {
+            path: path.display().to_string(),
+            format_version: meta.format_version,
+            bytes: meta.total_bytes,
+            partitions: backend.num_partitions(),
+            num_sets: meta.num_sets,
+            vocab_size: meta.vocab_size,
+            load_time: t0.elapsed(),
+        };
+        Ok(Self::from_backend_with_provenance(backend, cfg, Some(info)))
+    }
+
+    fn from_backend_with_provenance(
+        backend: EngineBackend,
+        cfg: ServiceConfig,
+        snapshot: Option<SnapshotInfo>,
+    ) -> Self {
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -244,7 +325,9 @@ impl SearchService {
             }
             Some(existing) => (backend, Some(existing)),
             None if cfg.token_cache_bytes > 0 => {
-                let cache = Arc::new(TokenKnnCache::new(cfg.token_cache_bytes));
+                let cache = Arc::new(
+                    TokenKnnCache::new(cfg.token_cache_bytes).with_ttl(cfg.token_cache_ttl),
+                );
                 let engine_cfg = backend
                     .config()
                     .clone()
@@ -259,10 +342,17 @@ impl SearchService {
                 default_budget: cfg.default_time_budget,
                 cache: Mutex::new(LruCache::new(cfg.cache_capacity).with_ttl(cfg.result_ttl)),
                 token_cache,
+                snapshot,
                 stats: Mutex::new(StatsInner::default()),
             }),
             pool: WorkerPool::new(workers),
         }
+    }
+
+    /// Provenance of a snapshot-restored backend (`None` when the service
+    /// was built from live structures).
+    pub fn snapshot_info(&self) -> Option<&SnapshotInfo> {
+        self.inner.snapshot.as_ref()
     }
 
     /// The shared engine backend.
@@ -397,6 +487,7 @@ impl SearchService {
             partitions: self.inner.backend.num_partitions(),
             cache,
             token_cache: self.inner.token_cache.as_ref().map(|tc| tc.snapshot()),
+            snapshot: self.inner.snapshot.clone(),
             engine: st.engine.clone(),
         }
     }
@@ -851,6 +942,79 @@ mod tests {
             tc.counters.hits > 0,
             "later requests reuse earlier lists: {tc:?}"
         );
+    }
+
+    #[test]
+    fn token_cache_ttl_expires_lists() {
+        let (repo, _) = service(1, 8);
+        let svc = SearchService::new(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_token_cache_ttl(Duration::ZERO),
+        );
+        assert_eq!(svc.token_cache().unwrap().ttl(), Some(Duration::ZERO));
+        let q = repo.intern_query(["a", "b"]);
+        let first = svc.search(SearchRequest::new(q.clone()));
+        // Every repeat probe finds only expired lists: recompute, identical
+        // results, expirations counted.
+        let second = svc.search(SearchRequest::new(q));
+        assert_eq!(second.result.hits, first.result.hits);
+        assert_eq!(second.result.stats.knn_cache.hits, 0);
+        let tc = svc.stats().token_cache.expect("enabled");
+        assert!(tc.counters.expirations >= 2, "{:?}", tc.counters);
+    }
+
+    #[test]
+    fn service_warm_starts_from_snapshot() {
+        use koios_embed::synthetic::SyntheticEmbeddings;
+        let mut b = RepositoryBuilder::new();
+        b.add_set("c1", ["LA", "Blain", "Appleton", "MtPleasant"]);
+        b.add_set("c2", ["LA", "Sacramento", "Blain", "SC"]);
+        b.add_set("c3", ["Zebra", "Yak", "Gnu"]);
+        let repo = Arc::new(b.build());
+        let emb = Arc::new(
+            SyntheticEmbeddings::builder()
+                .dimensions(16)
+                .seed(3)
+                .build(&repo),
+        );
+        let sim = Arc::new(koios_embed::sim::CosineSimilarity::new(Arc::clone(&emb)));
+        let cold = SearchService::new_partitioned(
+            Arc::clone(&repo),
+            sim,
+            KoiosConfig::new(2, 0.5),
+            2,
+            7,
+            ServiceConfig::new().with_workers(1),
+        );
+        let dir = std::env::temp_dir().join("koios-service-snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("service.ksnap");
+        cold.backend().write_snapshot(&path, Some(&emb)).unwrap();
+        assert!(cold.snapshot_info().is_none());
+        assert!(cold.stats().snapshot.is_none());
+
+        let warm = SearchService::from_snapshot(
+            &path,
+            KoiosConfig::new(2, 0.5),
+            ServiceConfig::new().with_workers(1),
+        )
+        .unwrap();
+        assert_eq!(warm.partitions(), 2);
+        let info = warm.snapshot_info().expect("provenance recorded");
+        assert_eq!(info.partitions, 2);
+        assert_eq!(info.num_sets, repo.num_sets());
+        assert!(info.bytes > 0);
+        assert_eq!(warm.stats().snapshot.as_ref(), Some(info));
+
+        let q = repo.intern_query(["LA", "Blain", "SC"]);
+        let a = cold.search(SearchRequest::new(q.clone()));
+        let b = warm.search(SearchRequest::new(q));
+        assert_eq!(a.result.hits, b.result.hits, "warm ≡ cold over the service");
     }
 
     #[test]

@@ -3,6 +3,29 @@
 use crate::cache::CacheCounters;
 use koios_core::SearchStats;
 use koios_index::knn_cache::KnnCacheSnapshot;
+use std::time::Duration;
+
+/// Provenance of a backend restored from a `koios-store` snapshot
+/// ([`crate::SearchService::from_snapshot`]): which file, how big, and how
+/// long the warm start took — what an operator checks to confirm a restart
+/// really skipped the rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// The snapshot file the backend was restored from.
+    pub path: String,
+    /// The snapshot's format version.
+    pub format_version: u32,
+    /// Total snapshot size in bytes.
+    pub bytes: u64,
+    /// Partitions restored (1 for a single-index layout).
+    pub partitions: usize,
+    /// Sets in the restored repository.
+    pub num_sets: usize,
+    /// Vocabulary size of the restored repository.
+    pub vocab_size: usize,
+    /// Wall time of read + restore (file to query-ready backend).
+    pub load_time: Duration,
+}
 
 /// Aggregated counters for a [`crate::SearchService`] since construction
 /// (or the last [`crate::SearchService::reset_stats`]).
@@ -43,6 +66,9 @@ pub struct ServiceStats {
     /// counts also appear per search in `engine.knn_cache`; this snapshot
     /// adds the global view: bytes held, entries, evictions, generation.
     pub token_cache: Option<KnnCacheSnapshot>,
+    /// Provenance of the snapshot the backend was warm-started from
+    /// (`None` when the service was built from live structures).
+    pub snapshot: Option<SnapshotInfo>,
     /// Folded per-search engine instrumentation.
     pub engine: SearchStats,
 }

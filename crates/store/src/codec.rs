@@ -1,0 +1,513 @@
+//! Little-endian binary codec primitives.
+//!
+//! The snapshot format (see [`crate::snapshot`]) is built from a handful of
+//! primitives: fixed-width little-endian integers and floats, LEB128-style
+//! varints, and length-prefixed byte strings. [`Writer`] appends them to a
+//! growable buffer; [`Reader`] consumes them with bounds checks everywhere,
+//! so a truncated or corrupted payload surfaces as a typed [`CodecError`]
+//! instead of a panic or an out-of-bounds read. The module also hosts the
+//! [`crc32`] checksum (IEEE polynomial, the zlib/PNG one) that guards each
+//! snapshot section.
+//!
+//! Sorted id sequences (set elements, posting lists) are stored as
+//! [`Writer::delta_seq`] — varint deltas between consecutive values — which
+//! keeps real snapshots small without a compression dependency.
+
+use std::fmt;
+
+/// Why decoding failed (position is a byte offset into the section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A varint ran past 10 bytes (or overflowed 64 bits).
+    VarintOverflow {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
+    /// A declared length or count exceeds the remaining input — a corrupt
+    /// prefix would otherwise trigger an enormous allocation.
+    ImplausibleLength {
+        /// Byte offset of the length field.
+        offset: usize,
+        /// The declared value.
+        declared: u64,
+        /// What the length described.
+        what: &'static str,
+    },
+    /// A byte string that must be UTF-8 was not.
+    InvalidUtf8 {
+        /// Byte offset of the string payload.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { offset, what } => {
+                write!(f, "input truncated at byte {offset} while reading {what}")
+            }
+            CodecError::VarintOverflow { offset } => {
+                write!(f, "varint at byte {offset} overflows 64 bits")
+            }
+            CodecError::ImplausibleLength {
+                offset,
+                declared,
+                what,
+            } => write!(
+                f,
+                "implausible {what} length {declared} at byte {offset} (exceeds remaining input)"
+            ),
+            CodecError::InvalidUtf8 { offset } => {
+                write!(f, "invalid UTF-8 in string at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends codec primitives to a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Fixed-width little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Fixed-width little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `f32` (bit pattern preserved exactly).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `f64` (bit pattern preserved exactly).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// LEB128 varint (7 bits per byte, little-endian groups).
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Varint length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// A sorted strictly-increasing `u32` sequence as a varint count, the
+    /// first value, and varint deltas between consecutive values.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the sequence is strictly increasing (every caller
+    /// stores sorted, deduplicated id lists).
+    pub fn delta_seq(&mut self, ids: impl ExactSizeIterator<Item = u32> + Clone) {
+        debug_assert!(
+            {
+                let v: Vec<u32> = ids.clone().collect();
+                v.windows(2).all(|w| w[0] < w[1])
+            },
+            "delta_seq input must be strictly increasing"
+        );
+        self.varint(ids.len() as u64);
+        let mut prev = 0u32;
+        for (i, id) in ids.enumerate() {
+            let delta = if i == 0 { id } else { id - prev };
+            self.varint(delta as u64);
+            prev = id;
+        }
+    }
+}
+
+/// Consumes codec primitives from a byte slice with bounds checks.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                what,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Fixed-width little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Fixed-width little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4, "f32")?.try_into().unwrap()))
+    }
+
+    /// Little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    /// Fills `out` with consecutive little-endian `f32`s — one bounds
+    /// check for the whole slice, the bulk-decode path for vector rows.
+    pub fn f32_into(&mut self, out: &mut [f32]) -> Result<(), CodecError> {
+        let raw = self.take(out.len() * 4, "f32 slice")?;
+        for (slot, chunk) in out.iter_mut().zip(raw.chunks_exact(4)) {
+            *slot = f32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    /// LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let start = self.pos;
+        let mut out = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take(1, "varint")?[0];
+            let payload = (byte & 0x7F) as u64;
+            if shift == 63 && payload > 1 {
+                return Err(CodecError::VarintOverflow { offset: start });
+            }
+            out |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+        }
+        Err(CodecError::VarintOverflow { offset: start })
+    }
+
+    /// A varint validated against the remaining input: a declared count of
+    /// items, each at least `min_item_bytes` wide, can never exceed what is
+    /// actually left — catching corrupt prefixes before they allocate.
+    pub fn checked_len(
+        &mut self,
+        min_item_bytes: usize,
+        what: &'static str,
+    ) -> Result<usize, CodecError> {
+        let offset = self.pos;
+        let declared = self.varint()?;
+        let feasible = self.remaining() as u64 / min_item_bytes.max(1) as u64;
+        if declared > feasible {
+            return Err(CodecError::ImplausibleLength {
+                offset,
+                declared,
+                what,
+            });
+        }
+        Ok(declared as usize)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let n = self.checked_len(1, what)?;
+        self.take(n, what)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, CodecError> {
+        let offset = self.pos;
+        let b = self.bytes(what)?;
+        std::str::from_utf8(b).map_err(|_| CodecError::InvalidUtf8 { offset })
+    }
+
+    /// A [`Writer::delta_seq`] sequence, reconstructed to absolute values.
+    pub fn delta_seq(&mut self, what: &'static str) -> Result<Vec<u32>, CodecError> {
+        let n = self.checked_len(1, what)?;
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let offset = self.pos;
+            let delta = self.varint()?;
+            let next = if i == 0 { delta } else { prev as u64 + delta };
+            if next > u32::MAX as u64 {
+                return Err(CodecError::ImplausibleLength {
+                    offset,
+                    declared: next,
+                    what,
+                });
+            }
+            prev = next as u32;
+            out.push(prev);
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the zlib/PNG checksum) of
+/// `data`. Slicing-by-8: eight derived tables let the hot loop fold eight
+/// input bytes per iteration, which matters because every snapshot section
+/// is checksummed on write *and* on load (the warm-start path).
+pub fn crc32(data: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        for i in 0..256 {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        c = tables[7][(lo & 0xFF) as usize]
+            ^ tables[6][((lo >> 8) & 0xFF) as usize]
+            ^ tables[5][((lo >> 16) & 0xFF) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xFF) as usize]
+            ^ tables[2][((hi >> 8) & 0xFF) as usize]
+            ^ tables[1][((hi >> 16) & 0xFF) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = tables[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f32(1.5);
+        w.f64(-0.25);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -0.25);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn varint_roundtrip_across_widths() {
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX];
+        let mut w = Writer::new();
+        for &v in &values {
+            w.varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn varint_overflow_is_detected() {
+        // 11 continuation bytes: more than any u64 varint can hold.
+        let bad = [0xFFu8; 11];
+        let mut r = Reader::new(&bad);
+        assert!(matches!(r.varint(), Err(CodecError::VarintOverflow { .. })));
+    }
+
+    #[test]
+    fn strings_and_bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.str("héllo wörld");
+        w.bytes(&[1, 2, 3]);
+        w.str("");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.str("s").unwrap(), "héllo wörld");
+        assert_eq!(r.bytes("b").unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str("s").unwrap(), "");
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str("s"), Err(CodecError::InvalidUtf8 { .. })));
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(42);
+        w.str("hello");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let a = r.u64();
+            let b = r.str("s");
+            assert!(a.is_err() || b.is_err(), "cut at {cut} must fail somewhere");
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_rejected() {
+        let mut w = Writer::new();
+        w.varint(u64::MAX / 2); // claims an enormous byte string
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.bytes("payload"),
+            Err(CodecError::ImplausibleLength { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_seq_roundtrip() {
+        let seqs: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![7],
+            vec![0, 1, 2, 3],
+            vec![5, 100, 101, 4000, u32::MAX],
+        ];
+        let mut w = Writer::new();
+        for s in &seqs {
+            w.delta_seq(s.iter().copied());
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for s in &seqs {
+            assert_eq!(&r.delta_seq("seq").unwrap(), s);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check values for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"koios snapshot section payload".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,1060 @@
+//! The versioned snapshot container: sections, checksums, read/write.
+//!
+//! ## File layout
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header   magic "KOIOSNAP" (8B) · format version u32 ·        │
+//! │          section count u32                                   │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ table    per section: kind u32 · offset u64 · len u64 ·      │
+//! │          crc32 u32                      (24 bytes per entry) │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ payloads Meta · Repository · [Embeddings] ·                  │
+//! │          InvertedIndex × n (shard order) · [MinHash]         │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Everything is little-endian (see [`crate::codec`]). Each section is
+//! guarded by its own CRC-32, so a flipped bit anywhere in a payload is
+//! caught before any of it is decoded; the section table is bounds-checked
+//! against the file length, so truncation is caught before any seek. All
+//! failures are typed [`StoreError`]s — a corrupt snapshot can never panic
+//! the loader.
+//!
+//! [`SnapshotMeta::read`] inspects a snapshot — layout, counts, section
+//! sizes — by reading only the header, the table and the small Meta
+//! section, without touching the (much larger) payloads. [`write_snapshot`]
+//! writes to a temporary sibling file and renames it into place, so a crash
+//! mid-write never leaves a half-written snapshot under the final name.
+
+use crate::codec::{crc32, CodecError, Reader, Writer};
+use koios_common::{SetId, TokenId};
+use koios_embed::repository::{Repository, RepositoryBuilder};
+use koios_embed::vectors::Embeddings;
+use koios_index::inverted::InvertedIndex;
+use koios_index::minhash::{MinHashIndex, MinHashParams};
+use std::fmt;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"KOIOSNAP";
+
+/// Current snapshot format version; readers reject anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Conventional file extension for snapshots (`engine.ksnap`).
+pub const SNAPSHOT_EXT: &str = "ksnap";
+
+const HEADER_LEN: usize = 16;
+const TABLE_ENTRY_LEN: usize = 24;
+/// Sanity bound on the section count: a corrupt header cannot make the
+/// reader allocate an absurd table. Large enough for thousands of shards.
+const MAX_SECTIONS: u32 = 16_384;
+
+/// What a section holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// Layout and counts (small; read by [`SnapshotMeta::read`]).
+    Meta,
+    /// Vocabulary strings + sets (`Repository`).
+    Repository,
+    /// Token vectors (`Embeddings`, bit-exact `f32`s).
+    Embeddings,
+    /// One inverted index; repeated once per shard for partitioned
+    /// layouts, in shard order.
+    InvertedIndex,
+    /// MinHash-LSH signatures (`MinHashIndex`; band tables are derived and
+    /// rebuilt on load).
+    MinHash,
+}
+
+impl SectionKind {
+    fn to_u32(self) -> u32 {
+        match self {
+            SectionKind::Meta => 0,
+            SectionKind::Repository => 1,
+            SectionKind::Embeddings => 2,
+            SectionKind::InvertedIndex => 3,
+            SectionKind::MinHash => 4,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            0 => Some(SectionKind::Meta),
+            1 => Some(SectionKind::Repository),
+            2 => Some(SectionKind::Embeddings),
+            3 => Some(SectionKind::InvertedIndex),
+            4 => Some(SectionKind::MinHash),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Meta => "meta",
+            SectionKind::Repository => "repository",
+            SectionKind::Embeddings => "embeddings",
+            SectionKind::InvertedIndex => "inverted-index",
+            SectionKind::MinHash => "minhash",
+        }
+    }
+}
+
+/// How the snapshotted engine was laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotLayout {
+    /// One engine over one repository-wide inverted index.
+    Single,
+    /// A sharded engine: one inverted index per partition.
+    Partitioned {
+        /// Number of shards (equals the number of inverted-index
+        /// sections).
+        partitions: u32,
+        /// The deterministic shard-assignment seed the engine was built
+        /// with.
+        seed: u64,
+    },
+}
+
+impl SnapshotLayout {
+    /// A human-readable description (`"single"` / `"partitioned(8)"`).
+    pub fn describe(&self) -> String {
+        match self {
+            SnapshotLayout::Single => "single".to_string(),
+            SnapshotLayout::Partitioned { partitions, .. } => {
+                format!("partitioned({partitions})")
+            }
+        }
+    }
+}
+
+/// One entry of the section table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// What the section holds.
+    pub kind: SectionKind,
+    /// Absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// Everything a snapshot says about itself, readable without decoding the
+/// payload sections (see [`SnapshotMeta::read`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// The format version the file was written with.
+    pub format_version: u32,
+    /// Single or partitioned engine layout.
+    pub layout: SnapshotLayout,
+    /// Number of sets in the repository.
+    pub num_sets: usize,
+    /// Vocabulary size of the repository.
+    pub vocab_size: usize,
+    /// Number of inverted-index sections (1, or the partition count).
+    pub num_indexes: usize,
+    /// Whether a token-vector section is present.
+    pub has_embeddings: bool,
+    /// Whether a MinHash section is present.
+    pub has_minhash: bool,
+    /// Total file size in bytes.
+    pub total_bytes: u64,
+    /// The section table (kind, offset, length, checksum per section).
+    pub sections: Vec<SectionInfo>,
+}
+
+/// Why a snapshot could not be written or read.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a Koios snapshot.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header/table claims.
+    Truncated {
+        /// Bytes the header or table said must exist.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// The damaged section.
+        kind: SectionKind,
+    },
+    /// A payload failed to decode (truncated mid-value, bad varint, …).
+    Corrupt {
+        /// The section being decoded.
+        kind: SectionKind,
+        /// The codec-level failure.
+        source: CodecError,
+    },
+    /// A required section is absent.
+    MissingSection(SectionKind),
+    /// The file decoded but its contents are inconsistent (out-of-range
+    /// ids, counts disagreeing with the meta section, …).
+    Malformed(String),
+    /// The snapshot's engine layout does not match what the caller asked
+    /// to restore (e.g. loading a sharded snapshot into a single engine).
+    LayoutMismatch {
+        /// The layout the caller required.
+        expected: &'static str,
+        /// The layout the snapshot holds.
+        found: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            StoreError::BadMagic => write!(f, "not a Koios snapshot (bad magic)"),
+            StoreError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported snapshot format version {v} (this reader understands ≤ {FORMAT_VERSION})"
+            ),
+            StoreError::Truncated { expected, actual } => write!(
+                f,
+                "snapshot truncated: header declares {expected} bytes, file has {actual}"
+            ),
+            StoreError::ChecksumMismatch { kind } => {
+                write!(f, "checksum mismatch in {} section", kind.name())
+            }
+            StoreError::Corrupt { kind, source } => {
+                write!(f, "corrupt {} section: {source}", kind.name())
+            }
+            StoreError::MissingSection(kind) => {
+                write!(f, "snapshot is missing its {} section", kind.name())
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            StoreError::LayoutMismatch { expected, found } => write!(
+                f,
+                "snapshot layout mismatch: expected a {expected} engine, snapshot holds {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Borrowed query-ready state to serialize (the write-side dual of
+/// [`SnapshotState`]). Assemble one from live structures — engines expose
+/// a convenience wrapper, see `EngineBackend::write_snapshot` in
+/// `koios-core`.
+#[derive(Debug)]
+pub struct SnapshotView<'a> {
+    /// The repository (sets, names, interned vocabulary).
+    pub repository: &'a Repository,
+    /// Token vectors, when the engine's similarity is embedding-based.
+    pub embeddings: Option<&'a Embeddings>,
+    /// Single or partitioned layout.
+    pub layout: SnapshotLayout,
+    /// The inverted index(es): exactly one for [`SnapshotLayout::Single`],
+    /// one per shard (in shard order) for
+    /// [`SnapshotLayout::Partitioned`].
+    pub indexes: Vec<&'a InvertedIndex>,
+    /// An optional MinHash-LSH index (signatures only; band tables are
+    /// rebuilt on load).
+    pub minhash: Option<&'a MinHashIndex>,
+}
+
+/// Owned query-ready state restored from a snapshot.
+#[derive(Debug)]
+pub struct SnapshotState {
+    /// The snapshot's self-description.
+    pub meta: SnapshotMeta,
+    /// The restored repository (token ids identical to the saved one).
+    pub repository: Repository,
+    /// Restored token vectors (bit-identical), if saved.
+    pub embeddings: Option<Embeddings>,
+    /// The restored inverted index(es), in shard order.
+    pub indexes: Vec<InvertedIndex>,
+    /// The restored MinHash index, if saved.
+    pub minhash: Option<MinHashIndex>,
+}
+
+// ---------------------------------------------------------------------------
+// Section payload encoders/decoders.
+// ---------------------------------------------------------------------------
+
+fn corrupt(kind: SectionKind) -> impl Fn(CodecError) -> StoreError {
+    move |source| StoreError::Corrupt { kind, source }
+}
+
+fn encode_meta(view: &SnapshotView) -> Vec<u8> {
+    let mut w = Writer::new();
+    match view.layout {
+        SnapshotLayout::Single => w.u8(0),
+        SnapshotLayout::Partitioned { partitions, seed } => {
+            w.u8(1);
+            w.varint(partitions as u64);
+            w.u64(seed);
+        }
+    }
+    w.varint(view.repository.num_sets() as u64);
+    w.varint(view.repository.vocab_size() as u64);
+    w.varint(view.indexes.len() as u64);
+    w.u8(view.embeddings.is_some() as u8);
+    w.u8(view.minhash.is_some() as u8);
+    w.into_bytes()
+}
+
+fn decode_meta(
+    payload: &[u8],
+    format_version: u32,
+    sections: Vec<SectionInfo>,
+    total_bytes: u64,
+) -> Result<SnapshotMeta, StoreError> {
+    let kind = SectionKind::Meta;
+    let mut r = Reader::new(payload);
+    let layout = match r.u8().map_err(corrupt(kind))? {
+        0 => SnapshotLayout::Single,
+        1 => {
+            let partitions = r.varint().map_err(corrupt(kind))?;
+            let seed = r.u64().map_err(corrupt(kind))?;
+            if partitions == 0 || partitions > u32::MAX as u64 {
+                return Err(StoreError::Malformed(format!(
+                    "partition count {partitions} out of range"
+                )));
+            }
+            SnapshotLayout::Partitioned {
+                partitions: partitions as u32,
+                seed,
+            }
+        }
+        other => return Err(StoreError::Malformed(format!("unknown layout tag {other}"))),
+    };
+    let num_sets = r.varint().map_err(corrupt(kind))? as usize;
+    let vocab_size = r.varint().map_err(corrupt(kind))? as usize;
+    let num_indexes = r.varint().map_err(corrupt(kind))? as usize;
+    let has_embeddings = r.u8().map_err(corrupt(kind))? != 0;
+    let has_minhash = r.u8().map_err(corrupt(kind))? != 0;
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed(
+            "trailing bytes in meta section".to_string(),
+        ));
+    }
+    let expected_indexes = match layout {
+        SnapshotLayout::Single => 1,
+        SnapshotLayout::Partitioned { partitions, .. } => partitions as usize,
+    };
+    if num_indexes != expected_indexes {
+        return Err(StoreError::Malformed(format!(
+            "layout {} declares {expected_indexes} index(es) but meta records {num_indexes}",
+            layout.describe()
+        )));
+    }
+    Ok(SnapshotMeta {
+        format_version,
+        layout,
+        num_sets,
+        vocab_size,
+        num_indexes,
+        has_embeddings,
+        has_minhash,
+        total_bytes,
+        sections,
+    })
+}
+
+fn encode_repository(repo: &Repository) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.varint(repo.vocab_size() as u64);
+    for (_, s) in repo.interner().iter() {
+        w.str(s);
+    }
+    w.varint(repo.num_sets() as u64);
+    for (id, set) in repo.iter_sets() {
+        w.str(repo.set_name(id));
+        w.delta_seq(set.iter().map(|t| t.0));
+    }
+    w.into_bytes()
+}
+
+/// Reads a [`Writer::delta_seq`] sequence straight into its target id
+/// type, fusing decoding with the strictness and range validation so each
+/// list costs exactly one allocation (the load hot path: one call per set
+/// and per posting list).
+fn read_id_seq<T>(
+    r: &mut Reader,
+    what: &'static str,
+    kind: SectionKind,
+    max: usize,
+    wrap: impl Fn(u32) -> T,
+) -> Result<Box<[T]>, StoreError> {
+    let n = r.checked_len(1, what).map_err(corrupt(kind))?;
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for i in 0..n {
+        let delta = r.varint().map_err(corrupt(kind))?;
+        if i > 0 && delta == 0 {
+            return Err(StoreError::Malformed(format!(
+                "{what} ids are not strictly increasing"
+            )));
+        }
+        let v = if i == 0 {
+            delta
+        } else {
+            // A crafted delta near u64::MAX must not wrap past the range
+            // check (and must never panic the loader).
+            prev.checked_add(delta)
+                .ok_or_else(|| StoreError::Malformed(format!("{what} id overflows 64 bits")))?
+        };
+        if v >= max as u64 {
+            return Err(StoreError::Malformed(format!(
+                "{what} id {v} out of range (< {max})"
+            )));
+        }
+        prev = v;
+        out.push(wrap(v as u32));
+    }
+    Ok(out.into_boxed_slice())
+}
+
+fn decode_repository(payload: &[u8]) -> Result<Repository, StoreError> {
+    let kind = SectionKind::Repository;
+    let mut r = Reader::new(payload);
+    let vocab = r.checked_len(1, "vocabulary").map_err(corrupt(kind))?;
+    let mut strings: Vec<&str> = Vec::with_capacity(vocab);
+    for _ in 0..vocab {
+        strings.push(r.str("vocabulary string").map_err(corrupt(kind))?);
+    }
+    let num_sets = r.checked_len(1, "set table").map_err(corrupt(kind))?;
+    let mut sets: Vec<(String, Vec<TokenId>)> = Vec::with_capacity(num_sets);
+    for _ in 0..num_sets {
+        let name = r.str("set name").map_err(corrupt(kind))?.to_string();
+        let ids = read_id_seq(&mut r, "set element", kind, vocab, TokenId)?;
+        sets.push((name, ids.into_vec()));
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed(
+            "trailing bytes in repository section".to_string(),
+        ));
+    }
+    let repo = RepositoryBuilder::from_snapshot(strings, sets);
+    if repo.vocab_size() != vocab {
+        return Err(StoreError::Malformed(
+            "duplicate vocabulary strings collapse under interning".to_string(),
+        ));
+    }
+    Ok(repo)
+}
+
+fn encode_embeddings(emb: &Embeddings) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.varint(emb.dim() as u64);
+    w.varint(emb.vocab() as u64);
+    for &p in emb.present_mask() {
+        w.u8(p as u8);
+    }
+    let data = emb.raw_data();
+    for (t, &p) in emb.present_mask().iter().enumerate() {
+        if p {
+            for &v in &data[t * emb.dim()..(t + 1) * emb.dim()] {
+                w.f32(v);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Widest embedding row the decoder accepts. Real models are two to three
+/// orders of magnitude smaller (FastText: 300); the cap exists so a
+/// corrupt length prefix cannot turn `dim * vocab` into a giant
+/// allocation while every present flag is 0 (the one case the byte-budget
+/// check below cannot bound).
+const MAX_EMBED_DIM: usize = 1 << 16;
+
+fn decode_embeddings(payload: &[u8], repo_vocab: usize) -> Result<Embeddings, StoreError> {
+    let kind = SectionKind::Embeddings;
+    let mut r = Reader::new(payload);
+    let dim = r.varint().map_err(corrupt(kind))? as usize;
+    if dim == 0 || dim > MAX_EMBED_DIM {
+        return Err(StoreError::Malformed(format!(
+            "embedding dimension {dim} out of range (1..={MAX_EMBED_DIM})"
+        )));
+    }
+    let vocab = r
+        .checked_len(1, "embedding vocabulary")
+        .map_err(corrupt(kind))?;
+    // Cross-checked against the repository *before* the `dim * vocab`
+    // table is allocated, so the allocation is bounded by real repo size.
+    if vocab != repo_vocab {
+        return Err(StoreError::Malformed(format!(
+            "embeddings cover {vocab} tokens, vocabulary has {repo_vocab}"
+        )));
+    }
+    dim.checked_mul(vocab)
+        .filter(|&n| n <= isize::MAX as usize / 4)
+        .ok_or_else(|| StoreError::Malformed(format!("embedding table {dim}x{vocab} overflows")))?;
+    let mut present = Vec::with_capacity(vocab);
+    for _ in 0..vocab {
+        match r.u8().map_err(corrupt(kind))? {
+            0 => present.push(false),
+            1 => present.push(true),
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "present flag must be 0 or 1, got {other}"
+                )))
+            }
+        }
+    }
+    let present_count = present.iter().filter(|&&p| p).count();
+    let need = present_count as u64 * dim as u64 * 4;
+    if need > r.remaining() as u64 {
+        return Err(StoreError::Corrupt {
+            kind,
+            source: CodecError::Truncated {
+                offset: r.pos(),
+                what: "embedding vectors",
+            },
+        });
+    }
+    let mut data = vec![0.0f32; dim * vocab];
+    for (t, &p) in present.iter().enumerate() {
+        if p {
+            r.f32_into(&mut data[t * dim..(t + 1) * dim])
+                .map_err(corrupt(kind))?;
+        }
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed(
+            "trailing bytes in embeddings section".to_string(),
+        ));
+    }
+    Ok(Embeddings::from_raw(dim, data, present))
+}
+
+fn encode_inverted(index: &InvertedIndex) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.varint(index.num_tokens() as u64);
+    for postings in index.iter_postings() {
+        w.delta_seq(postings.iter().map(|s| s.0));
+    }
+    w.into_bytes()
+}
+
+fn decode_inverted(
+    payload: &[u8],
+    vocab: usize,
+    num_sets: usize,
+) -> Result<InvertedIndex, StoreError> {
+    let kind = SectionKind::InvertedIndex;
+    let mut r = Reader::new(payload);
+    let tokens = r.checked_len(1, "posting table").map_err(corrupt(kind))?;
+    if tokens != vocab {
+        return Err(StoreError::Malformed(format!(
+            "inverted index covers {tokens} tokens, repository vocabulary has {vocab}"
+        )));
+    }
+    let mut postings: Vec<Box<[SetId]>> = Vec::with_capacity(tokens);
+    for _ in 0..tokens {
+        postings.push(read_id_seq(&mut r, "posting", kind, num_sets, SetId)?);
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed(
+            "trailing bytes in inverted-index section".to_string(),
+        ));
+    }
+    Ok(InvertedIndex::from_postings(postings))
+}
+
+fn encode_minhash(mh: &MinHashIndex) -> Vec<u8> {
+    let p = mh.params();
+    let mut w = Writer::new();
+    w.varint(p.bands as u64);
+    w.varint(p.rows_per_band as u64);
+    w.u64(p.seed);
+    w.varint(mh.signatures().len() as u64);
+    for sig in mh.signatures() {
+        for &v in sig.iter() {
+            w.u64(v);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_minhash(payload: &[u8]) -> Result<MinHashIndex, StoreError> {
+    let kind = SectionKind::MinHash;
+    let mut r = Reader::new(payload);
+    let bands = r.varint().map_err(corrupt(kind))? as usize;
+    let rows = r.varint().map_err(corrupt(kind))? as usize;
+    let seed = r.u64().map_err(corrupt(kind))?;
+    if bands == 0 || rows == 0 {
+        return Err(StoreError::Malformed(
+            "minhash bands and rows must be positive".to_string(),
+        ));
+    }
+    let sig_bytes = bands
+        .checked_mul(rows)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| StoreError::Malformed("minhash signature length overflows".to_string()))?;
+    let sig_len = sig_bytes / 8;
+    let count = r
+        .checked_len(sig_bytes, "signature table")
+        .map_err(corrupt(kind))?;
+    let mut signatures = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut sig = Vec::with_capacity(sig_len);
+        for _ in 0..sig_len {
+            sig.push(r.u64().map_err(corrupt(kind))?);
+        }
+        signatures.push(sig.into_boxed_slice());
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed(
+            "trailing bytes in minhash section".to_string(),
+        ));
+    }
+    Ok(MinHashIndex::from_signatures(
+        MinHashParams {
+            bands,
+            rows_per_band: rows,
+            seed,
+        },
+        signatures,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Container assembly and parsing.
+// ---------------------------------------------------------------------------
+
+/// Serializes `view` to `path` (temporary file + rename, so the final name
+/// only ever holds a complete snapshot). Returns the written meta.
+pub fn write_snapshot(path: &Path, view: &SnapshotView) -> Result<SnapshotMeta, StoreError> {
+    let expected_indexes = match view.layout {
+        SnapshotLayout::Single => 1,
+        SnapshotLayout::Partitioned { partitions, .. } => partitions as usize,
+    };
+    if view.indexes.len() != expected_indexes {
+        return Err(StoreError::Malformed(format!(
+            "layout {} requires {expected_indexes} index(es), got {}",
+            view.layout.describe(),
+            view.indexes.len()
+        )));
+    }
+
+    let mut sections: Vec<(SectionKind, Vec<u8>)> = Vec::with_capacity(4 + view.indexes.len());
+    sections.push((SectionKind::Meta, encode_meta(view)));
+    sections.push((SectionKind::Repository, encode_repository(view.repository)));
+    if let Some(emb) = view.embeddings {
+        sections.push((SectionKind::Embeddings, encode_embeddings(emb)));
+    }
+    for index in &view.indexes {
+        sections.push((SectionKind::InvertedIndex, encode_inverted(index)));
+    }
+    if let Some(mh) = view.minhash {
+        sections.push((SectionKind::MinHash, encode_minhash(mh)));
+    }
+
+    let table_start = HEADER_LEN as u64;
+    let payload_start = table_start + (sections.len() * TABLE_ENTRY_LEN) as u64;
+    let mut infos: Vec<SectionInfo> = Vec::with_capacity(sections.len());
+    let mut offset = payload_start;
+    for (kind, payload) in &sections {
+        infos.push(SectionInfo {
+            kind: *kind,
+            offset,
+            len: payload.len() as u64,
+            crc: crc32(payload),
+        });
+        offset += payload.len() as u64;
+    }
+
+    let mut file = Vec::with_capacity(offset as usize);
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for info in &infos {
+        file.extend_from_slice(&info.kind.to_u32().to_le_bytes());
+        file.extend_from_slice(&info.offset.to_le_bytes());
+        file.extend_from_slice(&info.len.to_le_bytes());
+        file.extend_from_slice(&info.crc.to_le_bytes());
+    }
+    for (_, payload) in &sections {
+        file.extend_from_slice(payload);
+    }
+
+    // Temp-then-rename: readers never observe a partially written file.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &file)?;
+    std::fs::rename(&tmp, path)?;
+
+    decode_meta(&sections[0].1, FORMAT_VERSION, infos, file.len() as u64)
+}
+
+/// Parses the header and section table, validating magic, version, section
+/// count and every section's bounds against `file_len`. Returns the file's
+/// format version (1..=[`FORMAT_VERSION`]) alongside the table.
+fn parse_table(head: &[u8], file_len: u64) -> Result<(u32, Vec<SectionInfo>), StoreError> {
+    if head.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: head.len() as u64,
+        });
+    }
+    if head[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let count = u32::from_le_bytes(head[12..16].try_into().unwrap());
+    if count == 0 || count > MAX_SECTIONS {
+        return Err(StoreError::Malformed(format!(
+            "implausible section count {count}"
+        )));
+    }
+    let table_end = HEADER_LEN as u64 + count as u64 * TABLE_ENTRY_LEN as u64;
+    if (head.len() as u64) < table_end || file_len < table_end {
+        return Err(StoreError::Truncated {
+            expected: table_end,
+            actual: file_len.min(head.len() as u64),
+        });
+    }
+    let mut infos = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let e = &head[HEADER_LEN + i * TABLE_ENTRY_LEN..HEADER_LEN + (i + 1) * TABLE_ENTRY_LEN];
+        let raw_kind = u32::from_le_bytes(e[0..4].try_into().unwrap());
+        let kind = SectionKind::from_u32(raw_kind)
+            .ok_or_else(|| StoreError::Malformed(format!("unknown section kind {raw_kind}")))?;
+        let offset = u64::from_le_bytes(e[4..12].try_into().unwrap());
+        let len = u64::from_le_bytes(e[12..20].try_into().unwrap());
+        let crc = u32::from_le_bytes(e[20..24].try_into().unwrap());
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| StoreError::Malformed("section bounds overflow".to_string()))?;
+        if offset < table_end || end > file_len {
+            return Err(StoreError::Truncated {
+                expected: end,
+                actual: file_len,
+            });
+        }
+        infos.push(SectionInfo {
+            kind,
+            offset,
+            len,
+            crc,
+        });
+    }
+    Ok((version, infos))
+}
+
+fn checked_section<'a>(bytes: &'a [u8], info: &SectionInfo) -> Result<&'a [u8], StoreError> {
+    let payload = &bytes[info.offset as usize..(info.offset + info.len) as usize];
+    if crc32(payload) != info.crc {
+        return Err(StoreError::ChecksumMismatch { kind: info.kind });
+    }
+    Ok(payload)
+}
+
+impl SnapshotMeta {
+    /// Reads a snapshot's self-description — header, section table and the
+    /// small Meta section — without loading or decoding the payload
+    /// sections. Cheap on arbitrarily large snapshots.
+    pub fn read(path: &Path) -> Result<SnapshotMeta, StoreError> {
+        let mut f = std::fs::File::open(path)?;
+        let file_len = f.metadata()?.len();
+        // Header + table: bounded by MAX_SECTIONS, read in one go.
+        let head_len =
+            (file_len as usize).min(HEADER_LEN + MAX_SECTIONS as usize * TABLE_ENTRY_LEN);
+        let mut head = vec![0u8; head_len];
+        f.read_exact(&mut head)?;
+        let (version, sections) = parse_table(&head, file_len)?;
+        let meta_info = *sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Meta)
+            .ok_or(StoreError::MissingSection(SectionKind::Meta))?;
+        let mut payload = vec![0u8; meta_info.len as usize];
+        f.seek(SeekFrom::Start(meta_info.offset))?;
+        f.read_exact(&mut payload)?;
+        if crc32(&payload) != meta_info.crc {
+            return Err(StoreError::ChecksumMismatch {
+                kind: SectionKind::Meta,
+            });
+        }
+        decode_meta(&payload, version, sections, file_len)
+    }
+}
+
+/// Reads and fully restores a snapshot: every section checksum is verified
+/// before decoding, and the decoded contents are cross-validated against
+/// the meta section (counts, layout, id ranges).
+pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let (version, sections) = parse_table(&bytes, bytes.len() as u64)?;
+
+    let meta_info = sections
+        .iter()
+        .find(|s| s.kind == SectionKind::Meta)
+        .copied()
+        .ok_or(StoreError::MissingSection(SectionKind::Meta))?;
+    let meta = decode_meta(
+        checked_section(&bytes, &meta_info)?,
+        version,
+        sections.clone(),
+        bytes.len() as u64,
+    )?;
+
+    let repo_info = sections
+        .iter()
+        .find(|s| s.kind == SectionKind::Repository)
+        .copied()
+        .ok_or(StoreError::MissingSection(SectionKind::Repository))?;
+    let repository = decode_repository(checked_section(&bytes, &repo_info)?)?;
+    if repository.num_sets() != meta.num_sets || repository.vocab_size() != meta.vocab_size {
+        return Err(StoreError::Malformed(format!(
+            "repository holds {} sets / {} tokens, meta records {} / {}",
+            repository.num_sets(),
+            repository.vocab_size(),
+            meta.num_sets,
+            meta.vocab_size
+        )));
+    }
+
+    let mut embeddings = None;
+    let mut indexes = Vec::new();
+    let mut minhash = None;
+    for info in &sections {
+        match info.kind {
+            SectionKind::Meta | SectionKind::Repository => {}
+            SectionKind::Embeddings => {
+                if embeddings.is_some() {
+                    return Err(StoreError::Malformed(
+                        "duplicate embeddings section".to_string(),
+                    ));
+                }
+                embeddings = Some(decode_embeddings(
+                    checked_section(&bytes, info)?,
+                    repository.vocab_size(),
+                )?);
+            }
+            SectionKind::InvertedIndex => indexes.push(decode_inverted(
+                checked_section(&bytes, info)?,
+                repository.vocab_size(),
+                repository.num_sets(),
+            )?),
+            SectionKind::MinHash => {
+                if minhash.is_some() {
+                    return Err(StoreError::Malformed(
+                        "duplicate minhash section".to_string(),
+                    ));
+                }
+                minhash = Some(decode_minhash(checked_section(&bytes, info)?)?);
+            }
+        }
+    }
+
+    if indexes.is_empty() {
+        return Err(StoreError::MissingSection(SectionKind::InvertedIndex));
+    }
+    if indexes.len() != meta.num_indexes {
+        return Err(StoreError::Malformed(format!(
+            "{} inverted-index section(s) present, meta records {}",
+            indexes.len(),
+            meta.num_indexes
+        )));
+    }
+    if embeddings.is_some() != meta.has_embeddings || minhash.is_some() != meta.has_minhash {
+        return Err(StoreError::Malformed(
+            "optional sections disagree with the meta section".to_string(),
+        ));
+    }
+
+    Ok(SnapshotState {
+        meta,
+        repository,
+        embeddings,
+        indexes,
+        minhash,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use koios_index::minhash::vocabulary_grams;
+
+    fn sample() -> (Repository, Embeddings, InvertedIndex, MinHashIndex) {
+        let mut b = RepositoryBuilder::new();
+        b.add_set("cities", ["LA", "Blain", "Appleton", "MtPleasant"]);
+        b.add_set("coast", ["LA", "Sacramento", "SC"]);
+        b.add_set("dup", ["LA"]);
+        let repo = b.build();
+        let mut emb = Embeddings::new(4, repo.vocab_size());
+        emb.set(TokenId(0), &[1.0, 2.0, 3.0, 4.0]);
+        emb.set(TokenId(2), &[0.5, -0.5, 0.25, 0.0]);
+        let index = InvertedIndex::build(&repo);
+        let grams = vocabulary_grams(&repo, 3);
+        let mh = MinHashIndex::build(&grams, MinHashParams::default());
+        (repo, emb, index, mh)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("koios-store-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_roundtrip_restores_everything() {
+        let (repo, emb, index, mh) = sample();
+        let path = tmp("full.ksnap");
+        let meta = write_snapshot(
+            &path,
+            &SnapshotView {
+                repository: &repo,
+                embeddings: Some(&emb),
+                layout: SnapshotLayout::Single,
+                indexes: vec![&index],
+                minhash: Some(&mh),
+            },
+        )
+        .unwrap();
+        assert_eq!(meta.layout, SnapshotLayout::Single);
+        assert_eq!(meta.num_sets, 3);
+        assert!(meta.has_embeddings && meta.has_minhash);
+
+        let state = read_snapshot(&path).unwrap();
+        assert_eq!(state.meta, meta);
+        assert_eq!(state.repository.num_sets(), repo.num_sets());
+        for (id, set) in repo.iter_sets() {
+            assert_eq!(state.repository.set(id), set);
+            assert_eq!(state.repository.set_name(id), repo.set_name(id));
+        }
+        let remb = state.embeddings.unwrap();
+        assert_eq!(remb.raw_data(), emb.raw_data());
+        assert_eq!(remb.present_mask(), emb.present_mask());
+        assert_eq!(state.indexes.len(), 1);
+        for t in 0..repo.vocab_size() as u32 {
+            assert_eq!(
+                state.indexes[0].postings(TokenId(t)),
+                index.postings(TokenId(t))
+            );
+        }
+        let rmh = state.minhash.unwrap();
+        assert_eq!(rmh.signatures(), mh.signatures());
+    }
+
+    #[test]
+    fn meta_read_skips_payloads() {
+        let (repo, emb, index, _) = sample();
+        let path = tmp("meta.ksnap");
+        let written = write_snapshot(
+            &path,
+            &SnapshotView {
+                repository: &repo,
+                embeddings: Some(&emb),
+                layout: SnapshotLayout::Single,
+                indexes: vec![&index],
+                minhash: None,
+            },
+        )
+        .unwrap();
+        let meta = SnapshotMeta::read(&path).unwrap();
+        assert_eq!(meta, written);
+        assert_eq!(meta.vocab_size, repo.vocab_size());
+        assert!(!meta.has_minhash);
+    }
+
+    #[test]
+    fn partitioned_layout_roundtrips_shard_order() {
+        let (repo, _, _, _) = sample();
+        let shard0 = InvertedIndex::build_subset(&repo, [SetId(0), SetId(2)]);
+        let shard1 = InvertedIndex::build_subset(&repo, [SetId(1)]);
+        let path = tmp("parted.ksnap");
+        write_snapshot(
+            &path,
+            &SnapshotView {
+                repository: &repo,
+                embeddings: None,
+                layout: SnapshotLayout::Partitioned {
+                    partitions: 2,
+                    seed: 7,
+                },
+                indexes: vec![&shard0, &shard1],
+                minhash: None,
+            },
+        )
+        .unwrap();
+        let state = read_snapshot(&path).unwrap();
+        assert_eq!(
+            state.meta.layout,
+            SnapshotLayout::Partitioned {
+                partitions: 2,
+                seed: 7
+            }
+        );
+        assert_eq!(state.indexes.len(), 2);
+        assert_eq!(state.indexes[0].total_postings(), shard0.total_postings());
+        assert_eq!(state.indexes[1].total_postings(), shard1.total_postings());
+    }
+
+    #[test]
+    fn wrong_index_count_is_rejected_at_write_time() {
+        let (repo, _, index, _) = sample();
+        let err = write_snapshot(
+            &tmp("badcount.ksnap"),
+            &SnapshotView {
+                repository: &repo,
+                embeddings: None,
+                layout: SnapshotLayout::Partitioned {
+                    partitions: 3,
+                    seed: 0,
+                },
+                indexes: vec![&index],
+                minhash: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_snapshot(Path::new("/nonexistent/koios.ksnap")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        let err = SnapshotMeta::read(Path::new("/nonexistent/koios.ksnap")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StoreError::LayoutMismatch {
+            expected: "single",
+            found: "partitioned(4)".to_string(),
+        };
+        assert!(e.to_string().contains("partitioned(4)"));
+        let e = StoreError::ChecksumMismatch {
+            kind: SectionKind::Repository,
+        };
+        assert!(e.to_string().contains("repository"));
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+    }
+}

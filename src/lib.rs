@@ -35,6 +35,18 @@
 //! `GET /stats`, `GET /healthz` and `POST /invalidate` over a JSON wire
 //! contract ([`net::wire`]).
 //!
+//! ## Restarting without a rebuild
+//!
+//! All of that state — repository, token vectors, inverted indexes — is
+//! durable: snapshot a backend with
+//! [`EngineBackend::write_snapshot`](core::EngineBackend::write_snapshot)
+//! (a versioned, checksummed binary format, see [`store`]) and any later
+//! process warm-starts it with
+//! [`EngineBackend::from_snapshot`](core::EngineBackend::from_snapshot) or
+//! [`SearchService::from_snapshot`](service::SearchService::from_snapshot)
+//! — byte-identical results, a fraction of the build time, on both the
+//! single and the sharded layout.
+//!
 //! ```
 //! use koios::prelude::*;
 //! use std::sync::Arc;
@@ -70,6 +82,7 @@
 //! | [`datagen`] | `koios-datagen` | synthetic corpora, dataset profiles, query benchmarks |
 //! | [`core`] | `koios-core` | the Koios search engine (refinement + post-processing) |
 //! | [`baselines`] | `koios-baselines` | exhaustive baseline, SilkMoth, vanilla top-k |
+//! | [`store`] | `koios-store` | versioned binary snapshots: save query-ready state, warm-start restore |
 //! | [`service`] | `koios-service` | concurrent query serving: persistent worker pool, result cache, stats |
 //! | [`net`] | `koios-net` | HTTP/1.1 front-end: server over `std::net`, JSON wire contract, blocking client |
 
@@ -82,6 +95,7 @@ pub use koios_index as index;
 pub use koios_matching as matching;
 pub use koios_net as net;
 pub use koios_service as service;
+pub use koios_store as store;
 
 /// One-stop imports for applications.
 ///
@@ -127,4 +141,5 @@ pub mod prelude {
         CacheOutcome, ResponseHandle, SearchRequest, SearchService, ServiceConfig, ServiceResponse,
         ServiceStats,
     };
+    pub use koios_store::{SnapshotLayout, SnapshotMeta, StoreError};
 }
