@@ -128,6 +128,36 @@ fn avg(xs: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// p50/p99 summary of one service-side histogram as a JSON object
+/// (`null` when the histogram never recorded, so artifact consumers can
+/// tell "unused path" from "0 ms").
+fn histogram_json(h: &koios_telemetry::Histogram) -> Json {
+    let snap = h.snapshot();
+    if snap.count() == 0 {
+        return Json::Null;
+    }
+    Json::obj([
+        ("count", Json::num(snap.count() as f64)),
+        ("p50_ms", Json::num(snap.p50_ns() / 1e6)),
+        ("p99_ms", Json::num(snap.p99_ns() / 1e6)),
+    ])
+}
+
+/// The serving-stack telemetry scrape that rides along in the JSON
+/// artifacts: per-stage engine latency plus the queue/search split the
+/// service measures itself ([`koios_service::ServiceMetrics`]).
+fn telemetry_json(m: &koios_service::ServiceMetrics) -> Json {
+    Json::obj([
+        ("stage_refine", histogram_json(&m.stage_refine)),
+        ("stage_postprocess", histogram_json(&m.stage_postprocess)),
+        ("stage_verify", histogram_json(&m.stage_verify)),
+        ("stage_merge", histogram_json(&m.stage_merge)),
+        ("queue_wait", histogram_json(&m.queue_wait)),
+        ("request_queue", histogram_json(&m.request_queue)),
+        ("request_search", histogram_json(&m.request_search)),
+    ])
+}
+
 /// Table I: characteristics of the (generated) datasets.
 pub fn table1(hc: &HarnessConfig) -> String {
     let mut t = TextTable::new(vec![
@@ -701,7 +731,9 @@ pub fn token_cache(hc: &HarnessConfig) -> String {
 /// other cell must return identical hit scores (`identical: true` in the
 /// output — sharding under a shared `θlb` is exact, §VI). Besides the
 /// rendered table, the rows are written to `BENCH_partitioned.json` in the
-/// working directory so CI can track scaling trends across commits.
+/// working directory so CI can track scaling trends across commits; each
+/// row embeds a `telemetry` scrape of that cell's service registry
+/// (per-stage + queue-wait p50/p99).
 pub fn partitioned(hc: &HarnessConfig) -> String {
     partitioned_with_output(hc, std::path::Path::new("BENCH_partitioned.json"))
 }
@@ -796,6 +828,9 @@ pub fn partitioned_with_output(hc: &HarnessConfig, json_path: &std::path::Path) 
                 ("avg_response_secs", Json::num(avg_resp)),
                 ("timeouts", Json::num(timeouts as f64)),
                 ("knn_hit_rate", Json::num(knn_rate)),
+                // Each cell is its own service, so the scrape is per-cell:
+                // stage p50/p99 + queue-wait straight from the registry.
+                ("telemetry", telemetry_json(service.metrics())),
             ]));
         }
     }
@@ -841,7 +876,11 @@ pub fn partitioned_with_output(hc: &HarnessConfig, json_path: &std::path::Path) 
 /// queueing *and* engine time. Every wire response is checked against the
 /// in-process reference scores (`identical: true`), and the rows are
 /// written to `BENCH_serving.json` (throughput + p50/p99 latency) so CI can
-/// track the serving path across commits.
+/// track the serving path across commits. The artifact also carries a
+/// `telemetry` scrape of the service's own registry — per-stage and
+/// queue-wait p50/p99 — so wire latency can be attributed to queueing vs
+/// engine stages, and queries slower than 1% of the timeout land in a
+/// `BENCH_serving.slow.jsonl` slow-query log next to it.
 pub fn serving(hc: &HarnessConfig) -> String {
     serving_with_output(hc, std::path::Path::new("BENCH_serving.json"))
 }
@@ -854,13 +893,32 @@ pub fn serving_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> S
     let profile = profiles::opendata(hc.scale);
     let run = hc.profile_run(profile);
     let repo = Arc::new(run.corpus.repository.clone());
+
+    // Slow-query log artifact next to the JSON rows (BENCH_serving.json →
+    // BENCH_serving.slow.jsonl), truncated per run so CI uploads only this
+    // run's offenders. Threshold: 1% of the per-query timeout.
+    let slow_path = json_path.with_extension("slow.jsonl");
+    let _ = std::fs::remove_file(&slow_path);
+    let mut service_cfg = ServiceConfig::new().with_workers(4).with_cache_capacity(0);
+    let slow_note = match koios_service::SlowQueryLog::to_file(hc.timeout / 100, &slow_path) {
+        Ok(log) => {
+            service_cfg = service_cfg.with_slow_query_log(log);
+            format!(
+                "slow queries (>{:?}) in {}",
+                hc.timeout / 100,
+                slow_path.display()
+            )
+        }
+        Err(e) => format!("slow-query log disabled ({}: {e})", slow_path.display()),
+    };
+
     let service = Arc::new(SearchService::new_partitioned(
         Arc::clone(&repo),
         Arc::clone(&run.sim),
         hc.koios_config(),
         hc.partitions.max(1),
         hc.seed,
-        ServiceConfig::new().with_workers(4).with_cache_capacity(0),
+        service_cfg,
     ));
 
     let queries: Vec<Vec<TokenId>> = run
@@ -986,6 +1044,32 @@ pub fn serving_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> S
         ]));
     }
 
+    // One service served every sweep, so its registry now holds the whole
+    // run: split end-to-end latency into queue vs search and report the
+    // per-stage engine breakdown alongside the wire-level percentiles.
+    let m = service.metrics();
+    let split_line = {
+        let fmt = |h: &koios_telemetry::Histogram, label: &str| {
+            let s = h.snapshot();
+            if s.count() == 0 {
+                format!("{label} —")
+            } else {
+                format!(
+                    "{label} p50 {:.2}ms / p99 {:.2}ms",
+                    s.p50_ns() / 1e6,
+                    s.p99_ns() / 1e6
+                )
+            }
+        };
+        format!(
+            "service-side split: {}; {}; {}; {}",
+            fmt(&m.request_queue, "queue"),
+            fmt(&m.queue_wait, "pool wait"),
+            fmt(&m.request_search, "search"),
+            fmt(&m.stage_refine, "refine stage"),
+        )
+    };
+
     // Shared encoder, same as `partitioned` — CI greps `"identical":true`.
     let json = Json::obj([
         ("experiment", Json::str("serving")),
@@ -995,6 +1079,8 @@ pub fn serving_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> S
         ("partitions", Json::num(hc.partitions.max(1) as f64)),
         ("queries", Json::num(queries.len() as f64)),
         ("identical", Json::Bool(identical)),
+        ("telemetry", telemetry_json(m)),
+        ("slow_query_log", Json::str(slow_path.display().to_string())),
         ("rows", Json::Arr(json_rows)),
     ])
     .encode()
@@ -1007,7 +1093,7 @@ pub fn serving_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> S
     format!(
         "Serving over HTTP — clients × {} queries against an in-process koios-net\n\
          server ({} partitions, 4 workers, result cache bypassed; all wire scores\n\
-         identical to in-process search: {identical}).\n{json_note}.\n{}",
+         identical to in-process search: {identical}).\n{split_line}.\n{json_note};\n{slow_note}.\n{}",
         queries.len(),
         hc.partitions.max(1),
         t.render()
@@ -1308,6 +1394,10 @@ mod tests {
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(json.contains("\"experiment\":\"partitioned\""));
         assert!(json.contains("\"identical\":true"));
+        // Every cell scraped its service registry into the artifact.
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"stage_refine\""));
+        assert!(json.contains("\"queue_wait\""));
     }
 
     #[test]
@@ -1325,6 +1415,13 @@ mod tests {
         assert!(json.contains("\"experiment\":\"serving\""));
         assert!(json.contains("\"identical\":true"));
         assert!(json.contains("\"p99_ms\""));
+        // Telemetry scrape + slow-query log ride along in the artifact.
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"stage_refine\""));
+        assert!(json.contains("\"queue_wait\""));
+        assert!(json.contains("\"slow_query_log\""));
+        assert!(json_path.with_extension("slow.jsonl").exists());
+        assert!(out.contains("service-side split"), "{out}");
     }
 
     #[test]

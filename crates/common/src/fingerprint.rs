@@ -95,6 +95,14 @@ impl Fingerprinter {
     }
 }
 
+/// Renders a fingerprint as the fixed-width hex string operators grep
+/// for (`"0x1f2e3d4c5b6a7988"`) — the canonical display form in slow-query
+/// logs and trace lines, stable across layers so one query can be
+/// correlated between a response, a log line, and a cache key.
+pub fn hex(fingerprint: u64) -> String {
+    format!("{fingerprint:#018x}")
+}
+
 /// The splitmix64 finalizer: a full-avalanche bijective mix of 64 bits.
 /// Shared by fingerprints and the deterministic pseudo-random partitioner
 /// (`koios-core`), so the workspace has exactly one copy of the constants.
@@ -128,6 +136,13 @@ mod tests {
         let mut fp = Fingerprinter::new();
         fp.write_bytes(b"koios");
         assert_eq!(fp.finish(), 0xE6F2_8F54_69D3_412F);
+    }
+
+    #[test]
+    fn hex_is_fixed_width_and_prefixed() {
+        assert_eq!(hex(0), "0x0000000000000000");
+        assert_eq!(hex(0xE6F2_8F54_69D3_412F), "0xe6f28f5469d3412f");
+        assert_eq!(hex(u64::MAX), "0xffffffffffffffff");
     }
 
     #[test]

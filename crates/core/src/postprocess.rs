@@ -156,6 +156,7 @@ pub fn postprocess(
 
         // Verify the highest-UB unchecked sets (a batch when parallel).
         let batch: Vec<SetId> = unchecked.into_iter().take(cfg.parallel_em.max(1)).collect();
+        let verify_start = Instant::now();
         let outcomes: Vec<(SetId, MatchOutcome)> = if batch.len() == 1 {
             let set = batch[0];
             let th = em_threshold(cfg, theta);
@@ -193,6 +194,7 @@ pub fn postprocess(
                     .collect()
             })
         };
+        stats.verify_time += verify_start.elapsed();
 
         for (set, outcome) in outcomes {
             let p = states.get_mut(&set).expect("verified set has state");
@@ -260,6 +262,7 @@ fn verify_all(
                 break;
             }
         }
+        let verify_start = Instant::now();
         let wave_scores: Vec<(SetId, f64)> = if wave.len() == 1 {
             let set = wave[0].set;
             vec![(
@@ -295,6 +298,7 @@ fn verify_all(
                     .collect()
             })
         };
+        stats.verify_time += verify_start.elapsed();
         for (set, so) in wave_scores {
             stats.em_full += 1;
             llb.offer(set, Sim::new(so));
@@ -414,6 +418,7 @@ mod tests {
         assert_eq!(hits[0].set, SetId(0));
         assert_eq!(stats.no_em, 1);
         assert_eq!(stats.em_full, 0);
+        assert_eq!(stats.verify_time, std::time::Duration::ZERO);
         // No-EM hits carry interval scores.
         assert!(hits[0].score.exact().is_none());
     }
@@ -443,6 +448,10 @@ mod tests {
         }
         assert_eq!(hits[0].score.exact(), Some(3.0));
         assert_eq!(hits[1].score.exact(), Some(2.0));
+        assert!(
+            stats.verify_time > std::time::Duration::ZERO,
+            "completed matchings must account verify time"
+        );
     }
 
     #[test]

@@ -43,6 +43,21 @@ pub struct SearchStats {
     pub refine_time: Duration,
     /// Wall time of the post-processing phase.
     pub postprocess_time: Duration,
+    /// Wall time spent inside exact-matching **verification** (the paper's
+    /// "verify" stage: Hungarian runs, early-terminated or complete, plus
+    /// the bounded overlaps of `verify_all` mode). A strict subset of
+    /// `postprocess_time` for a single-engine search; a partitioned search
+    /// adds its merge-loop verifications here too.
+    pub verify_time: Duration,
+    /// Wall time of the partitioned merge loop (resolving interval-scored
+    /// hits in descending-UB order, §VI). Zero for single-engine searches.
+    pub merge_time: Duration,
+    /// Per-shard wall time of a partitioned search, indexed by partition
+    /// (empty for single-engine searches). Parallel merges take the
+    /// element-wise max — shards of one query run concurrently — while
+    /// sequential service aggregation sums element-wise into cumulative
+    /// per-shard engine time.
+    pub shard_times: Vec<Duration>,
     /// Whether the time budget expired (partial results). Sticky across
     /// merges: a partitioned search is timed out if *any* shard — or the
     /// merge loop itself — observed the expiry.
@@ -89,6 +104,9 @@ impl SearchStats {
         self.merge_counters(other);
         self.refine_time = self.refine_time.max(other.refine_time);
         self.postprocess_time = self.postprocess_time.max(other.postprocess_time);
+        self.verify_time = self.verify_time.max(other.verify_time);
+        self.merge_time = self.merge_time.max(other.merge_time);
+        merge_shard_times(&mut self.shard_times, &other.shard_times, |a, b| a.max(b));
         self.memory.merge(&other.memory);
     }
 
@@ -102,6 +120,9 @@ impl SearchStats {
         self.merge_counters(other);
         self.refine_time += other.refine_time;
         self.postprocess_time += other.postprocess_time;
+        self.verify_time += other.verify_time;
+        self.merge_time += other.merge_time;
+        merge_shard_times(&mut self.shard_times, &other.shard_times, |a, b| a + b);
         self.memory.max_merge(&other.memory);
     }
 
@@ -118,6 +139,22 @@ impl SearchStats {
         self.bucket_moves += other.bucket_moves;
         self.timed_out |= other.timed_out;
         self.knn_cache.merge(&other.knn_cache);
+    }
+}
+
+/// Element-wise fold of per-shard timings, extending with the other side's
+/// entries where lengths differ (e.g. folding a single-engine search into
+/// a partitioned aggregate).
+fn merge_shard_times(
+    into: &mut Vec<Duration>,
+    other: &[Duration],
+    fold: impl Fn(Duration, Duration) -> Duration,
+) {
+    if into.len() < other.len() {
+        into.resize(other.len(), Duration::ZERO);
+    }
+    for (a, &b) in into.iter_mut().zip(other.iter()) {
+        *a = fold(*a, b);
     }
 }
 
@@ -153,17 +190,28 @@ mod tests {
         let mut a = SearchStats {
             candidates: 10,
             refine_time: Duration::from_millis(30),
+            verify_time: Duration::from_millis(4),
+            shard_times: vec![Duration::from_millis(9)],
             ..Default::default()
         };
         let b = SearchStats {
             candidates: 5,
             refine_time: Duration::from_millis(50),
+            verify_time: Duration::from_millis(2),
+            merge_time: Duration::from_millis(3),
+            shard_times: vec![Duration::from_millis(5), Duration::from_millis(7)],
             timed_out: true,
             ..Default::default()
         };
         a.merge_parallel(&b);
         assert_eq!(a.candidates, 15);
         assert_eq!(a.refine_time, Duration::from_millis(50));
+        assert_eq!(a.verify_time, Duration::from_millis(4));
+        assert_eq!(a.merge_time, Duration::from_millis(3));
+        assert_eq!(
+            a.shard_times,
+            vec![Duration::from_millis(9), Duration::from_millis(7)]
+        );
         assert!(a.timed_out);
     }
 
@@ -173,18 +221,30 @@ mod tests {
             candidates: 10,
             refine_time: Duration::from_millis(30),
             postprocess_time: Duration::from_millis(5),
+            verify_time: Duration::from_millis(2),
+            merge_time: Duration::from_millis(1),
+            shard_times: vec![Duration::from_millis(4)],
             ..Default::default()
         };
         let b = SearchStats {
             candidates: 5,
             refine_time: Duration::from_millis(50),
             postprocess_time: Duration::from_millis(10),
+            verify_time: Duration::from_millis(3),
+            merge_time: Duration::from_millis(2),
+            shard_times: vec![Duration::from_millis(6), Duration::from_millis(8)],
             ..Default::default()
         };
         a.merge_sequential(&b);
         assert_eq!(a.candidates, 15);
         assert_eq!(a.refine_time, Duration::from_millis(80));
         assert_eq!(a.postprocess_time, Duration::from_millis(15));
+        assert_eq!(a.verify_time, Duration::from_millis(5));
+        assert_eq!(a.merge_time, Duration::from_millis(3));
+        assert_eq!(
+            a.shard_times,
+            vec![Duration::from_millis(10), Duration::from_millis(8)]
+        );
         assert!(!a.timed_out);
     }
 }

@@ -31,9 +31,10 @@
 use crate::knn::KnnSource;
 use koios_common::TokenId;
 use koios_embed::sim::ElementSimilarity;
+use koios_telemetry::Histogram;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A complete per-element kNN list: `(similarity, token)` descending by
@@ -142,6 +143,11 @@ pub struct TokenKnnCache {
     ttl: Option<Duration>,
     generation: AtomicU64,
     inner: Mutex<Inner>,
+    // Observability hook: time spent blocked acquiring `inner` on the hot
+    // probe/insert paths, recorded when a serving layer installs a
+    // histogram (see `install_lock_wait`). Empty = one atomic load per
+    // acquisition, no timing.
+    lock_wait: OnceLock<Arc<Histogram>>,
     // Similarity-identity registry for `sim_tag`. Holding a `Weak` pins
     // the `ArcInner` allocation (freed only at strong == weak == 0), so a
     // registered address can never be reused by a *different* similarity
@@ -173,6 +179,7 @@ impl TokenKnnCache {
             ttl: None,
             generation: AtomicU64::new(0),
             inner: Mutex::new(Inner::default()),
+            lock_wait: OnceLock::new(),
             sim_tags: Mutex::new(Vec::new()),
             // Tag 0 is the untagged namespace of bare `CachedKnn::new`.
             next_sim_tag: AtomicU64::new(1),
@@ -195,6 +202,30 @@ impl TokenKnnCache {
     /// The entry time-to-live, if one was configured.
     pub fn ttl(&self) -> Option<Duration> {
         self.ttl
+    }
+
+    /// Installs a histogram that records, in nanoseconds, the time each
+    /// probe/insert spends **blocked acquiring the cache mutex** — the
+    /// contention signal ROADMAP's scaling item asks for. Idempotent: the
+    /// first installation wins (callers sharing one cache share one
+    /// histogram); before any installation the acquisition path does no
+    /// timing at all.
+    pub fn install_lock_wait(&self, histogram: Arc<Histogram>) {
+        let _ = self.lock_wait.set(histogram);
+    }
+
+    /// Acquires `inner`, recording the blocked time when a lock-wait
+    /// histogram is installed.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        match self.lock_wait.get() {
+            None => self.inner.lock().expect("knn cache lock"),
+            Some(h) => {
+                let start = Instant::now();
+                let guard = self.inner.lock().expect("knn cache lock");
+                h.record_duration(start.elapsed());
+                guard
+            }
+        }
     }
 
     /// The stable tag identifying `sim` within this cache (assigned on
@@ -261,7 +292,7 @@ impl TokenKnnCache {
             generation,
             sim_tag,
         };
-        let mut inner = self.inner.lock().expect("knn cache lock");
+        let mut inner = self.lock_inner();
         let inner = &mut *inner;
         // Probe-time TTL eviction: an expired entry is removed and reported
         // as a miss, so the prober recomputes (and republishes) a fresh
@@ -305,7 +336,7 @@ impl TokenKnnCache {
         list: KnnList,
     ) -> bool {
         let bytes = list_bytes(&list);
-        let mut inner = self.inner.lock().expect("knn cache lock");
+        let mut inner = self.lock_inner();
         if bytes > self.budget_bytes || generation != self.generation.load(Ordering::Acquire) {
             inner.counters.rejected_inserts += 1;
             return false;
@@ -866,6 +897,29 @@ mod tests {
         let c = cache.counters();
         assert_eq!(c.hits + c.misses, 8 * q.len() as u64);
         assert!(c.hits > 0, "overlapping threads should hit");
+    }
+
+    #[test]
+    fn installed_lock_wait_histogram_counts_acquisitions() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20));
+        let lock_wait = Arc::new(Histogram::new());
+        cache.install_lock_wait(Arc::clone(&lock_wait));
+        // A second installation is ignored — the first histogram keeps
+        // receiving samples.
+        cache.install_lock_wait(Arc::new(Histogram::new()));
+        let mut src = cached(&cache, &sim, &q, vocab, 0.3);
+        let fresh = drain(&mut src, 0);
+        assert!(!fresh.is_empty());
+        // One probe (miss) + one insert = two timed acquisitions.
+        assert_eq!(lock_wait.snapshot().count(), 2);
+        let mut warm = cached(&cache, &sim, &q, vocab, 0.3);
+        assert_eq!(
+            drain(&mut warm, 0),
+            fresh,
+            "instrumentation changes nothing"
+        );
+        assert_eq!(lock_wait.snapshot().count(), 3);
     }
 
     #[test]

@@ -97,6 +97,11 @@ impl KoiosClient {
         self.request("GET", "/stats", None)
     }
 
+    /// `GET /metrics` — the Prometheus text exposition (not JSON).
+    pub fn metrics(&mut self) -> Result<(u16, String), NetError> {
+        self.request_text("GET", "/metrics")
+    }
+
     /// `GET /healthz`.
     pub fn healthz(&mut self) -> Result<JsonReply, NetError> {
         self.request("GET", "/healthz", None)
@@ -135,14 +140,64 @@ impl KoiosClient {
         }
     }
 
-    /// One exchange; errors carry whether a retry on a fresh connection is
-    /// safe (no risk of double execution).
+    /// Like [`KoiosClient::request`] but for plain-text bodies (e.g.
+    /// `GET /metrics`, whose Prometheus exposition is not JSON). Same
+    /// stale-keep-alive retry rules.
+    pub fn request_text(&mut self, method: &str, path: &str) -> Result<(u16, String), NetError> {
+        let had_pooled_conn = self.conn.is_some();
+        let decode = |response: HttpResponse| {
+            let text = String::from_utf8(response.body).map_err(|_| {
+                (
+                    NetError::Protocol("response body is not UTF-8".into()),
+                    false,
+                )
+            })?;
+            Ok((response.status, text))
+        };
+        match self.exchange_once(method, path, None).and_then(decode) {
+            Err((e, retryable)) => {
+                if retryable && had_pooled_conn {
+                    self.exchange_once(method, path, None)
+                        .and_then(decode)
+                        .map_err(|(e, _)| e)
+                } else {
+                    Err(e)
+                }
+            }
+            Ok(reply) => Ok(reply),
+        }
+    }
+
+    /// One exchange decoded as JSON; errors carry whether a retry on a
+    /// fresh connection is safe (no risk of double execution).
     fn request_once(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&Json>,
     ) -> Result<JsonReply, (NetError, bool)> {
+        let response = self.exchange_once(method, path, body)?;
+        let text = std::str::from_utf8(&response.body).map_err(|_| {
+            (
+                NetError::Protocol("response body is not UTF-8".into()),
+                false,
+            )
+        })?;
+        let json = if text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(text).map_err(|e| (NetError::Protocol(e.to_string()), false))?
+        };
+        Ok((response.status, json))
+    }
+
+    /// One raw HTTP exchange on the pooled connection.
+    fn exchange_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<HttpResponse, (NetError, bool)> {
         if self.conn.is_none() {
             let fresh = (|| {
                 let stream = TcpStream::connect(self.addr)?;
@@ -189,17 +244,6 @@ impl KoiosClient {
         if matches!(response.header("connection"), Some(v) if v.eq_ignore_ascii_case("close")) {
             self.conn = None;
         }
-        let text = std::str::from_utf8(&response.body).map_err(|_| {
-            (
-                NetError::Protocol("response body is not UTF-8".into()),
-                false,
-            )
-        })?;
-        let json = if text.is_empty() {
-            Json::Null
-        } else {
-            Json::parse(text).map_err(|e| (NetError::Protocol(e.to_string()), false))?
-        };
-        Ok((response.status, json))
+        Ok(response)
     }
 }

@@ -166,6 +166,20 @@ impl HttpResponse {
         }
     }
 
+    /// A plain-text response carrying the Prometheus exposition
+    /// content-type (text format version 0.0.4) — what scrapers expect
+    /// from `GET /metrics`.
+    pub fn metrics_text(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![(
+                "content-type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+            body: body.into_bytes(),
+        }
+    }
+
     /// Case-insensitive header lookup (first occurrence).
     pub fn header(&self, name: &str) -> Option<&str> {
         let name = name.to_ascii_lowercase();

@@ -18,6 +18,8 @@
 //!   connection threads parse + submit to the service's worker pool, so
 //!   network callers and in-process callers share one admission-control
 //!   and deadline regime. Routes: `POST /search`, `GET /stats`,
+//!   `GET /metrics` (Prometheus text exposition of the service's
+//!   `koios-telemetry` registry — stage/shard/queue/lock-wait histograms),
 //!   `GET /healthz`, `POST /invalidate`.
 //! * [`client`] — [`client::KoiosClient`]: a tiny blocking keep-alive
 //!   client used by tests, examples and the bench harness.

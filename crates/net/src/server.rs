@@ -15,6 +15,7 @@
 //! |-------|---------|
 //! | `POST /search` | run one top-k search (body: see [`crate::wire`]) |
 //! | `GET /stats` | [`ServiceStats`](koios_service::ServiceStats) snapshot |
+//! | `GET /metrics` | Prometheus text exposition of the service registry |
 //! | `GET /healthz` | liveness + basic shape of the backend |
 //! | `POST /invalidate` | drop result cache + bump token-cache generation |
 //!
@@ -198,6 +199,7 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
     match (request.method.as_str(), path) {
         ("POST", "/search") => search(request, service),
         ("GET", "/stats") => HttpResponse::json(200, &wire::stats_to_json(&service.stats())),
+        ("GET", "/metrics") => HttpResponse::metrics_text(200, service.render_metrics()),
         ("GET", "/healthz") => HttpResponse::json(
             200,
             &Json::obj([
@@ -211,7 +213,7 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
             service.invalidate_cache();
             HttpResponse::json(200, &Json::obj([("invalidated", Json::Bool(true))]))
         }
-        (_, "/search" | "/stats" | "/healthz" | "/invalidate") => HttpResponse::json(
+        (_, "/search" | "/stats" | "/metrics" | "/healthz" | "/invalidate") => HttpResponse::json(
             405,
             &Json::obj([("error", Json::str("method not allowed"))]),
         ),
@@ -236,10 +238,19 @@ fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {
     // blocks, the queue applies the same admission control as in-process
     // callers.
     let response = service.submit(search_request).wait();
-    HttpResponse::json(
+    // The serialize phase completes the queue/search/serialize latency
+    // split: building the JSON body is the front-end's own contribution to
+    // response time, invisible to the in-process service metrics.
+    let serialize_start = std::time::Instant::now();
+    let http = HttpResponse::json(
         200,
         &wire::response_to_json(&response, service.repository()),
-    )
+    );
+    service
+        .metrics()
+        .request_serialize
+        .record_duration(serialize_start.elapsed());
+    http
 }
 
 fn bad_request(message: &str) -> HttpResponse {

@@ -174,9 +174,18 @@ pub fn stats_to_json(st: &ServiceStats) -> Json {
             ("load_ms", millis(sn.load_time)),
         ]),
     };
+    // Wall-clock start time as whole seconds since the Unix epoch (0 for
+    // a default snapshot whose start time is the epoch itself).
+    let start_unix = st
+        .start_time
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     Json::obj([
         ("queries", Json::num(st.queries as f64)),
         ("batches", Json::num(st.batches as f64)),
+        ("uptime_secs", Json::num(st.uptime_secs)),
+        ("start_time_unix_secs", Json::num(start_unix as f64)),
         ("cache_hits", Json::num(st.cache_hits as f64)),
         ("searched", Json::num(st.searched as f64)),
         ("rejected", Json::num(st.rejected as f64)),
@@ -270,6 +279,21 @@ mod tests {
                 "accepted {bad}"
             );
         }
+    }
+
+    #[test]
+    fn stats_json_carries_uptime_and_start_time() {
+        let st = ServiceStats {
+            uptime_secs: 12.5,
+            start_time: std::time::SystemTime::UNIX_EPOCH + Duration::from_secs(1_700_000_000),
+            ..Default::default()
+        };
+        let json = stats_to_json(&st);
+        assert_eq!(json.get("uptime_secs").unwrap().as_f64(), Some(12.5));
+        assert_eq!(
+            json.get("start_time_unix_secs").unwrap().as_u64(),
+            Some(1_700_000_000)
+        );
     }
 
     #[test]

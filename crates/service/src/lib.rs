@@ -44,16 +44,29 @@
 //!
 //! Observability is first-class: [`ServiceStats`] aggregates the engine's
 //! per-query [`koios_core::SearchStats`] across the service lifetime next
-//! to cache and admission counters.
+//! to cache and admission counters, and a `koios-telemetry` registry
+//! ([`metrics::ServiceMetrics`]) tracks latency *distributions* the folded
+//! stats cannot express — per-stage histograms (`refine`/`verify`/
+//! `postprocess`/`merge`, matching the paper's pipeline names), per-shard
+//! search time, pool queue depth and queue wait, cache mutex lock-wait,
+//! and the request's queue/search/serialize phase split. Scrape it with
+//! [`SearchService::render_metrics`] (Prometheus text format; served as
+//! `GET /metrics` by `koios-net`), and catch outliers with the structured
+//! slow-query log ([`slowlog::SlowQueryLog`]): one JSON line per request
+//! over a configurable latency threshold, through a pluggable sink.
 
 pub mod cache;
+pub mod metrics;
 pub mod pool;
 pub mod request;
 pub mod service;
+pub mod slowlog;
 pub mod stats;
 
 pub use cache::{CacheCounters, LruCache};
-pub use pool::{Ticket, WorkerPool};
+pub use metrics::ServiceMetrics;
+pub use pool::{PoolInstruments, Ticket, WorkerPool};
 pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 pub use service::{ResponseHandle, SearchService, ServiceConfig};
+pub use slowlog::{SlowQueryLog, SlowQuerySink};
 pub use stats::{ServiceStats, SnapshotInfo};

@@ -29,6 +29,7 @@
 //! layers its request lifecycle on top and keeps the admission-control,
 //! deadline and cache semantics in `service.rs`.
 
+use koios_telemetry::{Gauge, Histogram};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
@@ -36,6 +37,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue observability handles ([`WorkerPool::new_instrumented`]): the
+/// depth gauge moves on submit/dequeue, the wait histogram records each
+/// job's submit→dequeue time. Both are plain relaxed atomics, so the
+/// queue's mutex hold times are unchanged.
+#[derive(Clone)]
+pub struct PoolInstruments {
+    /// Jobs submitted but not yet picked up (`koios_queue_depth`).
+    pub depth: Arc<Gauge>,
+    /// Submit→dequeue wait per job (`koios_queue_wait_seconds`).
+    pub wait: Arc<Histogram>,
+}
 
 struct Queue {
     jobs: VecDeque<Job>,
@@ -158,12 +171,24 @@ impl<T> Ticket<T> {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    instruments: Option<PoolInstruments>,
 }
 
 impl WorkerPool {
     /// Spawns `workers` (at least one) threads that immediately start
     /// draining the queue.
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, None)
+    }
+
+    /// [`WorkerPool::new`] with queue observability: every submit bumps
+    /// `instruments.depth`, every dequeue decrements it and records the
+    /// job's queue wait into `instruments.wait`.
+    pub fn new_instrumented(workers: usize, instruments: PoolInstruments) -> Self {
+        Self::build(workers, Some(instruments))
+    }
+
+    fn build(workers: usize, instruments: Option<PoolInstruments>) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
@@ -177,7 +202,11 @@ impl WorkerPool {
                 std::thread::spawn(move || Self::worker_loop(&shared))
             })
             .collect();
-        WorkerPool { shared, handles }
+        WorkerPool {
+            shared,
+            handles,
+            instruments,
+        }
     }
 
     fn worker_loop(shared: &Shared) {
@@ -231,9 +260,24 @@ impl WorkerPool {
             // can neither kill its worker nor leave its ticket unfilled
             // (which would deadlock the waiter); the payload is re-raised
             // by `Ticket::wait`.
-            q.jobs.push_back(Box::new(move || {
-                slot.fill(std::panic::catch_unwind(AssertUnwindSafe(job)));
-            }));
+            let run = move || slot.fill(std::panic::catch_unwind(AssertUnwindSafe(job)));
+            match &self.instruments {
+                None => q.jobs.push_back(Box::new(run)),
+                Some(ins) => {
+                    // Incremented after the shutdown check, so rejected
+                    // jobs never count; decremented when a worker starts
+                    // the job, so depth tracks *waiting* jobs only.
+                    ins.depth.inc();
+                    let depth = Arc::clone(&ins.depth);
+                    let wait = Arc::clone(&ins.wait);
+                    let enqueued = Instant::now();
+                    q.jobs.push_back(Box::new(move || {
+                        depth.dec();
+                        wait.record_duration(enqueued.elapsed());
+                        run();
+                    }));
+                }
+            }
         }
         self.shared.ready.notify_one();
         Ok(ticket)
@@ -382,6 +426,42 @@ mod tests {
         let payload = caught.expect_err("panic re-raised at the waiter");
         assert_eq!(payload.downcast_ref::<&str>().copied(), Some("job blew up"));
         assert_eq!(after.wait(), 5, "worker survived the panic");
+    }
+
+    #[test]
+    fn instrumented_pool_tracks_depth_and_wait() {
+        let depth = Arc::new(Gauge::new());
+        let wait = Arc::new(Histogram::new());
+        let pool = WorkerPool::new_instrumented(
+            1,
+            PoolInstruments {
+                depth: Arc::clone(&depth),
+                wait: Arc::clone(&wait),
+            },
+        );
+        // Park the single worker so the next jobs measurably queue.
+        let (release, gate) = std::sync::mpsc::channel::<()>();
+        let parked = pool
+            .submit(move || gate.recv().expect("release signal"))
+            .ok()
+            .expect("accepting");
+        // Wait until the worker picked the parked job up (depth back to 0).
+        while depth.get() != 0 {
+            std::thread::yield_now();
+        }
+        let queued: Vec<_> = (0..3)
+            .map(|i| pool.submit(move || i).ok().expect("accepting"))
+            .collect();
+        assert_eq!(depth.get(), 3, "three jobs wait behind the parked one");
+        release.send(()).unwrap();
+        parked.wait();
+        for (i, t) in queued.into_iter().enumerate() {
+            assert_eq!(t.wait(), i);
+        }
+        assert_eq!(depth.get(), 0, "every dequeue decremented");
+        let snap = wait.snapshot();
+        assert_eq!(snap.count(), 4, "every job recorded its queue wait");
+        assert!(snap.max_ns > 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The concurrent query-serving layer.
 
 use crate::cache::LruCache;
-use crate::pool::{Ticket, WorkerPool};
+use crate::metrics::ServiceMetrics;
+use crate::pool::{PoolInstruments, Ticket, WorkerPool};
 use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
+use crate::slowlog::{SlowQueryLog, SlowQueryRecord};
 use crate::stats::{ServiceStats, SnapshotInfo};
 use koios_common::{SetId, TokenId};
 use koios_core::{
@@ -13,9 +15,10 @@ use koios_embed::sim::ElementSimilarity;
 use koios_embed::vectors::Embeddings;
 use koios_index::knn_cache::TokenKnnCache;
 use koios_store::snapshot::StoreError;
+use koios_telemetry::Registry;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Tunables of a [`SearchService`].
 #[derive(Debug, Clone)]
@@ -47,6 +50,11 @@ pub struct ServiceConfig {
     /// a backend-supplied [`TokenKnnCache`] keeps whatever TTL it was
     /// built with.
     pub token_cache_ttl: Option<Duration>,
+    /// Structured slow-query logging: requests whose end-to-end latency
+    /// (queue + search) crosses the configured threshold emit one JSON
+    /// line through the configured sink (see [`SlowQueryLog`]). `None`
+    /// (the default) disables the log.
+    pub slow_query_log: Option<SlowQueryLog>,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +66,7 @@ impl Default for ServiceConfig {
             default_time_budget: None,
             result_ttl: None,
             token_cache_ttl: None,
+            slow_query_log: None,
         }
     }
 }
@@ -102,6 +111,12 @@ impl ServiceConfig {
     /// Sets the token-cache entry time-to-live (per-element kNN lists).
     pub fn with_token_cache_ttl(mut self, ttl: Duration) -> Self {
         self.token_cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Installs a slow-query log (threshold + sink; see [`SlowQueryLog`]).
+    pub fn with_slow_query_log(mut self, log: SlowQueryLog) -> Self {
+        self.slow_query_log = Some(log);
         self
     }
 }
@@ -199,6 +214,16 @@ struct ServiceInner {
     // [`ServiceStats::snapshot`].
     snapshot: Option<SnapshotInfo>,
     stats: Mutex<StatsInner>,
+    // Registry + pre-resolved instrument handles; recording on the request
+    // path is a handful of relaxed atomic adds.
+    metrics: ServiceMetrics,
+    // Slow-query threshold + sink; `None` keeps the request path free of
+    // any per-query rendering.
+    slowlog: Option<SlowQueryLog>,
+    // Construction instants for `uptime_secs` (monotone) and `start_time`
+    // (wall clock, for operators correlating restarts across machines).
+    started: Instant,
+    start_time: SystemTime,
 }
 
 impl SearchService {
@@ -336,6 +361,17 @@ impl SearchService {
             }
             None => (backend, None),
         };
+        let metrics = ServiceMetrics::new();
+        // Lock-wait observability on the shared token cache: installing the
+        // histogram turns each mutex acquisition into a timed one; without
+        // a service the cache stays uninstrumented (a single atomic load).
+        if let Some(tc) = &token_cache {
+            tc.install_lock_wait(Arc::clone(&metrics.lock_wait_token));
+        }
+        let pool_instruments = PoolInstruments {
+            depth: Arc::clone(&metrics.queue_depth),
+            wait: Arc::clone(&metrics.queue_wait),
+        };
         SearchService {
             inner: Arc::new(ServiceInner {
                 backend,
@@ -344,8 +380,12 @@ impl SearchService {
                 token_cache,
                 snapshot,
                 stats: Mutex::new(StatsInner::default()),
+                metrics,
+                slowlog: cfg.slow_query_log,
+                started: Instant::now(),
+                start_time: SystemTime::now(),
             }),
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::new_instrumented(workers, pool_instruments),
         }
     }
 
@@ -489,7 +529,73 @@ impl SearchService {
             token_cache: self.inner.token_cache.as_ref().map(|tc| tc.snapshot()),
             snapshot: self.inner.snapshot.clone(),
             engine: st.engine.clone(),
+            uptime_secs: self.inner.started.elapsed().as_secs_f64(),
+            start_time: self.inner.start_time,
         }
+    }
+
+    /// The service's metric surface: stage/shard/queue/lock-wait
+    /// histograms, queue-depth gauge, and the registry behind them. Bench
+    /// harnesses read the histogram snapshots directly; the HTTP front-end
+    /// records its serialization phase here.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// The metric registry (for scraping; see
+    /// [`SearchService::render_metrics`]).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        self.inner.metrics.registry()
+    }
+
+    /// Renders the full metric surface in Prometheus text exposition
+    /// format (version 0.0.4) — the body of `GET /metrics`. Scrape-derived
+    /// series (uptime, cache operation totals, token-cache occupancy) are
+    /// synchronized from their sources first, so the rendering is always
+    /// current.
+    pub fn render_metrics(&self) -> String {
+        let m = &self.inner.metrics;
+        let reg = m.registry();
+        m.uptime
+            .set(self.inner.started.elapsed().as_secs().min(i64::MAX as u64) as i64);
+        let ops = |cache: &str, op: &str, total: u64| {
+            reg.counter(
+                "koios_cache_ops_total",
+                "Cache operations since service construction",
+                &[("cache", cache), ("op", op)],
+            )
+            .store(total);
+        };
+        let rc = self.inner.cache.lock().expect("cache lock").counters();
+        ops("result", "hit", rc.hits);
+        ops("result", "miss", rc.misses);
+        ops("result", "eviction", rc.evictions);
+        ops("result", "insertion", rc.insertions);
+        ops("result", "expiration", rc.expirations);
+        ops("result", "invalidation", rc.invalidations);
+        if let Some(tc) = &self.inner.token_cache {
+            let snap = tc.snapshot();
+            ops("token", "hit", snap.counters.hits);
+            ops("token", "miss", snap.counters.misses);
+            ops("token", "eviction", snap.counters.evictions);
+            ops("token", "insertion", snap.counters.insertions);
+            ops("token", "expiration", snap.counters.expirations);
+            ops("token", "invalidation", snap.counters.invalidations);
+            ops("token", "rejected_insert", snap.counters.rejected_inserts);
+            reg.gauge(
+                "koios_token_cache_bytes",
+                "Bytes held by the shared token kNN cache",
+                &[],
+            )
+            .set(snap.bytes.min(i64::MAX as usize) as i64);
+            reg.gauge(
+                "koios_token_cache_entries",
+                "Entries held by the shared token kNN cache",
+                &[],
+            )
+            .set(snap.entries.min(i64::MAX as usize) as i64);
+        }
+        reg.render_prometheus()
     }
 
     /// Zeroes every service counter (including both caches') without
@@ -513,10 +619,40 @@ impl SearchService {
 }
 
 impl ServiceInner {
+    /// Acquires the result-cache mutex, recording the blocked time into
+    /// `koios_lock_wait_seconds{cache="result"}` — the direct measurement
+    /// for the ROADMAP's serving-scalability suspects.
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<CacheKey, Arc<Vec<Hit>>>> {
+        let start = Instant::now();
+        let guard = self.cache.lock().expect("cache lock");
+        self.metrics
+            .lock_wait_result
+            .record_duration(start.elapsed());
+        guard
+    }
+
+    /// Feeds one executed search's stage timings into the stage/shard
+    /// histograms. `merge`/shard series only move for partitioned
+    /// searches, so a single-engine scrape carries no misleading zeros.
+    fn record_stages(&self, stats: &SearchStats) {
+        self.metrics.stage_refine.record_duration(stats.refine_time);
+        self.metrics
+            .stage_postprocess
+            .record_duration(stats.postprocess_time);
+        self.metrics.stage_verify.record_duration(stats.verify_time);
+        if !stats.merge_time.is_zero() {
+            self.metrics.stage_merge.record_duration(stats.merge_time);
+        }
+        for (i, &t) in stats.shard_times.iter().enumerate() {
+            self.metrics.shard(i).record_duration(t);
+        }
+    }
+
     /// The full request lifecycle: normalize → cache probe → admission →
     /// search → cache fill → bookkeeping.
     fn process_one(&self, req: &SearchRequest, submitted: Instant) -> ServiceResponse {
         let queue_time = submitted.elapsed();
+        self.metrics.request_queue.record_duration(queue_time);
 
         // Effective per-request configuration (cheap: no index rebuild on
         // either backend).
@@ -546,9 +682,20 @@ impl ServiceInner {
         // Cache probe first: a hit is effectively free, so it is served
         // even when the deadline has already expired.
         if !req.bypass_cache {
-            let cached = self.cache.lock().expect("cache lock").get(fp, &key);
+            let cached = self.lock_cache().get(fp, &key);
             if let Some(hits) = cached {
                 self.stats.lock().expect("stats lock").cache_hits += 1;
+                if let Some(log) = &self.slowlog {
+                    log.observe(&SlowQueryRecord {
+                        fingerprint: fp,
+                        k: cfg.k,
+                        alpha: cfg.alpha,
+                        queue: queue_time,
+                        search: Duration::ZERO,
+                        cache: CacheOutcome::Hit,
+                        stats: None,
+                    });
+                }
                 return ServiceResponse {
                     result: SearchResult {
                         hits: (*hits).clone(), // copy outside the cache lock
@@ -598,15 +745,36 @@ impl ServiceInner {
             }
         }
 
+        let (eff_k, eff_alpha) = (cfg.k, cfg.alpha);
         let backend = self.backend.with_config(cfg);
+        let search_start = Instant::now();
         let result = backend.search_with_deadline(&key.tokens, deadline);
+        let search_time = search_start.elapsed();
+        self.metrics.request_search.record_duration(search_time);
+        self.record_stages(&result.stats);
 
         // Only complete answers are worth caching: a timed-out search holds
         // partial hits that a later, luckier run could improve on.
         let complete = !result.stats.timed_out;
         if !req.bypass_cache && complete {
             let hits = Arc::new(result.hits.clone());
-            self.cache.lock().expect("cache lock").insert(fp, key, hits);
+            self.lock_cache().insert(fp, key, hits);
+        }
+
+        if let Some(log) = &self.slowlog {
+            log.observe(&SlowQueryRecord {
+                fingerprint: fp,
+                k: eff_k,
+                alpha: eff_alpha,
+                queue: queue_time,
+                search: search_time,
+                cache: if req.bypass_cache {
+                    CacheOutcome::Bypassed
+                } else {
+                    CacheOutcome::Miss
+                },
+                stats: Some(&result.stats),
+            });
         }
 
         {
@@ -1015,6 +1183,124 @@ mod tests {
         let a = cold.search(SearchRequest::new(q.clone()));
         let b = warm.search(SearchRequest::new(q));
         assert_eq!(a.result.hits, b.result.hits, "warm ≡ cold over the service");
+    }
+
+    #[test]
+    fn metrics_cover_stages_queue_and_lock_wait() {
+        let (repo, svc) = service(2, 8);
+        let q = repo.intern_query(["a", "b", "c"]);
+        svc.search(SearchRequest::new(q.clone()));
+        svc.search(SearchRequest::new(q)); // result-cache hit
+        let m = svc.metrics();
+        assert_eq!(m.stage_refine.snapshot().count(), 1, "one executed search");
+        assert_eq!(m.stage_verify.snapshot().count(), 1);
+        assert_eq!(m.request_search.snapshot().count(), 1);
+        assert_eq!(m.request_queue.snapshot().count(), 2, "hits queue too");
+        assert_eq!(m.queue_wait.snapshot().count(), 2);
+        assert_eq!(m.queue_depth.get(), 0, "both requests drained");
+        assert!(
+            m.lock_wait_result.snapshot().count() >= 3,
+            "probe + fill + probe each timed the cache mutex"
+        );
+        assert!(
+            m.lock_wait_token.snapshot().count() > 0,
+            "shared token cache acquisitions are timed"
+        );
+        let text = svc.render_metrics();
+        for series in [
+            "koios_stage_seconds",
+            "koios_queue_depth",
+            "koios_queue_wait_seconds",
+            "koios_lock_wait_seconds",
+            "koios_request_seconds",
+            "koios_uptime_seconds",
+            "koios_cache_ops_total",
+            "koios_token_cache_bytes",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+        assert!(text.contains("koios_cache_ops_total{cache=\"result\",op=\"hit\"} 1"));
+        assert!(text.contains("koios_stage_seconds_count{stage=\"refine\"} 1"));
+    }
+
+    #[test]
+    fn partitioned_service_emits_shard_and_merge_series() {
+        let (repo, _) = service(1, 8);
+        let svc = SearchService::new_partitioned(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(2, 0.9),
+            3,
+            7,
+            ServiceConfig::new().with_workers(1).with_cache_capacity(0),
+        );
+        let q = repo.intern_query(["a", "b", "c"]);
+        svc.search(SearchRequest::new(q));
+        let m = svc.metrics();
+        for shard in 0..3 {
+            assert_eq!(m.shard(shard).snapshot().count(), 1, "shard {shard}");
+        }
+        assert_eq!(m.stage_merge.snapshot().count(), 1);
+        let text = svc.render_metrics();
+        assert!(text.contains("koios_shard_seconds_count{shard=\"2\"} 1"));
+        assert!(text.contains("koios_stage_seconds_count{stage=\"merge\"} 1"));
+    }
+
+    #[test]
+    fn single_engine_service_emits_no_shard_or_merge_series() {
+        let (repo, svc) = service(1, 8);
+        let q = repo.intern_query(["a", "b"]);
+        svc.search(SearchRequest::new(q));
+        let text = svc.render_metrics();
+        assert!(!text.contains("koios_shard_seconds_bucket"));
+        assert!(text.contains("koios_stage_seconds_count{stage=\"merge\"} 0"));
+    }
+
+    #[test]
+    fn slow_query_log_captures_offenders() {
+        use std::sync::Mutex as StdMutex;
+        let lines = Arc::new(StdMutex::new(Vec::<String>::new()));
+        let sink = {
+            let lines = Arc::clone(&lines);
+            Arc::new(move |line: &str| lines.lock().unwrap().push(line.to_string())) as _
+        };
+        let mut b = RepositoryBuilder::new();
+        b.add_set("s0", ["a", "b", "c", "d"]);
+        b.add_set("s1", ["a", "b", "x", "y"]);
+        let repo = Arc::new(b.build());
+        let svc = SearchService::new(
+            Arc::clone(&repo),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(1, 0.9),
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_slow_query_log(SlowQueryLog::new(Duration::ZERO, sink)),
+        );
+        let q = repo.intern_query(["a", "b"]);
+        svc.search(SearchRequest::new(q.clone()));
+        svc.search(SearchRequest::new(q)); // hit — also over the 0ns threshold
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 2, "both requests crossed the zero threshold");
+        assert!(lines[0].contains("\"cache\":\"miss\""));
+        assert!(lines[0].contains("\"refine_ns\":"));
+        assert!(lines[0].contains("\"k\":1"));
+        assert!(lines[0].contains("\"fingerprint\":\"0x"));
+        assert!(lines[1].contains("\"cache\":\"hit\""));
+        assert!(!lines[1].contains("refine_ns"), "hits did no engine work");
+    }
+
+    #[test]
+    fn stats_report_uptime_and_start_time() {
+        let (repo, svc) = service(1, 8);
+        let before = svc.stats();
+        assert!(before.start_time > std::time::SystemTime::UNIX_EPOCH);
+        svc.search(SearchRequest::new(repo.intern_query(["a"])));
+        let after = svc.stats();
+        assert!(after.uptime_secs >= before.uptime_secs);
+        assert_eq!(after.start_time, before.start_time, "start time is fixed");
+        // reset_stats zeroes counters but the service did not restart.
+        svc.reset_stats();
+        assert!(svc.stats().uptime_secs >= after.uptime_secs);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::cache::CacheCounters;
 use koios_core::SearchStats;
 use koios_index::knn_cache::KnnCacheSnapshot;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 /// Provenance of a backend restored from a `koios-store` snapshot
 /// ([`crate::SearchService::from_snapshot`]): which file, how big, and how
@@ -36,7 +36,7 @@ pub struct SnapshotInfo {
 /// is the per-label *peak* across searches (each search's footprint is a
 /// transient snapshot, so peaks are meaningful where sums would read like
 /// a leak).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct ServiceStats {
     /// Requests received (including cache hits and rejections).
     pub queries: u64,
@@ -71,6 +71,33 @@ pub struct ServiceStats {
     pub snapshot: Option<SnapshotInfo>,
     /// Folded per-search engine instrumentation.
     pub engine: SearchStats,
+    /// Seconds since the service was constructed (monotone clock; not
+    /// reset by [`crate::SearchService::reset_stats`], since the service
+    /// did not restart).
+    pub uptime_secs: f64,
+    /// Wall-clock instant of service construction, for correlating
+    /// restarts across machines (`UNIX_EPOCH` on a default snapshot).
+    pub start_time: SystemTime,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            queries: 0,
+            batches: 0,
+            cache_hits: 0,
+            searched: 0,
+            rejected: 0,
+            timed_out: 0,
+            partitions: 0,
+            cache: CacheCounters::default(),
+            token_cache: None,
+            snapshot: None,
+            engine: SearchStats::default(),
+            uptime_secs: 0.0,
+            start_time: SystemTime::UNIX_EPOCH,
+        }
+    }
 }
 
 impl ServiceStats {
@@ -98,5 +125,7 @@ mod tests {
         assert_eq!(s.queries, 0);
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.engine.em_full, 0);
+        assert_eq!(s.uptime_secs, 0.0);
+        assert_eq!(s.start_time, SystemTime::UNIX_EPOCH);
     }
 }

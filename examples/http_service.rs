@@ -5,7 +5,8 @@
 //! [`KoiosServer`] to an ephemeral loopback port, and then acts as its own
 //! remote client: top-k searches over HTTP (string elements and raw token
 //! ids), a per-request `k` override, a cache hit, a malformed request that
-//! bounces with a 400, `/stats`, and `/invalidate`.
+//! bounces with a 400, `/stats`, a Prometheus `/metrics` scrape, and
+//! `/invalidate`.
 //!
 //! ```text
 //! cargo run --release --example http_service
@@ -108,6 +109,29 @@ fn main() {
         stats.get("cache_hits").unwrap().as_u64().unwrap(),
         stats.get("partitions").unwrap().as_u64().unwrap(),
     );
+    // Prometheus scrape: the same registry an operator would poll. The
+    // CI smoke gate greps this output for the stage/queue/lock-wait
+    // series, so keep the highlight prefixes in sync with ci.yml.
+    let (status, text) = client.metrics().expect("metrics");
+    let highlights = [
+        "koios_stage_seconds_count",
+        "koios_shard_seconds_count",
+        "koios_queue_depth",
+        "koios_queue_wait_seconds_count",
+        "koios_lock_wait_seconds_count",
+        "koios_request_seconds_count",
+    ];
+    println!(
+        "\nGET /metrics -> {status}, {} series lines; highlights:",
+        text.lines().filter(|l| !l.starts_with('#')).count()
+    );
+    for line in text
+        .lines()
+        .filter(|l| highlights.iter().any(|p| l.starts_with(p)))
+    {
+        println!("  {line}");
+    }
+
     let (status, _) = client.invalidate().expect("invalidate");
     let (_, after) = client.search(&body).expect("search");
     println!(

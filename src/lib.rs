@@ -47,6 +47,20 @@
 //! — byte-identical results, a fraction of the build time, on both the
 //! single and the sharded layout.
 //!
+//! ## Observability
+//!
+//! The stack measures itself with [`telemetry`]: lock-free counters,
+//! gauges and log2-bucketed histograms behind a named registry that
+//! renders Prometheus text exposition. A [`SearchService`](service::SearchService)
+//! keeps per-stage latency histograms under the paper's pipeline names
+//! (`refine`/`verify`/`postprocess`/`merge`), per-shard search times,
+//! worker-queue depth and wait, and cache mutex lock-wait; scrape them via
+//! `GET /metrics` on the server or
+//! [`render_metrics`](service::SearchService::render_metrics) in process,
+//! and catch outliers with the structured slow-query log
+//! ([`service::slowlog`]). See the "Observability" section of
+//! `ARCHITECTURE.md` for the full instrument map.
+//!
 //! ```
 //! use koios::prelude::*;
 //! use std::sync::Arc;
@@ -83,6 +97,7 @@
 //! | [`core`] | `koios-core` | the Koios search engine (refinement + post-processing) |
 //! | [`baselines`] | `koios-baselines` | exhaustive baseline, SilkMoth, vanilla top-k |
 //! | [`store`] | `koios-store` | versioned binary snapshots: save query-ready state, warm-start restore |
+//! | [`telemetry`] | `koios-telemetry` | lock-free counters/gauges/histograms, registry, Prometheus text rendering |
 //! | [`service`] | `koios-service` | concurrent query serving: persistent worker pool, result cache, stats |
 //! | [`net`] | `koios-net` | HTTP/1.1 front-end: server over `std::net`, JSON wire contract, blocking client |
 
@@ -96,6 +111,7 @@ pub use koios_matching as matching;
 pub use koios_net as net;
 pub use koios_service as service;
 pub use koios_store as store;
+pub use koios_telemetry as telemetry;
 
 /// One-stop imports for applications.
 ///
@@ -142,4 +158,5 @@ pub mod prelude {
         ServiceStats,
     };
     pub use koios_store::{SnapshotLayout, SnapshotMeta, StoreError};
+    pub use koios_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Span};
 }

@@ -300,6 +300,102 @@ fn concurrent_http_clients_get_consistent_answers() {
     });
 }
 
+/// `GET /metrics` serves well-formed Prometheus text exposition covering
+/// the stage/queue/lock-wait series, and the search/stats routes keep
+/// agreeing with in-process results after the scrape.
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(partitioned_service(&repo, &sim));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = KoiosClient::new(server.addr());
+
+    // Populate the histograms with real traffic first.
+    for set in 0..4u32 {
+        let body = Json::obj([(
+            "tokens",
+            Json::arr(repo.set(SetId(set)).iter().map(|t| Json::num(t.0 as f64))),
+        )]);
+        let (status, _) = client.search(&body).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    let (status, text) = client.metrics().unwrap();
+    assert_eq!(status, 200);
+    assert!(!text.is_empty());
+    // Every line is a `# HELP`/`# TYPE` comment or `series value` with a
+    // parseable finite value and a legal metric name.
+    for line in text.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("exposition line without a value: {line:?}");
+        });
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        assert!(value.is_finite(), "{line:?}");
+        let name_end = series.find('{').unwrap_or(series.len());
+        assert!(
+            !series[..name_end].is_empty()
+                && series[..name_end]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        if name_end < series.len() {
+            assert!(series.ends_with('}'), "unterminated labels in {line:?}");
+        }
+    }
+    for want in [
+        "koios_stage_seconds_bucket{stage=\"refine\"",
+        "koios_stage_seconds_count{stage=\"verify\"}",
+        "koios_shard_seconds",
+        "koios_queue_depth",
+        "koios_queue_wait_seconds_count",
+        "koios_lock_wait_seconds_count{cache=\"result\"}",
+        "koios_lock_wait_seconds_count{cache=\"token\"}",
+        "koios_request_seconds_count{phase=\"serialize\"}",
+        "koios_uptime_seconds",
+        "koios_cache_ops_total{cache=\"result\",op=\"hit\"}",
+    ] {
+        assert!(text.contains(want), "missing {want} in:\n{text}");
+    }
+
+    // The search route still serializes hits byte-identically to the
+    // in-process wire encoding of the same query.
+    let q = repo.set(SetId(0)).to_vec();
+    let in_process = service.search(SearchRequest::new(q.clone()).bypassing_cache());
+    let expected_hits = koios::net::wire::response_to_json(&in_process, &repo)
+        .get("hits")
+        .unwrap()
+        .encode();
+    let body = Json::obj([
+        ("tokens", Json::arr(q.iter().map(|t| Json::num(t.0 as f64)))),
+        ("bypass_cache", Json::Bool(true)),
+    ]);
+    let (_, reply) = client.search(&body).unwrap();
+    assert_eq!(reply.get("hits").unwrap().encode(), expected_hits);
+
+    // The stats route agrees with the in-process snapshot and carries the
+    // new uptime fields.
+    let (status, stats) = client.stats().unwrap();
+    assert_eq!(status, 200);
+    let local = service.stats();
+    assert_eq!(stats.get("queries").unwrap().as_u64(), Some(local.queries));
+    assert_eq!(
+        stats.get("searched").unwrap().as_u64(),
+        Some(local.searched)
+    );
+    assert!(stats.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(stats.get("start_time_unix_secs").unwrap().as_u64().unwrap() > 0);
+
+    // Wrong method on the new route answers 405 like the others.
+    let (status, _) = client.request("POST", "/metrics", None).unwrap();
+    assert_eq!(status, 405);
+}
+
 /// Shutdown while clients hold open keep-alive connections: the server
 /// joins cleanly and the port stops answering.
 #[test]
