@@ -24,6 +24,7 @@ pub mod backend;
 pub mod buckets;
 pub mod config;
 pub mod engine;
+pub mod executor;
 pub mod many_to_one;
 pub mod overlap;
 pub mod partitioned;
@@ -38,6 +39,7 @@ pub use audit::{audit_result, AuditOutcome};
 pub use backend::EngineBackend;
 pub use config::{KoiosConfig, UbMode};
 pub use engine::{Koios, OwnedKoios};
+pub use executor::ShardExecutor;
 pub use many_to_one::{bounded_many_to_one_overlap, many_to_one_overlap};
 pub use overlap::{greedy_overlap, semantic_overlap, semantic_overlap_bounded, similarity_matrix};
 pub use partitioned::{OwnedPartitionedKoios, PartitionedKoios};

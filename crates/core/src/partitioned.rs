@@ -9,7 +9,8 @@
 //! global ranking is well-defined.
 
 use crate::config::KoiosConfig;
-use crate::engine::{effective_deadline, Koios};
+use crate::engine::{effective_deadline, Koios, OwnedKoios};
+use crate::executor::ShardExecutor;
 use crate::overlap::semantic_overlap;
 use crate::result::{Hit, ScoreBound, SearchResult};
 use crate::stats::SearchStats;
@@ -33,6 +34,66 @@ pub struct PartitionedKoios<'r> {
     cfg: KoiosConfig,
     indexes: Vec<Arc<InvertedIndex>>,
     seed: u64,
+    engines: ShardEngines<'r>,
+}
+
+/// Pre-built per-shard engines, constructed **once** at partition build /
+/// snapshot-load / reconfiguration time and reused read-mostly by every
+/// request (they carry the partition's config with the relative
+/// `time_budget` cleared — shards receive the query's absolute deadline
+/// instead, so the budget is never double-applied per shard).
+///
+/// The variant records how shard searches run: an `Arc`-owned repository
+/// yields `'static` engines that queries dispatch onto the process-wide
+/// [`ShardExecutor`] (no per-request thread spawn); a lifetime-bound borrow
+/// cannot cross into persistent threads, so the classic single-query
+/// embedding keeps per-query scoped threads.
+#[derive(Clone)]
+enum ShardEngines<'r> {
+    /// `'static` engines on the shared executor (the serving path).
+    Owned(Vec<Arc<OwnedKoios>>),
+    /// Lifetime-bound engines searched on per-query scoped threads.
+    Borrowed(Vec<Koios<'r>>),
+}
+
+impl<'r> ShardEngines<'r> {
+    fn build(
+        repo: &RepoRef<'r>,
+        sim: &Arc<dyn ElementSimilarity>,
+        cfg: &KoiosConfig,
+        indexes: &[Arc<InvertedIndex>],
+    ) -> Self {
+        let mut shard_cfg = cfg.clone();
+        shard_cfg.time_budget = None;
+        match repo {
+            RepoRef::Owned(arc) => ShardEngines::Owned(
+                indexes
+                    .iter()
+                    .map(|index| {
+                        Arc::new(Koios::with_index(
+                            RepoRef::Owned(Arc::clone(arc)),
+                            Arc::clone(sim),
+                            Arc::clone(index),
+                            shard_cfg.clone(),
+                        ))
+                    })
+                    .collect(),
+            ),
+            RepoRef::Borrowed(_) => ShardEngines::Borrowed(
+                indexes
+                    .iter()
+                    .map(|index| {
+                        Koios::with_index(
+                            repo.clone(),
+                            Arc::clone(sim),
+                            Arc::clone(index),
+                            shard_cfg.clone(),
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
 }
 
 /// A partitioned engine that owns its repository.
@@ -66,16 +127,18 @@ impl<'r> PartitionedKoios<'r> {
         for (id, _) in repo.iter_sets() {
             shards[partition_of(seed, id, partitions)].push(id);
         }
-        let indexes = shards
+        let indexes: Vec<Arc<InvertedIndex>> = shards
             .into_iter()
             .map(|sets| Arc::new(InvertedIndex::build_subset(repo.get(), sets)))
             .collect();
+        let engines = ShardEngines::build(&repo, &sim, &cfg, &indexes);
         PartitionedKoios {
             repo,
             sim,
             cfg,
             indexes,
             seed,
+            engines,
         }
     }
 
@@ -97,12 +160,15 @@ impl<'r> PartitionedKoios<'r> {
         seed: u64,
     ) -> Self {
         assert!(!indexes.is_empty(), "need at least one partition index");
+        let repo = repo.into();
+        let engines = ShardEngines::build(&repo, &sim, &cfg, &indexes);
         PartitionedKoios {
-            repo: repo.into(),
+            repo,
             sim,
             cfg,
             indexes,
             seed,
+            engines,
         }
     }
 
@@ -140,14 +206,17 @@ impl<'r> PartitionedKoios<'r> {
     /// A sibling over the same repository, similarity and shard indexes but
     /// a different configuration (no index rebuild — per-request `k`/`α`
     /// overrides in serving layers are this cheap, mirroring
-    /// [`Koios::with_config`]).
+    /// [`Koios::with_config`]; the shard engines are rebuilt from the
+    /// shared indexes, which is a handful of `Arc` bumps per shard).
     pub fn with_config(&self, cfg: KoiosConfig) -> Self {
+        let engines = ShardEngines::build(&self.repo, &self.sim, &cfg, &self.indexes);
         PartitionedKoios {
             repo: self.repo.clone(),
             sim: Arc::clone(&self.sim),
             cfg,
             indexes: self.indexes.clone(),
             seed: self.seed,
+            engines,
         }
     }
 
@@ -187,37 +256,58 @@ impl<'r> PartitionedKoios<'r> {
         deadline: Option<Instant>,
     ) -> SearchResult {
         let deadline = effective_deadline(deadline, self.cfg.time_budget);
-        // Shards get the absolute deadline directly; clear the relative
-        // budget so it is not double-applied from each shard's start time.
-        let mut shard_cfg = self.cfg.clone();
-        shard_cfg.time_budget = None;
-        let theta = SharedTheta::new();
-        let partials: Vec<(SearchResult, Duration)> = std::thread::scope(|sc| {
-            let handles: Vec<_> = self
-                .indexes
-                .iter()
-                .map(|index| {
-                    let engine = Koios::with_index(
-                        self.repo.clone(),
-                        Arc::clone(&self.sim),
-                        Arc::clone(index),
-                        shard_cfg.clone(),
-                    );
-                    let theta = &theta;
-                    sc.spawn(move || {
-                        // Per-shard wall time — the straggler breakdown
-                        // `ServiceStats`/`/metrics` surface per partition.
-                        let shard_start = Instant::now();
-                        let result = engine.search_shared_deadline(query, theta, deadline);
-                        (result, shard_start.elapsed())
+        // The pre-built shard engines already carry this partition's config
+        // with the relative budget cleared; shards get the absolute
+        // deadline directly, so it is not double-applied from each shard's
+        // start time.
+        let partials: Vec<(SearchResult, Duration)> = match &self.engines {
+            // Owned repository: `'static` shard tasks on the process-wide
+            // executor — no per-request thread spawn, and total search
+            // threads stay bounded by core count across all in-flight
+            // requests. Per-shard wall time is measured inside the task
+            // (the straggler breakdown `ServiceStats`/`/metrics` surface
+            // per partition).
+            ShardEngines::Owned(engines) => {
+                let theta = Arc::new(SharedTheta::new());
+                let query: Arc<[TokenId]> = Arc::from(query);
+                let tasks: Vec<_> = engines
+                    .iter()
+                    .map(|engine| {
+                        let engine = Arc::clone(engine);
+                        let theta = Arc::clone(&theta);
+                        let query = Arc::clone(&query);
+                        move || {
+                            let shard_start = Instant::now();
+                            let result = engine.search_shared_deadline(&query, &theta, deadline);
+                            (result, shard_start.elapsed())
+                        }
                     })
+                    .collect();
+                ShardExecutor::global().run(tasks)
+            }
+            // Borrowed repository: the engines cannot outlive the borrow,
+            // so the classic single-query embedding keeps scoped threads.
+            ShardEngines::Borrowed(engines) => {
+                let theta = SharedTheta::new();
+                std::thread::scope(|sc| {
+                    let handles: Vec<_> = engines
+                        .iter()
+                        .map(|engine| {
+                            let theta = &theta;
+                            sc.spawn(move || {
+                                let shard_start = Instant::now();
+                                let result = engine.search_shared_deadline(query, theta, deadline);
+                                (result, shard_start.elapsed())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("partition search panicked"))
+                        .collect()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("partition search panicked"))
-                .collect()
-        });
+            }
+        };
 
         let mut q = query.to_vec();
         q.sort_unstable();
@@ -530,6 +620,44 @@ mod tests {
         assert!(res.stats.refine_time <= slowest);
         // The merge ran (its wall clock was measured, however small).
         assert!(res.stats.merge_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn owned_engine_runs_on_the_executor_and_matches_borrowed() {
+        // An `Arc`-owned repository routes shard searches through the
+        // process-wide `ShardExecutor` (no per-request thread spawn); the
+        // borrowed embedding keeps scoped threads. Results must agree
+        // exactly, including per-shard timings being populated.
+        let r = repo();
+        let q = r.intern_query(["t0", "t1", "t2", "t3"]);
+        let borrowed = PartitionedKoios::new(
+            &r,
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(5, 0.9),
+            3,
+            42,
+        );
+        assert!(matches!(borrowed.engines, ShardEngines::Borrowed(_)));
+        let expect = borrowed.search(&q);
+
+        let owned: OwnedPartitionedKoios = PartitionedKoios::new(
+            Arc::new(r.clone()),
+            Arc::new(EqualitySimilarity),
+            KoiosConfig::new(5, 0.9),
+            3,
+            42,
+        );
+        assert!(matches!(owned.engines, ShardEngines::Owned(_)));
+        let got = owned.search(&q);
+        assert_eq!(got.hits, expect.hits);
+        assert_eq!(got.stats.shard_times.len(), 3);
+        assert!(got.stats.shard_times.iter().all(|&t| t > Duration::ZERO));
+
+        // Config siblings share the pre-built shard engines' indexes and
+        // stay on the executor path.
+        let narrowed = owned.with_config(KoiosConfig::new(1, 0.9));
+        assert!(matches!(narrowed.engines, ShardEngines::Owned(_)));
+        assert_eq!(narrowed.search(&q).hits.len(), 1);
     }
 
     #[test]

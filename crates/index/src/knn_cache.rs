@@ -27,14 +27,24 @@
 //! swapping the repository or similarity model bumps the generation
 //! ([`TokenKnnCache::bump_generation`]), after which entries recorded by
 //! in-flight searches of the old world can never be served again.
+//!
+//! Internally the map is **striped**: entries live in N token-hash-selected
+//! segments, each behind its own mutex, so concurrent searches probing
+//! different tokens never serialize on one lock (the ROADMAP scaling item's
+//! second serializer). The stripes share one byte budget, one generation
+//! counter and one monotone recency clock — eviction still removes the
+//! globally least-recently-used list, wherever it lives — so the striping
+//! is invisible in semantics: completeness, counters and the budget bound
+//! are exactly those of the single-lock cache.
 
 use crate::knn::KnnSource;
+use koios_common::fingerprint::mix64;
 use koios_common::TokenId;
 use koios_embed::sim::ElementSimilarity;
 use koios_telemetry::Histogram;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// A complete per-element kNN list: `(similarity, token)` descending by
@@ -88,6 +98,18 @@ pub struct KnnCacheCounters {
 }
 
 impl KnnCacheCounters {
+    /// Accumulates another counter set — used to sum per-stripe counters
+    /// into the cache-global view.
+    pub fn merge(&mut self, other: &KnnCacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.expirations += other.expirations;
+        self.rejected_inserts += other.rejected_inserts;
+    }
+
     /// `hits / (hits + misses)`, or 0 when the cache was never probed.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -122,14 +144,23 @@ struct Entry {
     inserted_at: Instant,
 }
 
+/// One token-hash-selected segment of the cache. Each stripe owns its own
+/// map, recency index and counters behind its own mutex; recency stamps
+/// come from the cache-global [`TokenKnnCache::tick`] clock, so "oldest
+/// stamp across all stripes" is exactly the globally least-recently-used
+/// entry.
 #[derive(Default)]
-struct Inner {
+struct Stripe {
     map: HashMap<Key, Entry>,
     recency: BTreeMap<u64, Key>, // stamp -> key, oldest first
-    tick: u64,
     bytes: usize,
     counters: KnnCacheCounters,
 }
+
+/// Stripe count when [`TokenKnnCache::with_stripes`] is not used; a small
+/// power of two that already separates the hot tokens of concurrent
+/// searches without bloating the cross-stripe eviction scan.
+const DEFAULT_STRIPES: usize = 8;
 
 /// A concurrent, memory-bounded cache of complete per-element kNN lists,
 /// keyed by `(token, α, generation, sim_tag)` and shared by any number of
@@ -138,13 +169,27 @@ struct Inner {
 /// Eviction is LRU by bytes: inserts displace the least-recently-probed
 /// lists until the payload fits the budget. A single list larger than the
 /// entire budget is not cached at all.
+///
+/// The map is striped by token hash ([`Self::with_stripes`]): probes of
+/// different tokens take different mutexes, while the byte budget,
+/// generation and recency order remain global — see the module docs.
 pub struct TokenKnnCache {
     budget_bytes: usize,
     ttl: Option<Duration>,
     generation: AtomicU64,
-    inner: Mutex<Inner>,
-    // Observability hook: time spent blocked acquiring `inner` on the hot
-    // probe/insert paths, recorded when a serving layer installs a
+    // Token-hash-selected segments; `stripe_mask = len - 1` (len is a
+    // power of two).
+    stripes: Vec<Mutex<Stripe>>,
+    stripe_mask: usize,
+    // Cache-global recency clock: every probe/insert stamps its entry from
+    // here, so stamps are unique and totally ordered across stripes.
+    tick: AtomicU64,
+    // Cache-global resident bytes, kept in sync with the per-stripe
+    // `Stripe::bytes` it sums; the budget check reads this without taking
+    // any stripe lock.
+    bytes: AtomicUsize,
+    // Observability hook: time spent blocked acquiring a stripe mutex on
+    // the hot probe/insert paths, recorded when a serving layer installs a
     // histogram (see `install_lock_wait`). Empty = one atomic load per
     // acquisition, no timing.
     lock_wait: OnceLock<Arc<Histogram>>,
@@ -152,7 +197,9 @@ pub struct TokenKnnCache {
     // the `ArcInner` allocation (freed only at strong == weak == 0), so a
     // registered address can never be reused by a *different* similarity
     // while its entry lives — tags are ABA-safe, unlike raw addresses.
-    sim_tags: Mutex<Vec<(std::sync::Weak<dyn ElementSimilarity>, u64)>>,
+    // Read-mostly (every search resolves its tag once): RwLock keeps
+    // concurrent lookups from serializing.
+    sim_tags: RwLock<Vec<(std::sync::Weak<dyn ElementSimilarity>, u64)>>,
     next_sim_tag: AtomicU64,
 }
 
@@ -178,12 +225,51 @@ impl TokenKnnCache {
             budget_bytes,
             ttl: None,
             generation: AtomicU64::new(0),
-            inner: Mutex::new(Inner::default()),
+            stripes: (0..DEFAULT_STRIPES).map(|_| Mutex::default()).collect(),
+            stripe_mask: DEFAULT_STRIPES - 1,
+            tick: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
             lock_wait: OnceLock::new(),
-            sim_tags: Mutex::new(Vec::new()),
+            sim_tags: RwLock::new(Vec::new()),
             // Tag 0 is the untagged namespace of bare `CachedKnn::new`.
             next_sim_tag: AtomicU64::new(1),
         }
+    }
+
+    /// Sets the stripe count (builder style, before the cache is shared):
+    /// `n` is rounded up to a power of two and clamped to `[1, 256]`.
+    /// One stripe reproduces the single-lock cache exactly; more stripes
+    /// trade a longer eviction scan for less probe contention.
+    pub fn with_stripes(mut self, n: usize) -> Self {
+        let n = n.clamp(1, 256).next_power_of_two();
+        self.stripes = (0..n).map(|_| Mutex::default()).collect();
+        self.stripe_mask = n - 1;
+        self
+    }
+
+    /// The number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Per-stripe `(entries, bytes)` occupancy, in stripe order — the
+    /// introspection surface the stripe invariant tests (and telemetry
+    /// gauges) read. Stripes are sampled one at a time.
+    pub fn stripe_usage(&self) -> Vec<(usize, usize)> {
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                let s = stripe.lock().expect("knn cache stripe");
+                (s.map.len(), s.bytes)
+            })
+            .collect()
+    }
+
+    /// The stripe index owning `token`. Mixed, not raw, so dense token-id
+    /// ranges (interning hands them out sequentially) spread across
+    /// stripes instead of clustering.
+    fn stripe_of(&self, token: TokenId) -> usize {
+        mix64(u64::from(token.0)) as usize & self.stripe_mask
     }
 
     /// Gives entries a time-to-live (builder style, before the cache is
@@ -205,23 +291,24 @@ impl TokenKnnCache {
     }
 
     /// Installs a histogram that records, in nanoseconds, the time each
-    /// probe/insert spends **blocked acquiring the cache mutex** — the
+    /// probe/insert spends **blocked acquiring its stripe mutex** — the
     /// contention signal ROADMAP's scaling item asks for. Idempotent: the
     /// first installation wins (callers sharing one cache share one
     /// histogram); before any installation the acquisition path does no
-    /// timing at all.
+    /// timing at all. Eviction's cross-stripe scan is not timed — the
+    /// series measures hot-path probe/insert contention only.
     pub fn install_lock_wait(&self, histogram: Arc<Histogram>) {
         let _ = self.lock_wait.set(histogram);
     }
 
-    /// Acquires `inner`, recording the blocked time when a lock-wait
+    /// Acquires stripe `idx`, recording the blocked time when a lock-wait
     /// histogram is installed.
-    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+    fn lock_stripe(&self, idx: usize) -> MutexGuard<'_, Stripe> {
         match self.lock_wait.get() {
-            None => self.inner.lock().expect("knn cache lock"),
+            None => self.stripes[idx].lock().expect("knn cache stripe"),
             Some(h) => {
                 let start = Instant::now();
-                let guard = self.inner.lock().expect("knn cache lock");
+                let guard = self.stripes[idx].lock().expect("knn cache stripe");
                 h.record_duration(start.elapsed());
                 guard
             }
@@ -236,13 +323,24 @@ impl TokenKnnCache {
     /// while a *different* similarity — even one allocated at a reused
     /// address after the first was dropped — always gets a fresh tag.
     pub fn sim_tag(&self, sim: &Arc<dyn ElementSimilarity>) -> u64 {
-        let mut tags = self.sim_tags.lock().expect("sim tag lock");
-        for (weak, tag) in tags.iter() {
-            if let Some(known) = weak.upgrade() {
-                if Arc::ptr_eq(&known, sim) {
-                    return *tag;
-                }
-            }
+        fn find(
+            tags: &[(std::sync::Weak<dyn ElementSimilarity>, u64)],
+            sim: &Arc<dyn ElementSimilarity>,
+        ) -> Option<u64> {
+            tags.iter().find_map(|(weak, tag)| {
+                let known = weak.upgrade()?;
+                Arc::ptr_eq(&known, sim).then_some(*tag)
+            })
+        }
+        // Fast path: the tag already exists, under the shared lock only.
+        if let Some(tag) = find(&self.sim_tags.read().expect("sim tag lock"), sim) {
+            return tag;
+        }
+        let mut tags = self.sim_tags.write().expect("sim tag lock");
+        // Re-scan under the exclusive lock: another thread may have
+        // registered `sim` between our read and write acquisitions.
+        if let Some(tag) = find(&tags, sim) {
+            return tag;
         }
         // Drop registrations whose similarity died; their cache entries
         // are unreachable (dead tags are never handed out again) and age
@@ -267,13 +365,20 @@ impl TokenKnnCache {
     /// Invalidates every cached list: bumps the generation (so stale keys
     /// can never be probed again) and drops current entries eagerly.
     /// Call after swapping the repository, embeddings or similarity model.
+    ///
+    /// The bump is published *before* the stripes are swept, so a search
+    /// racing this call either sees its inserts rejected (stale
+    /// generation) or has them cleared here — a stale list never survives.
     pub fn bump_generation(&self) -> u64 {
         let gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        let mut inner = self.inner.lock().expect("knn cache lock");
-        inner.counters.invalidations += inner.map.len() as u64;
-        inner.map.clear();
-        inner.recency.clear();
-        inner.bytes = 0;
+        for stripe in &self.stripes {
+            let mut s = stripe.lock().expect("knn cache stripe");
+            s.counters.invalidations += s.map.len() as u64;
+            s.map.clear();
+            s.recency.clear();
+            self.bytes.fetch_sub(s.bytes, Ordering::AcqRel);
+            s.bytes = 0;
+        }
         gen
     }
 
@@ -292,14 +397,14 @@ impl TokenKnnCache {
             generation,
             sim_tag,
         };
-        let mut inner = self.lock_inner();
-        let inner = &mut *inner;
+        let mut stripe = self.lock_stripe(self.stripe_of(token));
+        let stripe = &mut *stripe;
         // Probe-time TTL eviction: an expired entry is removed and reported
         // as a miss, so the prober recomputes (and republishes) a fresh
         // list.
-        let expired = match inner.map.get(&key) {
+        let expired = match stripe.map.get(&key) {
             None => {
-                inner.counters.misses += 1;
+                stripe.counters.misses += 1;
                 return None;
             }
             Some(entry) => self
@@ -307,19 +412,20 @@ impl TokenKnnCache {
                 .is_some_and(|ttl| entry.inserted_at.elapsed() > ttl),
         };
         if expired {
-            let dead = inner.map.remove(&key).expect("entry just probed");
-            inner.recency.remove(&dead.stamp);
-            inner.bytes -= dead.bytes;
-            inner.counters.expirations += 1;
-            inner.counters.misses += 1;
+            let dead = stripe.map.remove(&key).expect("entry just probed");
+            stripe.recency.remove(&dead.stamp);
+            stripe.bytes -= dead.bytes;
+            self.bytes.fetch_sub(dead.bytes, Ordering::AcqRel);
+            stripe.counters.expirations += 1;
+            stripe.counters.misses += 1;
             return None;
         }
-        let entry = inner.map.get_mut(&key).expect("entry just probed");
-        inner.recency.remove(&entry.stamp);
-        inner.tick += 1;
-        entry.stamp = inner.tick;
-        inner.recency.insert(entry.stamp, key);
-        inner.counters.hits += 1;
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = stripe.map.get_mut(&key).expect("entry just probed");
+        stripe.recency.remove(&entry.stamp);
+        entry.stamp = stamp;
+        stripe.recency.insert(stamp, key);
+        stripe.counters.hits += 1;
         Some(Arc::clone(&entry.list))
     }
 
@@ -336,9 +442,9 @@ impl TokenKnnCache {
         list: KnnList,
     ) -> bool {
         let bytes = list_bytes(&list);
-        let mut inner = self.lock_inner();
+        let mut stripe = self.lock_stripe(self.stripe_of(token));
         if bytes > self.budget_bytes || generation != self.generation.load(Ordering::Acquire) {
-            inner.counters.rejected_inserts += 1;
+            stripe.counters.rejected_inserts += 1;
             return false;
         }
         let key = Key {
@@ -347,41 +453,70 @@ impl TokenKnnCache {
             generation,
             sim_tag,
         };
-        inner.tick += 1;
-        let stamp = inner.tick;
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Entry {
             list,
             bytes,
             stamp,
             inserted_at: Instant::now(),
         };
-        if let Some(old) = inner.map.insert(key, entry) {
-            inner.recency.remove(&old.stamp);
-            inner.bytes -= old.bytes;
+        if let Some(old) = stripe.map.insert(key, entry) {
+            stripe.recency.remove(&old.stamp);
+            stripe.bytes -= old.bytes;
+            self.bytes.fetch_sub(old.bytes, Ordering::AcqRel);
         }
-        inner.recency.insert(stamp, key);
-        inner.bytes += bytes;
-        inner.counters.insertions += 1;
-        while inner.bytes > self.budget_bytes {
-            let (&oldest, &victim) = inner
-                .recency
-                .iter()
-                .next()
-                .expect("over-budget cache cannot be empty");
-            // The entry just inserted fits the budget on its own (checked
-            // above), so eviction always terminates before removing it.
-            debug_assert!(!(victim == key && inner.map.len() == 1));
-            inner.recency.remove(&oldest);
-            let evicted = inner.map.remove(&victim).expect("recency maps into map");
-            inner.bytes -= evicted.bytes;
-            inner.counters.evictions += 1;
-        }
+        stripe.recency.insert(stamp, key);
+        stripe.bytes += bytes;
+        self.bytes.fetch_add(bytes, Ordering::AcqRel);
+        stripe.counters.insertions += 1;
+        drop(stripe);
+        self.rebalance();
         true
     }
 
-    /// Number of cached lists.
+    /// Evicts globally least-recently-used entries until total bytes fit
+    /// the budget again. Runs after every insert (a no-op while under
+    /// budget): each round peeks every stripe's oldest stamp — one lock at
+    /// a time, never two stripes held together, so concurrent inserts can
+    /// never deadlock against the scan — then re-locks the winning stripe
+    /// and evicts whatever is oldest there *now* (the peeked entry may
+    /// have been touched meanwhile; its successor is then the victim).
+    ///
+    /// The entry an in-progress insert just stored is safe: it carries the
+    /// newest stamp, so it is only ever chosen once it is the last entry —
+    /// at which point total bytes already fit (per-list budget check).
+    fn rebalance(&self) {
+        while self.bytes.load(Ordering::Acquire) > self.budget_bytes {
+            let mut oldest: Option<(u64, usize)> = None;
+            for (i, stripe) in self.stripes.iter().enumerate() {
+                let s = stripe.lock().expect("knn cache stripe");
+                if let Some((&stamp, _)) = s.recency.iter().next() {
+                    if oldest.is_none_or(|(best, _)| stamp < best) {
+                        oldest = Some((stamp, i));
+                    }
+                }
+            }
+            // Every stripe empty while the total reads over budget can
+            // only be a transient of a concurrent sweep — nothing to evict.
+            let Some((_, i)) = oldest else { return };
+            let mut s = self.stripes[i].lock().expect("knn cache stripe");
+            let s = &mut *s;
+            if let Some((&stamp, &victim)) = s.recency.iter().next() {
+                s.recency.remove(&stamp);
+                let evicted = s.map.remove(&victim).expect("recency maps into map");
+                s.bytes -= evicted.bytes;
+                self.bytes.fetch_sub(evicted.bytes, Ordering::AcqRel);
+                s.counters.evictions += 1;
+            }
+        }
+    }
+
+    /// Number of cached lists (sums the stripes, one lock at a time).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("knn cache lock").map.len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("knn cache stripe").map.len())
+            .sum()
     }
 
     /// Whether the cache holds no lists.
@@ -391,26 +526,41 @@ impl TokenKnnCache {
 
     /// Bytes currently held.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().expect("knn cache lock").bytes
+        self.bytes.load(Ordering::Acquire)
     }
 
-    /// The behaviour counters.
+    /// The behaviour counters, summed across stripes. Each monotone
+    /// counter is exact once concurrent operations have completed; a
+    /// mid-flight read may miss an operation still holding another stripe.
     pub fn counters(&self) -> KnnCacheCounters {
-        self.inner.lock().expect("knn cache lock").counters
+        let mut total = KnnCacheCounters::default();
+        for stripe in &self.stripes {
+            total.merge(&stripe.lock().expect("knn cache stripe").counters);
+        }
+        total
     }
 
     /// Zeroes the behaviour counters (entries are kept) — metric windowing.
     pub fn reset_counters(&self) {
-        self.inner.lock().expect("knn cache lock").counters = KnnCacheCounters::default();
+        for stripe in &self.stripes {
+            stripe.lock().expect("knn cache stripe").counters = KnnCacheCounters::default();
+        }
     }
 
-    /// A consistent observability snapshot.
+    /// An observability snapshot (consistent in the absence of concurrent
+    /// mutation; stripe sums as in [`Self::counters`] otherwise).
     pub fn snapshot(&self) -> KnnCacheSnapshot {
-        let inner = self.inner.lock().expect("knn cache lock");
+        let mut entries = 0;
+        let mut counters = KnnCacheCounters::default();
+        for stripe in &self.stripes {
+            let s = stripe.lock().expect("knn cache stripe");
+            entries += s.map.len();
+            counters.merge(&s.counters);
+        }
         KnnCacheSnapshot {
-            counters: inner.counters,
-            entries: inner.map.len(),
-            bytes: inner.bytes,
+            counters,
+            entries,
+            bytes: self.bytes.load(Ordering::Acquire),
             budget_bytes: self.budget_bytes,
             generation: self.generation.load(Ordering::Acquire),
         }
@@ -920,6 +1070,157 @@ mod tests {
             "instrumentation changes nothing"
         );
         assert_eq!(lock_wait.snapshot().count(), 3);
+    }
+
+    #[test]
+    fn stripe_count_is_configurable_and_rounded() {
+        assert_eq!(TokenKnnCache::new(1 << 20).stripes(), 8, "default");
+        assert_eq!(TokenKnnCache::new(1 << 20).with_stripes(1).stripes(), 1);
+        assert_eq!(TokenKnnCache::new(1 << 20).with_stripes(5).stripes(), 8);
+        assert_eq!(TokenKnnCache::new(1 << 20).with_stripes(0).stripes(), 1);
+        assert_eq!(
+            TokenKnnCache::new(1 << 20).with_stripes(9999).stripes(),
+            256
+        );
+    }
+
+    #[test]
+    fn single_stripe_behaves_like_the_old_single_lock_cache() {
+        let (sim, q, vocab) = setup();
+        let cache = Arc::new(TokenKnnCache::new(1 << 20).with_stripes(1));
+        let mut cold = cached(&cache, &sim, &q, vocab, 0.3);
+        let lists: Vec<_> = (0..q.len()).map(|i| drain(&mut cold, i)).collect();
+        let mut warm = cached(&cache, &sim, &q, vocab, 0.3);
+        for (i, expect) in lists.iter().enumerate() {
+            assert_eq!(&drain(&mut warm, i), expect);
+        }
+        assert_eq!(cache.stripe_usage().len(), 1);
+        assert_eq!(cache.stripe_usage()[0].0, cache.len());
+    }
+
+    #[test]
+    fn stripe_usage_sums_to_cache_totals() {
+        let cache = TokenKnnCache::new(1 << 20);
+        for t in 0..64u32 {
+            let list: KnnList = Arc::new(vec![(0.9, TokenId(t))]);
+            assert!(cache.insert(TokenId(t), 0.5f64.to_bits(), 0, 0, list));
+        }
+        let usage = cache.stripe_usage();
+        assert_eq!(usage.len(), cache.stripes());
+        assert_eq!(usage.iter().map(|(n, _)| n).sum::<usize>(), cache.len());
+        assert_eq!(usage.iter().map(|(_, b)| b).sum::<usize>(), cache.bytes());
+        // 64 hashed tokens across 8 stripes: more than one stripe is hot.
+        assert!(
+            usage.iter().filter(|(n, _)| *n > 0).count() > 1,
+            "tokens must spread across stripes, got {usage:?}"
+        );
+    }
+
+    #[test]
+    fn eviction_is_globally_lru_across_stripes() {
+        // Budget for exactly two single-pair lists.
+        let pair = std::mem::size_of::<(f64, TokenId)>();
+        let cache = TokenKnnCache::new(2 * (pair + ENTRY_OVERHEAD));
+        let alpha = 0.5f64.to_bits();
+        let list = |t: u32| -> KnnList { Arc::new(vec![(0.9, TokenId(t))]) };
+        assert!(cache.insert(TokenId(0), alpha, 0, 0, list(0)));
+        assert!(cache.insert(TokenId(1), alpha, 0, 0, list(1)));
+        // Touch token 0 so token 1 is now the global LRU entry …
+        assert!(cache.get(TokenId(0), alpha, 0, 0).is_some());
+        // … then force an eviction from whichever stripe holds it.
+        assert!(cache.insert(TokenId(2), alpha, 0, 0, list(2)));
+        assert!(cache.get(TokenId(1), alpha, 0, 0).is_none(), "LRU evicted");
+        assert!(cache.get(TokenId(0), alpha, 0, 0).is_some(), "MRU kept");
+        assert!(cache.get(TokenId(2), alpha, 0, 0).is_some(), "newest kept");
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn striped_churn_holds_budget_and_counter_invariants() {
+        // 8 threads hammer insert/probe over 64 tokens under a budget that
+        // fits only a fraction of them, forcing constant cross-stripe
+        // eviction. Afterwards every invariant of the single-lock cache
+        // must still hold.
+        let pair = std::mem::size_of::<(f64, TokenId)>();
+        let budget = 8 * (4 * pair + ENTRY_OVERHEAD);
+        let cache = Arc::new(TokenKnnCache::new(budget));
+        let alpha = 0.5f64.to_bits();
+        const THREADS: u64 = 8;
+        const OPS: u64 = 400;
+        std::thread::scope(|sc| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                sc.spawn(move || {
+                    // Disjoint per-thread token ranges: a list is only
+                    // ever inserted by its owner, so no insert is a
+                    // same-key replacement and the entry identity below
+                    // is exact. Eviction still crosses threads/stripes.
+                    for op in 0..OPS {
+                        let token = TokenId((t * 8 + op % 8) as u32);
+                        if cache.get(token, alpha, 0, 0).is_none() {
+                            let list: KnnList =
+                                Arc::new((0..4).map(|i| (0.9 - i as f64 * 0.1, token)).collect());
+                            cache.insert(token, alpha, 0, 0, list);
+                        }
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        // Every get was a hit xor a miss.
+        assert_eq!(c.hits + c.misses, THREADS * OPS);
+        // Every miss triggered exactly one insert attempt.
+        assert_eq!(c.insertions + c.rejected_inserts, c.misses);
+        assert_eq!(c.rejected_inserts, 0, "nothing was stale or over-budget");
+        // Live entries = inserted − (evicted + expired + invalidated).
+        assert_eq!(
+            cache.len() as u64,
+            c.insertions - c.evictions - c.expirations - c.invalidations
+        );
+        assert!(c.evictions > 0, "budget pressure must have evicted");
+        // Byte accounting: global total ≤ budget, and it equals the sum of
+        // the per-stripe totals now that all threads are done.
+        assert!(cache.bytes() <= budget, "{} > {budget}", cache.bytes());
+        let usage = cache.stripe_usage();
+        assert_eq!(usage.iter().map(|(_, b)| b).sum::<usize>(), cache.bytes());
+        assert_eq!(usage.iter().map(|(n, _)| n).sum::<usize>(), cache.len());
+    }
+
+    #[test]
+    fn ttl_expiry_is_exact_in_every_stripe() {
+        // Zero TTL: every stored entry expires on its next probe, whatever
+        // stripe it lives in — expirations land in the probed stripe and
+        // sum exactly.
+        let cache = TokenKnnCache::new(1 << 20).with_ttl(Some(Duration::ZERO));
+        let alpha = 0.5f64.to_bits();
+        for t in 0..32u32 {
+            let list: KnnList = Arc::new(vec![(0.9, TokenId(t))]);
+            assert!(cache.insert(TokenId(t), alpha, 0, 0, list));
+        }
+        for t in 0..32u32 {
+            assert!(cache.get(TokenId(t), alpha, 0, 0).is_none());
+        }
+        let c = cache.counters();
+        assert_eq!(c.expirations, 32, "each entry expired exactly once");
+        assert_eq!(c.misses, 32, "each expiry is also a miss");
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn generation_bump_clears_every_stripe() {
+        let cache = TokenKnnCache::new(1 << 20);
+        let alpha = 0.5f64.to_bits();
+        for t in 0..32u32 {
+            let list: KnnList = Arc::new(vec![(0.9, TokenId(t))]);
+            assert!(cache.insert(TokenId(t), alpha, 0, 0, list));
+        }
+        assert_eq!(cache.bump_generation(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.counters().invalidations, 32);
+        assert!(cache.stripe_usage().iter().all(|&(n, b)| n == 0 && b == 0));
     }
 
     #[test]

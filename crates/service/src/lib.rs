@@ -63,7 +63,7 @@ pub mod service;
 pub mod slowlog;
 pub mod stats;
 
-pub use cache::{CacheCounters, LruCache};
+pub use cache::{CacheCounters, LruCache, StripedLruCache};
 pub use metrics::ServiceMetrics;
 pub use pool::{PoolInstruments, Ticket, WorkerPool};
 pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};

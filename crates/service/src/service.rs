@@ -1,6 +1,6 @@
 //! The concurrent query-serving layer.
 
-use crate::cache::LruCache;
+use crate::cache::StripedLruCache;
 use crate::metrics::ServiceMetrics;
 use crate::pool::{PoolInstruments, Ticket, WorkerPool};
 use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
@@ -17,7 +17,7 @@ use koios_index::knn_cache::TokenKnnCache;
 use koios_store::snapshot::StoreError;
 use koios_telemetry::Registry;
 use std::path::Path;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Tunables of a [`SearchService`].
@@ -203,9 +203,11 @@ pub type ResponseHandle = Ticket<ServiceResponse>;
 struct ServiceInner {
     backend: EngineBackend,
     default_budget: Option<Duration>,
-    // Values are `Arc`ed so a hit only bumps a refcount while the lock is
-    // held; the O(k) hit-vector copy happens outside the critical section.
-    cache: Mutex<LruCache<CacheKey, Arc<Vec<Hit>>>>,
+    // Values are `Arc`ed so a hit only bumps a refcount while the stripe
+    // lock is held; the O(k) hit-vector copy happens outside the critical
+    // section. Striped: concurrent workers probing different fingerprints
+    // never serialize on one mutex.
+    cache: StripedLruCache<CacheKey, Arc<Vec<Hit>>>,
     // Shared token-level kNN cache (also reachable through the engine
     // config; this handle serves stats and invalidation).
     token_cache: Option<Arc<TokenKnnCache>>,
@@ -362,12 +364,17 @@ impl SearchService {
             None => (backend, None),
         };
         let metrics = ServiceMetrics::new();
-        // Lock-wait observability on the shared token cache: installing the
-        // histogram turns each mutex acquisition into a timed one; without
-        // a service the cache stays uninstrumented (a single atomic load).
+        // Lock-wait observability on both shared caches: installing the
+        // histograms turns each stripe acquisition into a timed one —
+        // `koios_lock_wait_seconds{cache="token"|"result"}` is the direct
+        // measurement for the ROADMAP's serving-scalability suspects.
+        // Without a service the caches stay uninstrumented (a single
+        // atomic load per acquisition).
         if let Some(tc) = &token_cache {
             tc.install_lock_wait(Arc::clone(&metrics.lock_wait_token));
         }
+        let cache = StripedLruCache::new(cfg.cache_capacity).with_ttl(cfg.result_ttl);
+        cache.install_lock_wait(Arc::clone(&metrics.lock_wait_result));
         let pool_instruments = PoolInstruments {
             depth: Arc::clone(&metrics.queue_depth),
             wait: Arc::clone(&metrics.queue_wait),
@@ -376,7 +383,7 @@ impl SearchService {
             inner: Arc::new(ServiceInner {
                 backend,
                 default_budget: cfg.default_time_budget,
-                cache: Mutex::new(LruCache::new(cfg.cache_capacity).with_ttl(cfg.result_ttl)),
+                cache,
                 token_cache,
                 snapshot,
                 stats: Mutex::new(StatsInner::default()),
@@ -493,11 +500,7 @@ impl SearchService {
     /// generation bump, so searches already in flight can neither serve
     /// nor publish stale lists.
     pub fn invalidate_cache(&self) {
-        self.inner
-            .cache
-            .lock()
-            .expect("cache lock")
-            .invalidate_all();
+        self.inner.cache.invalidate_all();
         if let Some(tc) = &self.inner.token_cache {
             tc.bump_generation();
         }
@@ -510,13 +513,13 @@ impl SearchService {
 
     /// Number of currently cached results.
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.lock().expect("cache lock").len()
+        self.inner.cache.len()
     }
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let st = self.inner.stats.lock().expect("stats lock");
-        let cache = self.inner.cache.lock().expect("cache lock").counters();
+        let cache = self.inner.cache.counters();
         ServiceStats {
             queries: st.queries,
             batches: st.batches,
@@ -566,7 +569,7 @@ impl SearchService {
             )
             .store(total);
         };
-        let rc = self.inner.cache.lock().expect("cache lock").counters();
+        let rc = self.inner.cache.counters();
         ops("result", "hit", rc.hits);
         ops("result", "miss", rc.misses);
         ops("result", "eviction", rc.evictions);
@@ -595,6 +598,18 @@ impl SearchService {
             )
             .set(snap.entries.min(i64::MAX as usize) as i64);
         }
+        let stripes = |cache: &str, n: usize| {
+            reg.gauge(
+                "koios_cache_stripes",
+                "Lock stripes of the striped caches",
+                &[("cache", cache)],
+            )
+            .set(n.min(i64::MAX as usize) as i64);
+        };
+        stripes("result", self.inner.cache.stripes());
+        if let Some(tc) = &self.inner.token_cache {
+            stripes("token", tc.stripes());
+        }
         reg.render_prometheus()
     }
 
@@ -602,11 +617,7 @@ impl SearchService {
     /// touching cached entries — metric windowing for operators.
     pub fn reset_stats(&self) {
         *self.inner.stats.lock().expect("stats lock") = StatsInner::default();
-        self.inner
-            .cache
-            .lock()
-            .expect("cache lock")
-            .reset_counters();
+        self.inner.cache.reset_counters();
         if let Some(tc) = &self.inner.token_cache {
             tc.reset_counters();
         }
@@ -619,18 +630,6 @@ impl SearchService {
 }
 
 impl ServiceInner {
-    /// Acquires the result-cache mutex, recording the blocked time into
-    /// `koios_lock_wait_seconds{cache="result"}` — the direct measurement
-    /// for the ROADMAP's serving-scalability suspects.
-    fn lock_cache(&self) -> MutexGuard<'_, LruCache<CacheKey, Arc<Vec<Hit>>>> {
-        let start = Instant::now();
-        let guard = self.cache.lock().expect("cache lock");
-        self.metrics
-            .lock_wait_result
-            .record_duration(start.elapsed());
-        guard
-    }
-
     /// Feeds one executed search's stage timings into the stage/shard
     /// histograms. `merge`/shard series only move for partitioned
     /// searches, so a single-engine scrape carries no misleading zeros.
@@ -682,7 +681,7 @@ impl ServiceInner {
         // Cache probe first: a hit is effectively free, so it is served
         // even when the deadline has already expired.
         if !req.bypass_cache {
-            let cached = self.lock_cache().get(fp, &key);
+            let cached = self.cache.get(fp, &key);
             if let Some(hits) = cached {
                 self.stats.lock().expect("stats lock").cache_hits += 1;
                 if let Some(log) = &self.slowlog {
@@ -746,9 +745,18 @@ impl ServiceInner {
         }
 
         let (eff_k, eff_alpha) = (cfg.k, cfg.alpha);
-        let backend = self.backend.with_config(cfg);
         let search_start = Instant::now();
-        let result = backend.search_with_deadline(&key.tokens, deadline);
+        // Fast path: without per-request overrides the effective config is
+        // the backend's own, so the shared backend (and its pre-built
+        // shard engines) is searched directly — no config-sibling rebuild
+        // per request.
+        let result = if req.k.is_none() && req.alpha.is_none() {
+            self.backend.search_with_deadline(&key.tokens, deadline)
+        } else {
+            self.backend
+                .with_config(cfg)
+                .search_with_deadline(&key.tokens, deadline)
+        };
         let search_time = search_start.elapsed();
         self.metrics.request_search.record_duration(search_time);
         self.record_stages(&result.stats);
@@ -758,7 +766,7 @@ impl ServiceInner {
         let complete = !result.stats.timed_out;
         if !req.bypass_cache && complete {
             let hits = Arc::new(result.hits.clone());
-            self.lock_cache().insert(fp, key, hits);
+            self.cache.insert(fp, key, hits);
         }
 
         if let Some(log) = &self.slowlog {

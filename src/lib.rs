@@ -143,7 +143,7 @@ pub mod prelude {
     pub use koios_common::prelude::*;
     pub use koios_core::{
         EngineBackend, Hit, Koios, KoiosConfig, OwnedKoios, OwnedPartitionedKoios,
-        PartitionedKoios, ScoreBound, SearchResult, SharedTheta, UbMode,
+        PartitionedKoios, ScoreBound, SearchResult, ShardExecutor, SharedTheta, UbMode,
     };
     pub use koios_embed::repository::{RepoRef, Repository, RepositoryBuilder};
     pub use koios_embed::sim::{
