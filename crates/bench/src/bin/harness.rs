@@ -9,19 +9,19 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8
-//! silkmoth ablation token_cache partitioned serving snapshot all`.
-//! (`partitioned`, `serving` and `snapshot` also write
-//! `BENCH_partitioned.json` / `BENCH_serving.json` / `BENCH_store.json` to
-//! the working directory.) Options: `--scale F` (corpus scale,
-//! default 0.2), `--k N`, `--alpha F`, `--partitions N`, `--queries N` (per
-//! interval), `--timeout SECS`, `--seed N`.
+//! silkmoth ablation token_cache partitioned serving snapshot live all`.
+//! (`partitioned`, `serving`, `snapshot` and `live` also write
+//! `BENCH_partitioned.json` / `BENCH_serving.json` / `BENCH_store.json` /
+//! `BENCH_live.json` to the working directory.) Options: `--scale F`
+//! (corpus scale, default 0.2), `--k N`, `--alpha F`, `--partitions N`,
+//! `--queries N` (per interval), `--timeout SECS`, `--seed N`.
 
 use koios_bench::experiments::{self, HarnessConfig};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|snapshot|all>\n\
+        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|snapshot|live|all>\n\
          \x20       [--scale F] [--k N] [--alpha F] [--partitions N] [--queries N] [--timeout SECS] [--seed N]"
     );
     std::process::exit(2);
@@ -82,6 +82,7 @@ fn main() {
         "partitioned",
         "serving",
         "snapshot",
+        "live",
     ];
     let selected: Vec<&str> = if cmds.iter().any(|c| c == "all") {
         all.to_vec()
@@ -115,6 +116,7 @@ fn main() {
             "partitioned" => experiments::partitioned(&cfg),
             "serving" => experiments::serving(&cfg),
             "snapshot" => experiments::snapshot(&cfg),
+            "live" => experiments::live(&cfg),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage()

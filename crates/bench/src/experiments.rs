@@ -1315,6 +1315,270 @@ pub fn snapshot_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> 
     )
 }
 
+/// Live mutation under load: a writer streams `CorpusOp` batches into a
+/// mutable service while reader threads query it continuously. Measures
+/// ingest throughput and the query rate sustained during the churn, and
+/// verifies the two hard guarantees of the mutability layer: **zero
+/// dropped requests** across every backend swap, and a final state
+/// **byte-identical** to a cold engine that replays the same script in
+/// one sitting. A snapshot → delta-append → warm-restore leg checks that
+/// persistence reproduces the same answers. CI greps `"identical":true`
+/// and `"zero_drops":true` in `BENCH_live.json`.
+pub fn live(hc: &HarnessConfig) -> String {
+    live_with_output(hc, std::path::Path::new("BENCH_live.json"))
+}
+
+/// [`live`] with an explicit JSON artifact path (tests write to a temp
+/// location instead of the working directory).
+pub fn live_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> String {
+    use koios_core::{cosine_factory, MutableEngine};
+    use koios_embed::ops::CorpusOp;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let profile = profiles::opendata(hc.scale);
+    let run = hc.profile_run(profile);
+    let repo = Arc::new(run.corpus.repository.clone());
+    let emb = Arc::new(run.corpus.embeddings.clone());
+    let queries: Vec<Vec<TokenId>> = run
+        .benchmark
+        .queries
+        .iter()
+        .map(|q| q.tokens.clone())
+        .collect();
+
+    // A deterministic op script over the profile's own vocabulary: ~2/3
+    // inserts, 1/3 removes of sets that are provably live at that point.
+    let total_ops = 1200usize;
+    let base = repo.num_sets() as u32;
+    let mut ops = Vec::with_capacity(total_ops);
+    let mut live_ids: Vec<u32> = (0..base).collect();
+    let mut next_id = base;
+    let vocab = repo.vocab_size();
+    let mut i = 0usize;
+    while ops.len() < total_ops {
+        let len = 3 + (i * 7) % 8;
+        let tokens: Vec<String> = (0..len)
+            .map(|j| {
+                repo.token_str(TokenId(((i * 131 + j * 31) % vocab) as u32))
+                    .to_string()
+            })
+            .collect();
+        ops.push(CorpusOp::insert(&format!("bench-live-{i}"), tokens));
+        live_ids.push(next_id);
+        next_id += 1;
+        if i % 3 == 2 {
+            let victim = live_ids.swap_remove((i * 13) % live_ids.len());
+            ops.push(CorpusOp::remove(SetId(victim)));
+        }
+        i += 1;
+    }
+    let inserts = ops.iter().filter(|o| o.is_insert()).count();
+
+    let readers = 4usize;
+    let batch_size = 20usize;
+    let mut t = TextTable::new(vec![
+        "backend",
+        "ops",
+        "batches",
+        "ingest ops/s",
+        "queries during churn",
+        "dropped",
+        "identical",
+    ]);
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut identical = true;
+    let mut zero_drops = true;
+    for (label, partitions) in [("single", 1usize), ("partitioned", hc.partitions.max(1))] {
+        let cfg = hc
+            .koios_config()
+            .with_token_cache(Arc::new(TokenKnnCache::new(16 << 20)));
+        let build = |cfg: KoiosConfig| -> Result<MutableEngine, koios_store::StoreError> {
+            if partitions == 1 {
+                MutableEngine::single(
+                    Arc::clone(&repo),
+                    Some(Arc::clone(&emb)),
+                    cfg,
+                    cosine_factory(),
+                )
+            } else {
+                MutableEngine::partitioned(
+                    Arc::clone(&repo),
+                    Some(Arc::clone(&emb)),
+                    cfg,
+                    partitions,
+                    hc.seed,
+                    cosine_factory(),
+                )
+            }
+        };
+        let engine = match build(cfg.clone()) {
+            Ok(e) => e,
+            Err(e) => return format!("Live — building {label} engine failed: {e}"),
+        };
+        let service = SearchService::from_mutable(
+            engine,
+            ServiceConfig::new()
+                .with_workers(readers)
+                .with_cache_capacity(256),
+        );
+
+        // Churn phase: readers hammer, the writer streams batches.
+        let answered = AtomicU64::new(0);
+        let dropped = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let mut ingest_secs = 0.0;
+        let mut batches = 0usize;
+        std::thread::scope(|sc| {
+            for r in 0..readers {
+                let service = &service;
+                let queries = &queries;
+                let answered = &answered;
+                let dropped = &dropped;
+                let done = &done;
+                sc.spawn(move || {
+                    let mut qi = r;
+                    while !done.load(Ordering::Relaxed) {
+                        let q = queries[qi % queries.len()].clone();
+                        let resp = service.search(SearchRequest::new(q));
+                        if resp.rejected {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        qi += 1;
+                    }
+                });
+            }
+            let t0 = std::time::Instant::now();
+            for batch in ops.chunks(batch_size) {
+                if let Err(e) = service.ingest(batch) {
+                    done.store(true, Ordering::Relaxed);
+                    panic!("live ingest rejected a valid batch: {e}");
+                }
+                batches += 1;
+            }
+            ingest_secs = t0.elapsed().as_secs_f64();
+            done.store(true, Ordering::Relaxed);
+        });
+
+        // Cold replay of the same script, then byte-identical probes over
+        // the benchmark queries against the served state.
+        let mut cold = match build(cfg) {
+            Ok(e) => e,
+            Err(e) => return format!("Live — rebuilding {label} engine failed: {e}"),
+        };
+        if let Err(e) = cold.apply(&ops) {
+            return format!("Live — cold replay on {label} failed: {e}");
+        }
+        let cold_backend = cold.backend();
+        let live_backend = service.backend();
+        let mut backend_identical =
+            live_backend.repository_arc().num_sets() == cold.repository().num_sets();
+        backend_identical &= queries
+            .iter()
+            .all(|q| live_backend.search(q).hits == cold_backend.search(q).hits);
+
+        // Persistence leg: base write, one delta batch, warm restore.
+        let dir = std::env::temp_dir().join(format!("koios-bench-live-{}", std::process::id()));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            return format!("Live — could not create {}: {e}", dir.display());
+        }
+        let path = dir.join(format!("{label}.ksnap"));
+        let _ = std::fs::remove_file(&path);
+        let delta_batch = [CorpusOp::insert(
+            "bench-live-delta",
+            ["bench", "delta", "probe"],
+        )];
+        let roundtrip = service
+            .snapshot_to(&path)
+            .and_then(|_| service.ingest(&delta_batch).map(|_| ()))
+            .and_then(|()| service.snapshot_to(&path));
+        match roundtrip {
+            Ok(meta) => {
+                backend_identical &= meta.deltas.len() == 1;
+                match SearchService::from_snapshot(
+                    &path,
+                    hc.koios_config(),
+                    ServiceConfig::new().with_workers(1),
+                ) {
+                    Ok(warm) => {
+                        let warm_backend = warm.backend();
+                        backend_identical &= queries.iter().all(|q| {
+                            warm_backend.search(q).hits == service.backend().search(q).hits
+                        });
+                    }
+                    Err(e) => return format!("Live — warm restore of {label} failed: {e}"),
+                }
+            }
+            Err(e) => return format!("Live — delta snapshot of {label} failed: {e}"),
+        }
+
+        identical &= backend_identical;
+        let drops = dropped.load(Ordering::Relaxed);
+        zero_drops &= drops == 0;
+        let st = service.stats();
+        let ops_per_sec = ops.len() as f64 / ingest_secs.max(1e-9);
+        t.row(vec![
+            label.to_string(),
+            ops.len().to_string(),
+            batches.to_string(),
+            format!("{ops_per_sec:.0}"),
+            answered.load(Ordering::Relaxed).to_string(),
+            drops.to_string(),
+            backend_identical.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("backend", Json::str(label)),
+            ("partitions", Json::num(partitions as f64)),
+            ("ops", Json::num(ops.len() as f64)),
+            ("inserts", Json::num(inserts as f64)),
+            ("removes", Json::num((ops.len() - inserts) as f64)),
+            ("batches", Json::num(batches as f64)),
+            ("ingest_secs", Json::num(ingest_secs)),
+            ("ops_per_sec", Json::num(ops_per_sec)),
+            (
+                "queries_during_churn",
+                Json::num(answered.load(Ordering::Relaxed) as f64),
+            ),
+            ("dropped", Json::num(drops as f64)),
+            ("final_epoch", Json::num(st.engine_epoch as f64)),
+            ("sets_added", Json::num(st.sets_added as f64)),
+            ("sets_removed", Json::num(st.sets_removed as f64)),
+            ("identical", Json::Bool(backend_identical)),
+        ]));
+    }
+
+    let json = Json::obj([
+        ("experiment", Json::str("live")),
+        ("scale", Json::num(hc.scale)),
+        ("k", Json::num(hc.k as f64)),
+        ("alpha", Json::num(hc.alpha)),
+        ("queries", Json::num(queries.len() as f64)),
+        ("total_ops", Json::num(ops.len() as f64)),
+        ("identical", Json::Bool(identical)),
+        ("zero_drops", Json::Bool(zero_drops)),
+        ("rows", Json::Arr(json_rows)),
+    ])
+    .encode()
+        + "\n";
+    let json_note = match std::fs::write(json_path, &json) {
+        Ok(()) => format!("rows written to {}", json_path.display()),
+        Err(e) => format!("could not write {}: {e}", json_path.display()),
+    };
+
+    format!(
+        "Live mutation under load — {} ops streamed through a mutable service\n\
+         while {readers} reader threads query (k={}, α={}). Mutated state\n\
+         byte-identical to a cold replay on both backends: {identical};\n\
+         zero dropped requests: {zero_drops}; delta snapshot round-trip verified.\n\
+         {json_note}.\n{}",
+        ops.len(),
+        hc.k,
+        hc.alpha,
+        t.render()
+    )
+}
+
 /// DESIGN §2 ablation: sound row-max iUB vs the paper's greedy iUB.
 pub fn ablation(hc: &HarnessConfig) -> String {
     let profile = profiles::opendata(hc.scale);
@@ -1478,7 +1742,7 @@ mod tests {
             out.contains("byte-identical on both backends: true"),
             "{out}"
         );
-        assert!(out.contains("meta-only read: v1"), "{out}");
+        assert!(out.contains("meta-only read: v2"), "{out}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(json.contains("\"experiment\":\"snapshot\""));
         assert!(json.contains("\"identical\":true"));
@@ -1486,6 +1750,24 @@ mod tests {
         // The 5x speedup bar is asserted by the CI smoke gate at a larger
         // scale, not here: a unit-test corpus is too small for stable
         // wall-clock ratios.
+    }
+
+    #[test]
+    fn live_mutation_is_identical_and_renders() {
+        let dir = std::env::temp_dir().join("koios-bench-live-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("BENCH_live.json");
+        let out = live_with_output(&tiny(), &json_path);
+        assert!(
+            out.contains("byte-identical to a cold replay on both backends: true"),
+            "{out}"
+        );
+        assert!(out.contains("zero dropped requests: true"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"experiment\":\"live\""));
+        assert!(json.contains("\"identical\":true"));
+        assert!(json.contains("\"zero_drops\":true"));
+        assert!(json.contains("\"backend\":\"partitioned\""));
     }
 
     #[test]

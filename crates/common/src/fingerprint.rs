@@ -113,6 +113,22 @@ pub fn mix64(z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministic pseudo-random partition of a set id — the one shard-
+/// assignment function of the workspace. The partitioned engine
+/// (`koios-core`) routes every set through this at build time, and the
+/// snapshot delta replay (`koios-store`) must route live-appended sets
+/// **identically** or a reloaded engine would diverge from the one that
+/// wrote the delta; a single definition here makes that agreement
+/// structural.
+///
+/// # Panics
+///
+/// Panics if `partitions == 0`.
+pub fn partition_of(seed: u64, set: crate::SetId, partitions: usize) -> usize {
+    let z = mix64(seed ^ (set.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (z % partitions as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +186,20 @@ mod tests {
         assert_eq!(fp_of(&[&[3, 5]]), fp_of(&[&[3, 5]]));
         // Length prefixes keep concatenations apart.
         assert_ne!(fp_of(&[&[1, 2], &[3]]), fp_of(&[&[1, 2, 3]]));
+    }
+
+    #[test]
+    fn partition_of_is_deterministic_and_total() {
+        use crate::SetId;
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            let p = partition_of(0xC0FFEE, SetId(i), 4);
+            assert_eq!(p, partition_of(0xC0FFEE, SetId(i), 4));
+            counts[p] += 1;
+        }
+        // Pseudo-random: every shard gets a substantial share.
+        assert!(counts.iter().all(|&c| c > 150), "{counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
     }
 
     #[test]

@@ -63,6 +63,15 @@ impl EngineBackend {
         }
     }
 
+    /// Shared ownership of the repository behind the engine (an `Arc` bump
+    /// for owned backends — what serving layers hold across a hot swap).
+    pub fn repository_arc(&self) -> std::sync::Arc<Repository> {
+        match self {
+            EngineBackend::Single(e) => e.repository_arc(),
+            EngineBackend::Partitioned(e) => e.repository_arc(),
+        }
+    }
+
     /// Number of index partitions (1 for [`EngineBackend::Single`]).
     pub fn num_partitions(&self) -> usize {
         match self {

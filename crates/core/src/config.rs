@@ -64,6 +64,12 @@ pub struct KoiosConfig {
     /// have lists expire at probe time (serving layers expose this as
     /// `ServiceConfig::token_cache_ttl`).
     pub token_cache: Option<Arc<TokenKnnCache>>,
+    /// Corpus epoch this engine serves. `0` for a freshly built corpus;
+    /// the mutable engine (`crate::MutableEngine`) bumps it once per
+    /// applied batch so every [`crate::SearchStats`] (and downstream
+    /// slow-query log line) records which corpus version answered the
+    /// query. Purely observational — the epoch never changes scores.
+    pub epoch: u64,
 }
 
 impl KoiosConfig {
@@ -91,7 +97,16 @@ impl KoiosConfig {
             verify_all: false,
             time_budget: None,
             token_cache: None,
+            epoch: 0,
         }
+    }
+
+    /// Sets the corpus epoch stamped into every search's stats (builder
+    /// style). Serving layers use this to correlate results with the
+    /// corpus version that produced them.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Sets the UB mode (builder style).
@@ -187,6 +202,8 @@ mod tests {
         assert_eq!(c.parallel_em, 1); // clamped
         assert!(c.time_budget.is_some());
         assert!(c.token_cache.is_none());
+        assert_eq!(c.epoch, 0);
+        assert_eq!(c.with_epoch(7).epoch, 7);
     }
 
     #[test]

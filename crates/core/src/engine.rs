@@ -126,6 +126,11 @@ impl<'r> Koios<'r> {
         self.repo.get()
     }
 
+    /// Shared ownership of the repository (see [`RepoRef::to_arc`]).
+    pub fn repository_arc(&self) -> std::sync::Arc<Repository> {
+        self.repo.to_arc()
+    }
+
     /// Runs a top-k search for `query` (token ids from
     /// [`Repository::intern_query`]).
     pub fn search(&self, query: &[TokenId]) -> SearchResult {
@@ -230,7 +235,10 @@ impl<'r> Koios<'r> {
         deadline: Option<Instant>,
     ) -> SearchResult {
         debug_assert!(q.windows(2).all(|w| w[0] < w[1]), "query must be sorted");
-        let mut stats = SearchStats::default();
+        let mut stats = SearchStats {
+            epoch: self.cfg.epoch,
+            ..SearchStats::default()
+        };
         if q.is_empty() {
             return SearchResult {
                 hits: Vec::new(),

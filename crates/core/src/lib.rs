@@ -26,6 +26,7 @@ pub mod config;
 pub mod engine;
 pub mod executor;
 pub mod many_to_one;
+pub mod mutable;
 pub mod overlap;
 pub mod partitioned;
 pub mod persist;
@@ -41,6 +42,7 @@ pub use config::{KoiosConfig, UbMode};
 pub use engine::{Koios, OwnedKoios};
 pub use executor::ShardExecutor;
 pub use many_to_one::{bounded_many_to_one_overlap, many_to_one_overlap};
+pub use mutable::{cosine_factory, BatchRejected, MutableEngine, SimFactory};
 pub use overlap::{greedy_overlap, semantic_overlap, semantic_overlap_bounded, similarity_matrix};
 pub use partitioned::{OwnedPartitionedKoios, PartitionedKoios};
 pub use result::{Hit, ScoreBound, SearchResult};

@@ -99,12 +99,12 @@ impl<'r> ShardEngines<'r> {
 /// A partitioned engine that owns its repository.
 pub type OwnedPartitionedKoios = PartitionedKoios<'static>;
 
-/// Deterministic pseudo-random partition of a set id (splitmix64 finalizer;
-/// "randomly partition the repository" without dragging in an RNG state).
+/// Deterministic pseudo-random partition of a set id. Delegates to the
+/// workspace's single shard-assignment function so live-ingest routing
+/// (`crate::MutableEngine`) and snapshot delta replay (`koios-store`)
+/// structurally agree with build-time sharding.
 fn partition_of(seed: u64, set: SetId, partitions: usize) -> usize {
-    let z =
-        koios_common::fingerprint::mix64(seed ^ (set.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    (z % partitions as u64) as usize
+    koios_common::fingerprint::partition_of(seed, set, partitions)
 }
 
 impl<'r> PartitionedKoios<'r> {
@@ -175,6 +175,11 @@ impl<'r> PartitionedKoios<'r> {
     /// The repository.
     pub fn repository(&self) -> &Repository {
         self.repo.get()
+    }
+
+    /// Shared ownership of the repository (see [`RepoRef::to_arc`]).
+    pub fn repository_arc(&self) -> std::sync::Arc<Repository> {
+        self.repo.to_arc()
     }
 
     /// The engine configuration (shared by every shard search).

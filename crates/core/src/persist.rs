@@ -167,9 +167,9 @@ impl OwnedKoios {
     ) -> Result<(OwnedKoios, SnapshotMeta), StoreError> {
         match EngineBackend::from_snapshot(path, cfg)? {
             (EngineBackend::Single(e), meta) => Ok((e, meta)),
-            (EngineBackend::Partitioned(p), _) => Err(StoreError::LayoutMismatch {
+            (EngineBackend::Partitioned(_), meta) => Err(StoreError::LayoutMismatch {
                 expected: "single",
-                found: format!("partitioned({})", p.num_partitions()),
+                found: meta.layout.describe(),
             }),
         }
     }
@@ -185,9 +185,9 @@ impl OwnedPartitionedKoios {
     ) -> Result<(OwnedPartitionedKoios, SnapshotMeta), StoreError> {
         match EngineBackend::from_snapshot(path, cfg)? {
             (EngineBackend::Partitioned(p), meta) => Ok((p, meta)),
-            (EngineBackend::Single(_), _) => Err(StoreError::LayoutMismatch {
+            (EngineBackend::Single(_), meta) => Err(StoreError::LayoutMismatch {
                 expected: "partitioned",
-                found: "single".to_string(),
+                found: meta.layout.describe(),
             }),
         }
     }

@@ -172,6 +172,11 @@ pub fn refine<K: KnnSource>(
         let s = tuple.sim;
         last_sim = s;
         for &set in index.postings(tuple.token) {
+            // Tombstoned sets stay in posting lists until the owning index
+            // is patched; never surface them as candidates (live corpora).
+            if !repo.is_live(set) {
+                continue;
+            }
             match states.entry(set) {
                 Entry::Occupied(mut e) => {
                     let cand = e.get_mut();

@@ -67,6 +67,11 @@ pub struct SearchStats {
     /// elements were answered from shared cached lists instead of scanning
     /// the vocabulary, and how many payload bytes those lists served.
     pub knn_cache: KnnCacheSearchStats,
+    /// Corpus epoch of the engine that answered the query
+    /// ([`crate::KoiosConfig::epoch`]). Merges take the max — shard
+    /// engines always share their parent's epoch, and a service aggregate
+    /// reports the newest corpus version that contributed.
+    pub epoch: u64,
     /// Peak footprint of the search data structures.
     pub memory: MemoryReport,
 }
@@ -139,6 +144,7 @@ impl SearchStats {
         self.bucket_moves += other.bucket_moves;
         self.timed_out |= other.timed_out;
         self.knn_cache.merge(&other.knn_cache);
+        self.epoch = self.epoch.max(other.epoch);
     }
 }
 
@@ -192,6 +198,7 @@ mod tests {
             refine_time: Duration::from_millis(30),
             verify_time: Duration::from_millis(4),
             shard_times: vec![Duration::from_millis(9)],
+            epoch: 3,
             ..Default::default()
         };
         let b = SearchStats {
@@ -201,10 +208,12 @@ mod tests {
             merge_time: Duration::from_millis(3),
             shard_times: vec![Duration::from_millis(5), Duration::from_millis(7)],
             timed_out: true,
+            epoch: 2,
             ..Default::default()
         };
         a.merge_parallel(&b);
         assert_eq!(a.candidates, 15);
+        assert_eq!(a.epoch, 3);
         assert_eq!(a.refine_time, Duration::from_millis(50));
         assert_eq!(a.verify_time, Duration::from_millis(4));
         assert_eq!(a.merge_time, Duration::from_millis(3));

@@ -21,12 +21,14 @@
 //! `koios-core`. Serving layers share the repository through
 //! [`repository::RepoRef`].
 
+pub mod ops;
 pub mod rand_util;
 pub mod repository;
 pub mod sim;
 pub mod synthetic;
 pub mod vectors;
 
+pub use ops::CorpusOp;
 pub use repository::{Repository, RepositoryBuilder};
 pub use sim::{
     CosineSimilarity, EditSimilarity, ElementSimilarity, EqualitySimilarity, QGramJaccard,

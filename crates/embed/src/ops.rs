@@ -1,0 +1,85 @@
+//! Corpus mutation operations.
+//!
+//! A [`CorpusOp`] is the unit of change for a live corpus: one appended set
+//! (with optional raw embedding rows for tokens the corpus has not seen
+//! yet) or one tombstoned set id. Ops are **deterministic by replay**:
+//! applying the same sequence to the same starting state — whether through
+//! a mutable engine, a snapshot delta, or a cold rebuild — assigns
+//! identical set ids, token ids and embedding bit patterns, which is what
+//! makes mutate-vs-rebuild byte-identical and snapshot deltas safe to
+//! chain.
+
+use koios_common::SetId;
+
+/// One corpus mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusOp {
+    /// Append a new set. Unseen tokens are interned (append-only); the
+    /// optional `vectors` supply raw, already-normalised `f32` embedding
+    /// rows for tokens that gain a vector with this op. Rows for tokens
+    /// that already exist in the vocabulary are ignored — existing vectors
+    /// are immutable, so replays cannot retroactively change scores.
+    Insert {
+        /// The set's registered name.
+        name: String,
+        /// The set's string elements (deduplicated on apply).
+        tokens: Vec<String>,
+        /// Raw embedding rows, `(token string, row)`, applied only to
+        /// tokens first interned by this op. Row length must match the
+        /// embedding dimensionality.
+        vectors: Vec<(String, Vec<f32>)>,
+    },
+    /// Tombstone an existing set by id.
+    Remove {
+        /// The set to remove.
+        set: SetId,
+    },
+}
+
+impl CorpusOp {
+    /// Convenience constructor for an insert without new vectors (all
+    /// tokens either already embedded or out-of-vocabulary).
+    pub fn insert<S: Into<String>, I: IntoIterator<Item = S>>(name: &str, tokens: I) -> Self {
+        CorpusOp::Insert {
+            name: name.to_string(),
+            tokens: tokens.into_iter().map(Into::into).collect(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for a removal.
+    pub fn remove(set: SetId) -> Self {
+        CorpusOp::Remove { set }
+    }
+
+    /// Whether this op appends a set.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, CorpusOp::Insert { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_the_expected_shapes() {
+        let ins = CorpusOp::insert("s", ["a", "b"]);
+        assert!(ins.is_insert());
+        match &ins {
+            CorpusOp::Insert {
+                name,
+                tokens,
+                vectors,
+            } => {
+                assert_eq!(name, "s");
+                assert_eq!(tokens, &["a", "b"]);
+                assert!(vectors.is_empty());
+            }
+            _ => unreachable!(),
+        }
+        let rem = CorpusOp::remove(SetId(3));
+        assert!(!rem.is_insert());
+        assert_eq!(rem, CorpusOp::Remove { set: SetId(3) });
+    }
+}

@@ -21,12 +21,24 @@ pub struct RepoStats {
     pub unique_elems: usize,
 }
 
-/// An immutable collection of sets plus the shared token interner.
+/// A collection of sets plus the shared token interner.
+///
+/// Historically build-once; live corpora mutate it through
+/// [`Repository::append_set`] / [`Repository::remove_set`]. Set ids are
+/// **stable**: removal tombstones the slot (the id is never reused and the
+/// tokens stay readable for index maintenance), and appends always claim
+/// the next dense id, so ids recorded in indexes, caches and snapshots
+/// stay valid across mutations. The interner is append-only.
 #[derive(Debug, Clone, Default)]
 pub struct Repository {
     interner: Interner,
     sets: Vec<Box<[TokenId]>>,
     names: Vec<String>,
+    /// Tombstone mask, indexed like `sets` (`true` = removed). Kept the
+    /// same length as `sets` at all times.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    dead_count: usize,
 }
 
 /// Incremental constructor for [`Repository`].
@@ -65,6 +77,7 @@ impl RepositoryBuilder {
         let id = SetId(self.repo.sets.len() as u32);
         self.repo.sets.push(tokens.into_boxed_slice());
         self.repo.names.push(name.to_string());
+        self.repo.dead.push(false);
         id
     }
 
@@ -141,12 +154,79 @@ impl Repository {
         self.sets[id.idx()].len()
     }
 
-    /// Iterates `(id, elements)` over all sets.
+    /// Iterates `(id, elements)` over **all** set slots, including
+    /// tombstoned ones (the id space is dense; snapshot encoders and other
+    /// slot-faithful consumers rely on that). Use [`Self::live_sets`] to
+    /// skip removed sets.
     pub fn iter_sets(&self) -> impl Iterator<Item = (SetId, &[TokenId])> {
         self.sets
             .iter()
             .enumerate()
             .map(|(i, s)| (SetId(i as u32), &**s))
+    }
+
+    /// Iterates `(id, elements)` over the live (non-tombstoned) sets only.
+    pub fn live_sets(&self) -> impl Iterator<Item = (SetId, &[TokenId])> + '_ {
+        self.iter_sets().filter(|(id, _)| self.is_live(*id))
+    }
+
+    /// Whether a set id names a live (present, not tombstoned) set. Out-of-
+    /// range ids are reported dead rather than panicking, so filters can
+    /// probe candidate ids freely.
+    pub fn is_live(&self, id: SetId) -> bool {
+        self.dead.get(id.idx()).is_some_and(|&d| !d)
+    }
+
+    /// Number of live sets (`num_sets` minus tombstones).
+    pub fn num_live_sets(&self) -> usize {
+        self.sets.len() - self.dead_count
+    }
+
+    /// The tombstoned set ids, ascending.
+    pub fn tombstones(&self) -> impl Iterator<Item = SetId> + '_ {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| SetId(i as u32))
+    }
+
+    /// Appends a new set of string elements under `name`, interning unseen
+    /// tokens (the interner is append-only, so existing token ids never
+    /// move). Duplicates within the set are removed. Returns the assigned
+    /// [`SetId`] — always the next dense id, so appends replayed in order
+    /// assign identical ids on every replica.
+    pub fn append_set<I, S>(&mut self, name: &str, elements: I) -> SetId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut tokens: Vec<TokenId> = elements
+            .into_iter()
+            .map(|s| self.interner.intern(s.as_ref()))
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        let id = SetId(self.sets.len() as u32);
+        self.sets.push(tokens.into_boxed_slice());
+        self.names.push(name.to_string());
+        self.dead.push(false);
+        id
+    }
+
+    /// Tombstones a set. The slot (tokens and name) stays readable — index
+    /// maintenance needs the tokens to splice postings out — but the set no
+    /// longer participates in searches, index builds or statistics. Returns
+    /// `false` when the id is out of range or already tombstoned.
+    pub fn remove_set(&mut self, id: SetId) -> bool {
+        match self.dead.get_mut(id.idx()) {
+            Some(d) if !*d => {
+                *d = true;
+                self.dead_count += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The string of a token.
@@ -230,23 +310,26 @@ impl Repository {
         n
     }
 
-    /// Table-I-style summary statistics.
+    /// Table-I-style summary statistics over the **live** sets (tombstoned
+    /// slots describe data that is gone; counting them would misreport the
+    /// corpus being served).
     pub fn stats(&self) -> RepoStats {
         let mut unique = std::collections::HashSet::new();
         let mut max_size = 0;
         let mut total = 0usize;
-        for s in &self.sets {
+        let live = self.num_live_sets();
+        for (_, s) in self.live_sets() {
             max_size = max_size.max(s.len());
             total += s.len();
             unique.extend(s.iter().copied());
         }
         RepoStats {
-            num_sets: self.sets.len(),
+            num_sets: live,
             max_size,
-            avg_size: if self.sets.is_empty() {
+            avg_size: if live == 0 {
                 0.0
             } else {
-                total as f64 / self.sets.len() as f64
+                total as f64 / live as f64
             },
             unique_elems: unique.len(),
         }
@@ -285,6 +368,17 @@ impl RepoRef<'_> {
     /// Whether this reference owns (shares ownership of) the repository.
     pub fn is_owned(&self) -> bool {
         matches!(self, RepoRef::Owned(_))
+    }
+
+    /// Shared ownership of the repository: an `Arc` bump for the owned
+    /// flavour, a deep clone into a fresh `Arc` for the borrowed one
+    /// (serving layers only construct owned engines, so the clone is the
+    /// cold path).
+    pub fn to_arc(&self) -> Arc<Repository> {
+        match self {
+            RepoRef::Borrowed(r) => Arc::new((*r).clone()),
+            RepoRef::Owned(r) => Arc::clone(r),
+        }
     }
 }
 
@@ -325,6 +419,7 @@ impl HeapSize for Repository {
                 .map(|s| s.len() * std::mem::size_of::<TokenId>())
                 .sum::<usize>()
             + self.names.iter().map(|n| n.capacity()).sum::<usize>()
+            + self.dead.capacity()
     }
 }
 
@@ -447,5 +542,53 @@ mod tests {
         let s = r.stats();
         assert_eq!(s.num_sets, 0);
         assert_eq!(s.avg_size, 0.0);
+    }
+
+    #[test]
+    fn append_assigns_dense_ids_and_interns_incrementally() {
+        let mut r = sample_repo();
+        let vocab_before = r.vocab_size();
+        let id = r.append_set("new", ["LA", "Fresh", "Fresh", "SC"]);
+        assert_eq!(id, SetId(3));
+        assert_eq!(r.num_sets(), 4);
+        // One genuinely new token; existing ids untouched.
+        assert_eq!(r.vocab_size(), vocab_before + 1);
+        assert_eq!(r.set_name(id), "new");
+        let set = r.set(id);
+        assert_eq!(set.len(), 3, "duplicates removed");
+        assert!(set.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.is_live(id));
+    }
+
+    #[test]
+    fn remove_tombstones_but_keeps_the_slot_readable() {
+        let mut r = sample_repo();
+        assert!(r.remove_set(SetId(1)));
+        assert!(!r.remove_set(SetId(1)), "double remove is rejected");
+        assert!(!r.remove_set(SetId(99)), "out of range is rejected");
+        assert!(!r.is_live(SetId(1)));
+        assert!(!r.is_live(SetId(99)));
+        assert!(r.is_live(SetId(0)));
+        // The slot stays readable for index maintenance.
+        assert_eq!(r.set_name(SetId(1)), "c2");
+        assert!(!r.set(SetId(1)).is_empty());
+        // Counts and iteration reflect liveness.
+        assert_eq!(r.num_sets(), 3, "id space keeps the slot");
+        assert_eq!(r.num_live_sets(), 2);
+        assert_eq!(r.live_sets().count(), 2);
+        assert_eq!(r.iter_sets().count(), 3);
+        assert_eq!(r.tombstones().collect::<Vec<_>>(), vec![SetId(1)]);
+        // Appends after a removal still claim the next dense id.
+        assert_eq!(r.append_set("later", ["LA"]), SetId(3));
+    }
+
+    #[test]
+    fn stats_skip_tombstones() {
+        let mut r = sample_repo();
+        r.remove_set(SetId(0));
+        let s = r.stats();
+        assert_eq!(s.num_sets, 2);
+        assert_eq!(s.max_size, 4); // c2; c1's 5 elements are gone
+        assert!((s.avg_size - (4 + 1) as f64 / 2.0).abs() < 1e-12);
     }
 }

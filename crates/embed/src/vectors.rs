@@ -123,6 +123,35 @@ impl Embeddings {
         let vb = self.get(b)?;
         Some(dot(va, vb))
     }
+
+    /// Grows the table to cover `vocab` tokens; new slots are absent
+    /// (zero rows, `present = false`). Shrinking is not supported — the
+    /// vocabulary is append-only — so a smaller `vocab` is a no-op. This is
+    /// the live-ingest companion of [`Self::from_raw`]: appending rows
+    /// never disturbs existing bit patterns.
+    pub fn grow(&mut self, vocab: usize) {
+        if vocab <= self.present.len() {
+            return;
+        }
+        self.data.resize(vocab * self.dim, 0.0);
+        self.present.resize(vocab, false);
+    }
+
+    /// Stores a raw `f32` row for `t` **without normalising** — the
+    /// live-ingest path, mirroring [`Self::from_raw`]'s bit-exactness so a
+    /// mutated table equals the table a cold rebuild over the same rows
+    /// produces. An all-zero row marks the token out-of-vocabulary, exactly
+    /// as the snapshot codec treats absent rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from `dim` or `t` is out of range.
+    pub fn set_raw_row(&mut self, t: TokenId, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "vector has wrong dimensionality");
+        let slot = &mut self.data[t.idx() * self.dim..(t.idx() + 1) * self.dim];
+        slot.copy_from_slice(row);
+        self.present[t.idx()] = row.iter().any(|&x| x != 0.0);
+    }
 }
 
 /// Dot product of two equally-sized slices.
@@ -220,5 +249,34 @@ mod tests {
     fn wrong_dim_rejected() {
         let mut e = Embeddings::new(3, 1);
         e.set(TokenId(0), &[1.0]);
+    }
+
+    #[test]
+    fn grow_preserves_existing_rows_bit_exactly() {
+        let mut e = Embeddings::new(2, 2);
+        e.set(TokenId(0), &[3.0, 4.0]);
+        let before = e.raw_data().to_vec();
+        e.grow(5);
+        assert_eq!(e.vocab(), 5);
+        assert_eq!(&e.raw_data()[..4], &before[..]);
+        assert!(!e.has(TokenId(3)));
+        // Shrinking is a no-op.
+        e.grow(1);
+        assert_eq!(e.vocab(), 5);
+    }
+
+    #[test]
+    fn set_raw_row_is_bit_exact_and_zero_means_oov() {
+        let mut e = Embeddings::new(2, 3);
+        let row = [0.6f32, 0.8f32];
+        e.set_raw_row(TokenId(1), &row);
+        assert_eq!(e.get(TokenId(1)).unwrap(), &row);
+        e.set_raw_row(TokenId(2), &[0.0, 0.0]);
+        assert!(!e.has(TokenId(2)));
+        // A mutated table equals a from_raw rebuild over the same rows.
+        let rebuilt =
+            Embeddings::from_raw(e.dim(), e.raw_data().to_vec(), e.present_mask().to_vec());
+        assert_eq!(rebuilt.raw_data(), e.raw_data());
+        assert_eq!(rebuilt.present_mask(), e.present_mask());
     }
 }

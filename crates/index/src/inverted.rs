@@ -15,17 +15,24 @@ pub struct InvertedIndex {
 }
 
 impl InvertedIndex {
-    /// Builds the index over every set of `repo`.
+    /// Builds the index over every **live** set of `repo` (tombstoned slots
+    /// are skipped, so a fresh build over a mutated repository equals an
+    /// index maintained incrementally through [`Self::insert_postings`] /
+    /// [`Self::remove_set`]).
     pub fn build(repo: &Repository) -> Self {
         Self::build_subset(repo, repo.iter_sets().map(|(id, _)| id))
     }
 
     /// Builds the index over a subset of sets (used by partitioned search,
-    /// where each partition indexes only its own sets).
+    /// where each partition indexes only its own sets). Tombstoned ids in
+    /// `sets` are skipped.
     pub fn build_subset(repo: &Repository, sets: impl IntoIterator<Item = SetId>) -> Self {
         let mut lists: Vec<Vec<SetId>> = vec![Vec::new(); repo.vocab_size()];
         let mut total = 0usize;
         for id in sets {
+            if !repo.is_live(id) {
+                continue;
+            }
             for &t in repo.set(id) {
                 lists[t.idx()].push(id);
                 total += 1;
@@ -35,6 +42,63 @@ impl InvertedIndex {
         InvertedIndex {
             postings: lists.into_iter().map(Vec::into_boxed_slice).collect(),
             total_postings: total,
+        }
+    }
+
+    /// Grows the posting table to cover `vocab` tokens (new slots start
+    /// empty). A no-op when the table already covers them; the vocabulary
+    /// is append-only, so shrinking is not supported. Live ingest calls
+    /// this on every shard index when appends intern new tokens, keeping
+    /// `num_tokens == vocab` — the alignment the snapshot writer asserts.
+    pub fn grow_vocab(&mut self, vocab: usize) {
+        while self.postings.len() < vocab {
+            self.postings.push(Box::from([]));
+        }
+    }
+
+    /// Splices `set` into the posting list of each of its `tokens` —
+    /// in-place index maintenance for a live append. The table is grown to
+    /// cover every token first. Postings stay sorted ascending: appends
+    /// claim dense max ids, so this is normally a push at the end, but the
+    /// insert position is searched so out-of-order maintenance (e.g. a
+    /// replayed shard) stays correct. Inserting a set already present in a
+    /// list is a no-op for that token.
+    pub fn insert_postings(&mut self, set: SetId, tokens: &[TokenId]) {
+        if let Some(max) = tokens.iter().max() {
+            self.grow_vocab(max.idx() + 1);
+        }
+        for &t in tokens {
+            let list = &mut self.postings[t.idx()];
+            if list.last().is_some_and(|&last| last < set) || list.is_empty() {
+                let mut v = std::mem::take(list).into_vec();
+                v.push(set);
+                *list = v.into_boxed_slice();
+                self.total_postings += 1;
+            } else if let Err(at) = list.binary_search(&set) {
+                let mut v = std::mem::take(list).into_vec();
+                v.insert(at, set);
+                *list = v.into_boxed_slice();
+                self.total_postings += 1;
+            }
+        }
+    }
+
+    /// Splices `set` out of the posting list of each of its `tokens` —
+    /// in-place index maintenance for a live removal (the caller reads the
+    /// tokens from the tombstoned repository slot). Tokens whose lists do
+    /// not contain the set are ignored, so removing a set that another
+    /// shard owns is harmless.
+    pub fn remove_set(&mut self, set: SetId, tokens: &[TokenId]) {
+        for &t in tokens {
+            let Some(list) = self.postings.get_mut(t.idx()) else {
+                continue;
+            };
+            if let Ok(at) = list.binary_search(&set) {
+                let mut v = std::mem::take(list).into_vec();
+                v.remove(at);
+                *list = v.into_boxed_slice();
+                self.total_postings -= 1;
+            }
         }
     }
 
@@ -157,5 +221,56 @@ mod tests {
         let r = repo();
         let idx = InvertedIndex::build(&r);
         assert!(idx.heap_size() >= 7 * std::mem::size_of::<SetId>());
+    }
+
+    #[test]
+    fn incremental_insert_and_remove_match_fresh_build() {
+        let mut r = repo();
+        let mut idx = InvertedIndex::build(&r);
+
+        // Append a set with one new token, patch the index in place.
+        let id = r.append_set("s3", ["c", "e"]);
+        idx.grow_vocab(r.vocab_size());
+        idx.insert_postings(id, r.set(id));
+
+        // Tombstone an existing set, splice it out.
+        let dead_tokens = r.set(SetId(0)).to_vec();
+        r.remove_set(SetId(0));
+        idx.remove_set(SetId(0), &dead_tokens);
+
+        // The patched index equals a cold build over the mutated repo.
+        let fresh = InvertedIndex::build(&r);
+        assert_eq!(idx.num_tokens(), fresh.num_tokens());
+        assert_eq!(idx.total_postings(), fresh.total_postings());
+        for t in 0..fresh.num_tokens() as u32 {
+            assert_eq!(idx.postings(TokenId(t)), fresh.postings(TokenId(t)));
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_remove_of_absent_is_harmless() {
+        let r = repo();
+        let mut idx = InvertedIndex::build(&r);
+        let before = idx.total_postings();
+        // Re-inserting an indexed set changes nothing.
+        idx.insert_postings(SetId(1), r.set(SetId(1)));
+        assert_eq!(idx.total_postings(), before);
+        // Removing a set from lists that don't hold it changes nothing.
+        idx.remove_set(SetId(99), r.set(SetId(0)));
+        assert_eq!(idx.total_postings(), before);
+        let c = r.token_id("c").unwrap();
+        assert_eq!(idx.postings(c), &[SetId(0), SetId(1), SetId(2)]);
+    }
+
+    #[test]
+    fn build_skips_tombstoned_sets() {
+        let mut r = repo();
+        r.remove_set(SetId(1));
+        let idx = InvertedIndex::build(&r);
+        let c = r.token_id("c").unwrap();
+        assert_eq!(idx.postings(c), &[SetId(0), SetId(2)]);
+        let d = r.token_id("d").unwrap();
+        assert!(idx.postings(d).is_empty());
+        assert_eq!(idx.total_postings(), 4);
     }
 }

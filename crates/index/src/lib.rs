@@ -23,6 +23,7 @@
 pub mod inverted;
 pub mod knn;
 pub mod knn_cache;
+pub mod live;
 pub mod minhash;
 pub mod token_stream;
 
@@ -31,5 +32,6 @@ pub use knn::{ExactScanKnn, HeapKnn, KnnSource};
 pub use knn_cache::{
     CachedKnn, KnnCacheCounters, KnnCacheSearchStats, KnnCacheSnapshot, TokenKnnCache,
 };
+pub use live::{apply_op, Applied, LiveError};
 pub use minhash::{MinHashIndex, MinHashKnn, MinHashParams};
 pub use token_stream::{StreamTuple, TokenStream};

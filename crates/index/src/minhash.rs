@@ -16,7 +16,7 @@
 //! against the exact scan.
 
 use crate::knn::KnnSource;
-use koios_common::{HeapSize, TokenId};
+use koios_common::{HeapSize, SetId, TokenId};
 use koios_embed::sim::{ElementSimilarity, QGramJaccard};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,32 +69,46 @@ fn perm_hash(gram: u64, perm_seed: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The seed of permutation `i` in the family `params.seed` defines — the
+/// single definition both the batch build and incremental inserts fold
+/// over, so a patched index is bit-identical to a rebuilt one.
+#[inline]
+fn perm_seed(seed: u64, i: usize) -> u64 {
+    seed.wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((i as u64 + 1).wrapping_mul(0xD1B54A32D192ED03))
+}
+
+/// FNV-1a fold of one band's signature slice into its bucket key.
+#[inline]
+fn band_hash(slice: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &v in slice {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// MinHash signature of one gram set (all-`u64::MAX` for an empty set).
+fn signature_of(grams: &[u64], params: &MinHashParams) -> Box<[u64]> {
+    let sig_len = params.bands * params.rows_per_band;
+    let mut sig = vec![u64::MAX; sig_len];
+    for &g in grams {
+        for (i, s) in sig.iter_mut().enumerate() {
+            let h = perm_hash(g, perm_seed(params.seed, i));
+            if h < *s {
+                *s = h;
+            }
+        }
+    }
+    sig.into_boxed_slice()
+}
+
 impl MinHashIndex {
     /// Builds signatures and band tables for every token whose q-gram set
     /// is produced by `grams` (a vocabulary-aligned list).
     pub fn build(grams: &[Box<[u64]>], params: MinHashParams) -> Self {
-        let sig_len = params.bands * params.rows_per_band;
-        let perm_seeds: Vec<u64> = (0..sig_len)
-            .map(|i| {
-                params
-                    .seed
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add((i as u64 + 1).wrapping_mul(0xD1B54A32D192ED03))
-            })
-            .collect();
-        let mut signatures = Vec::with_capacity(grams.len());
-        for gs in grams {
-            let mut sig = vec![u64::MAX; sig_len];
-            for &g in gs.iter() {
-                for (i, &ps) in perm_seeds.iter().enumerate() {
-                    let h = perm_hash(g, ps);
-                    if h < sig[i] {
-                        sig[i] = h;
-                    }
-                }
-            }
-            signatures.push(sig.into_boxed_slice());
-        }
+        let signatures = grams.iter().map(|gs| signature_of(gs, &params)).collect();
         Self::from_signatures(params, signatures)
     }
 
@@ -115,12 +129,10 @@ impl MinHashIndex {
             }
             for (band, table) in tables.iter_mut().enumerate() {
                 let slice = &sig[band * params.rows_per_band..(band + 1) * params.rows_per_band];
-                let mut h = 0xcbf29ce484222325u64;
-                for &v in slice {
-                    h ^= v;
-                    h = h.wrapping_mul(0x100000001b3);
-                }
-                table.entry(h).or_default().push(TokenId(t as u32));
+                table
+                    .entry(band_hash(slice))
+                    .or_default()
+                    .push(TokenId(t as u32));
             }
         }
         MinHashIndex {
@@ -129,6 +141,35 @@ impl MinHashIndex {
             signatures,
         }
     }
+
+    /// Appends the signature for the **next** token id (live ingest: a
+    /// newly interned vocabulary token) and patches its band buckets in
+    /// place — no table rebuild. The signature is folded with the same
+    /// permutation family as [`Self::build`], so an index maintained this
+    /// way is bit-identical to one rebuilt over the grown vocabulary.
+    /// Returns the token id the signature now covers.
+    pub fn insert_signature(&mut self, grams: &[u64]) -> TokenId {
+        let t = TokenId(self.signatures.len() as u32);
+        let sig = signature_of(grams, &self.params);
+        if !sig.iter().all(|&v| v == u64::MAX) {
+            for (band, table) in self.tables.iter_mut().enumerate() {
+                let r = self.params.rows_per_band;
+                let slice = &sig[band * r..(band + 1) * r];
+                table.entry(band_hash(slice)).or_default().push(t);
+            }
+        }
+        self.signatures.push(sig);
+        t
+    }
+
+    /// Set removal is a **no-op** on this index, by design: MinHash-LSH
+    /// indexes *tokens* (vocabulary q-gram sets), not sets, and the
+    /// vocabulary is append-only — tombstoning a set removes none of its
+    /// tokens from the corpus language. Dead sets are filtered downstream:
+    /// the inverted index splices their postings out and the refinement
+    /// phase skips tombstoned candidates. The method exists so mutable
+    /// engines can treat every index uniformly.
+    pub fn remove_set(&mut self, _set: SetId) {}
 
     /// The LSH parameters this index was built with.
     pub fn params(&self) -> MinHashParams {
@@ -154,12 +195,7 @@ impl MinHashIndex {
         for (band, table) in self.tables.iter().enumerate() {
             let r = self.params.rows_per_band;
             let slice = &sig[band * r..(band + 1) * r];
-            let mut h = 0xcbf29ce484222325u64;
-            for &v in slice {
-                h ^= v;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-            if let Some(bucket) = table.get(&h) {
+            if let Some(bucket) = table.get(&band_hash(slice)) {
                 out.extend(bucket.iter().copied());
             }
         }
@@ -251,32 +287,38 @@ impl KnnSource for MinHashKnn {
     }
 }
 
+/// The lowercase q-gram hash set of one token string, matching
+/// [`QGramJaccard`]'s tokenisation — the per-token unit of
+/// [`vocabulary_grams`], exposed so live ingest can gram newly interned
+/// tokens one at a time and feed [`MinHashIndex::insert_signature`].
+pub fn token_grams(s: &str, q: usize) -> Box<[u64]> {
+    let lower = s.to_lowercase();
+    let chars: Vec<char> = lower.chars().collect();
+    let hash = |cs: &[char]| {
+        let mut h = 0xcbf29ce484222325u64;
+        for &c in cs {
+            h ^= c as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    };
+    let mut grams: Vec<u64> = if chars.is_empty() {
+        Vec::new()
+    } else if chars.len() < q {
+        vec![hash(&chars)]
+    } else {
+        chars.windows(q).map(hash).collect()
+    };
+    grams.sort_unstable();
+    grams.dedup();
+    grams.into_boxed_slice()
+}
+
 /// Builds lowercase q-gram hash sets for the whole vocabulary (the
 /// [`MinHashIndex`] input), matching [`QGramJaccard`]'s tokenisation.
 pub fn vocabulary_grams(repo: &koios_embed::repository::Repository, q: usize) -> Vec<Box<[u64]>> {
     (0..repo.vocab_size())
-        .map(|i| {
-            let s = repo.token_str(TokenId(i as u32)).to_lowercase();
-            let chars: Vec<char> = s.chars().collect();
-            let hash = |cs: &[char]| {
-                let mut h = 0xcbf29ce484222325u64;
-                for &c in cs {
-                    h ^= c as u64;
-                    h = h.wrapping_mul(0x100000001b3);
-                }
-                h
-            };
-            let mut grams: Vec<u64> = if chars.is_empty() {
-                Vec::new()
-            } else if chars.len() < q {
-                vec![hash(&chars)]
-            } else {
-                chars.windows(q).map(hash).collect()
-            };
-            grams.sort_unstable();
-            grams.dedup();
-            grams.into_boxed_slice()
-        })
+        .map(|i| token_grams(repo.token_str(TokenId(i as u32)), q))
         .collect()
 }
 
@@ -393,6 +435,31 @@ mod tests {
         let mut lsh = MinHashKnn::new(index, sim, q.clone(), 0.5);
         let items = drain(&mut lsh, q_idx);
         assert_eq!(items, vec![(empty, 1.0)]);
+    }
+
+    #[test]
+    fn insert_signature_matches_batch_build() {
+        let (repo, _) = setup();
+        let grams = vocabulary_grams(&repo, 3);
+        let full = MinHashIndex::build(&grams, MinHashParams::default());
+
+        // Build over a prefix, then insert the remaining tokens one by one.
+        let split = grams.len() / 2;
+        let mut grown = MinHashIndex::build(&grams[..split], MinHashParams::default());
+        for gs in &grams[split..] {
+            grown.insert_signature(gs);
+        }
+        assert_eq!(grown.signatures(), full.signatures());
+        for t in 0..repo.vocab_size() as u32 {
+            assert_eq!(
+                grown.collisions(TokenId(t)),
+                full.collisions(TokenId(t)),
+                "token {t}"
+            );
+        }
+        // Set removal is a documented no-op on the token-level index.
+        grown.remove_set(SetId(0));
+        assert_eq!(grown.signatures(), full.signatures());
     }
 
     #[test]

@@ -112,6 +112,26 @@ impl KoiosClient {
         self.request("POST", "/invalidate", None)
     }
 
+    /// `POST /ingest` with a pre-built `{"ops": [...]}` body (see
+    /// [`crate::wire::parse_ingest_request`] for the op schema).
+    pub fn ingest(&mut self, body: &Json) -> Result<JsonReply, NetError> {
+        self.request("POST", "/ingest", Some(body))
+    }
+
+    /// `POST /snapshot` — persist the served corpus to `path` on the
+    /// *server's* filesystem (appends a delta when `path` is the file the
+    /// backend was last snapshotted to).
+    pub fn snapshot(&mut self, path: &str) -> Result<JsonReply, NetError> {
+        let body = Json::obj([("path", Json::str(path))]);
+        self.request("POST", "/snapshot", Some(&body))
+    }
+
+    /// `POST /reload` — hot-swap the server's backend from a snapshot file.
+    pub fn reload(&mut self, path: &str) -> Result<JsonReply, NetError> {
+        let body = Json::obj([("path", Json::str(path))]);
+        self.request("POST", "/reload", Some(&body))
+    }
+
     /// One HTTP exchange; retried once on a fresh connection **only** when
     /// the pooled keep-alive connection turned out to be stale in a way
     /// that cannot have double-executed the request: the write itself

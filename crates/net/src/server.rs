@@ -18,6 +18,15 @@
 //! | `GET /metrics` | Prometheus text exposition of the service registry |
 //! | `GET /healthz` | liveness + basic shape of the backend |
 //! | `POST /invalidate` | drop result cache + bump token-cache generation |
+//! | `POST /ingest` | apply a live mutation batch (body: see [`crate::wire`]) |
+//! | `POST /snapshot` | persist the corpus (`{"path": ...}`; appends a delta when chaining) |
+//! | `POST /reload` | hot-swap the backend from a snapshot file (`{"path": ...}`) |
+//!
+//! The mutation routes require a service built over a mutable engine
+//! ([`SearchService::from_mutable`](koios_service::SearchService::from_mutable)
+//! or `from_snapshot`); on an immutable service they answer `409`. A
+//! rejected batch (unknown set id, embedding dimension mismatch) is `400`
+//! and mutates nothing; snapshot I/O failures are `500`.
 //!
 //! Unknown paths give `404`, known paths with the wrong method `405`,
 //! framing or JSON errors `400` (with an `"error"` body), oversized
@@ -213,7 +222,14 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
             service.invalidate_cache();
             HttpResponse::json(200, &Json::obj([("invalidated", Json::Bool(true))]))
         }
-        (_, "/search" | "/stats" | "/metrics" | "/healthz" | "/invalidate") => HttpResponse::json(
+        ("POST", "/ingest") => ingest(request, service),
+        ("POST", "/snapshot") => snapshot(request, service),
+        ("POST", "/reload") => reload(request, service),
+        (
+            _,
+            "/search" | "/stats" | "/metrics" | "/healthz" | "/invalidate" | "/ingest"
+            | "/snapshot" | "/reload",
+        ) => HttpResponse::json(
             405,
             &Json::obj([("error", Json::str("method not allowed"))]),
         ),
@@ -222,15 +238,15 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
 }
 
 fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {
-    let text = match std::str::from_utf8(&request.body) {
-        Ok(text) => text,
-        Err(_) => return bad_request("body is not UTF-8"),
-    };
-    let json = match Json::parse(text) {
+    let json = match parse_body(request) {
         Ok(json) => json,
-        Err(e) => return bad_request(&e.to_string()),
+        Err(resp) => return resp,
     };
-    let search_request = match wire::parse_search_request(&json, service.repository()) {
+    // Pin one repository for the whole request: parsing and response
+    // serialization must agree on token ids and set names even if a
+    // concurrent `/ingest` or `/reload` swaps the backend mid-request.
+    let repo = service.repository();
+    let search_request = match wire::parse_search_request(&json, &repo) {
         Ok(req) => req,
         Err(e) => return bad_request(&e),
     };
@@ -242,15 +258,77 @@ fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {
     // split: building the JSON body is the front-end's own contribution to
     // response time, invisible to the in-process service metrics.
     let serialize_start = std::time::Instant::now();
-    let http = HttpResponse::json(
-        200,
-        &wire::response_to_json(&response, service.repository()),
-    );
+    let http = HttpResponse::json(200, &wire::response_to_json(&response, &repo));
     service
         .metrics()
         .request_serialize
         .record_duration(serialize_start.elapsed());
     http
+}
+
+fn ingest(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let json = match parse_body(request) {
+        Ok(json) => json,
+        Err(resp) => return resp,
+    };
+    let ops = match wire::parse_ingest_request(&json) {
+        Ok(ops) => ops,
+        Err(e) => return bad_request(&e),
+    };
+    match service.ingest(&ops) {
+        Ok(outcome) => HttpResponse::json(200, &wire::ingest_outcome_to_json(outcome)),
+        Err(e) => live_error(&e),
+    }
+}
+
+fn snapshot(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let json = match parse_body(request) {
+        Ok(json) => json,
+        Err(resp) => return resp,
+    };
+    let path = match wire::parse_path_request(&json) {
+        Ok(path) => path,
+        Err(e) => return bad_request(&e),
+    };
+    match service.snapshot_to(&path) {
+        Ok(meta) => HttpResponse::json(200, &wire::snapshot_meta_to_json(&path, &meta)),
+        Err(e) => live_error(&e),
+    }
+}
+
+fn reload(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let json = match parse_body(request) {
+        Ok(json) => json,
+        Err(resp) => return resp,
+    };
+    let path = match wire::parse_path_request(&json) {
+        Ok(path) => path,
+        Err(e) => return bad_request(&e),
+    };
+    match service.reload(&path) {
+        Ok(info) => HttpResponse::json(200, &wire::reload_to_json(&info, service.engine_epoch())),
+        Err(e) => live_error(&e),
+    }
+}
+
+/// Reads the request body as a JSON value, or the 400 to answer with.
+fn parse_body(request: &HttpRequest) -> Result<Json, HttpResponse> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| bad_request("body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| bad_request(&e.to_string()))
+}
+
+/// Maps a [`LiveServiceError`] to its HTTP status: immutable services
+/// `409` (the route exists but this deployment cannot serve it), rejected
+/// batches `400` (the client's ops were invalid; nothing was mutated),
+/// snapshot I/O or corruption `500`.
+fn live_error(e: &koios_service::LiveServiceError) -> HttpResponse {
+    use koios_service::LiveServiceError;
+    let status = match e {
+        LiveServiceError::Immutable => 409,
+        LiveServiceError::Rejected(_) => 400,
+        LiveServiceError::Store(_) => 500,
+    };
+    HttpResponse::json(status, &Json::obj([("error", Json::str(e.to_string()))]))
 }
 
 fn bad_request(message: &str) -> HttpResponse {

@@ -21,9 +21,13 @@
 //! by its admission logic, and come back as `"rejected": true` with
 //! `"cache": "rejected"`, keeping one source of truth for validation.
 
-use koios_common::{Json, TokenId};
+use koios_common::{Json, SetId, TokenId};
+use koios_embed::ops::CorpusOp;
 use koios_embed::repository::Repository;
-use koios_service::{CacheOutcome, SearchRequest, ServiceResponse, ServiceStats};
+use koios_service::{
+    CacheOutcome, IngestOutcome, SearchRequest, ServiceResponse, ServiceStats, SnapshotInfo,
+};
+use koios_store::snapshot::SnapshotMeta;
 use std::time::Duration;
 
 /// Decodes a `POST /search` body into a [`SearchRequest`].
@@ -99,6 +103,136 @@ pub fn parse_search_request(body: &Json, repo: &Repository) -> Result<SearchRequ
     Ok(req)
 }
 
+/// Decodes a `POST /ingest` body into a batch of [`CorpusOp`]s.
+///
+/// Shape: `{"ops": [...]}` where each op is either
+/// `{"op": "insert", "name": "...", "tokens": ["...", ...]}` — optionally
+/// with `"vectors": {"token": [f32, ...], ...}` supplying embedding rows
+/// for tokens new to the corpus — or `{"op": "remove", "set": id}`.
+pub fn parse_ingest_request(body: &Json) -> Result<Vec<CorpusOp>, String> {
+    if !matches!(body, Json::Obj(_)) {
+        return Err("request body must be a JSON object".into());
+    }
+    let ops = body
+        .get("ops")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "provide \"ops\": an array of mutation objects".to_string())?;
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| parse_op(op).map_err(|e| format!("ops[{i}]: {e}")))
+        .collect()
+}
+
+fn parse_op(op: &Json) -> Result<CorpusOp, String> {
+    let kind = op
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "\"op\" must be \"insert\" or \"remove\"".to_string())?;
+    match kind {
+        "insert" => {
+            let name = op
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| "\"name\" must be a string".to_string())?;
+            let tokens = op
+                .get("tokens")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| "\"tokens\" must be an array of strings".to_string())?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "\"tokens\" must contain only strings".to_string())
+                })
+                .collect::<Result<Vec<String>, String>>()?;
+            let mut vectors = Vec::new();
+            if let Some(v) = op.get("vectors") {
+                let Json::Obj(entries) = v else {
+                    return Err("\"vectors\" must map token strings to number arrays".into());
+                };
+                for (token, row) in entries {
+                    let row = row
+                        .as_array()
+                        .ok_or_else(|| format!("vector for {token:?} must be an array"))?
+                        .iter()
+                        .map(|x| {
+                            x.as_f64()
+                                .map(|f| f as f32)
+                                .ok_or_else(|| format!("vector for {token:?} must be numeric"))
+                        })
+                        .collect::<Result<Vec<f32>, String>>()?;
+                    vectors.push((token.clone(), row));
+                }
+            }
+            Ok(CorpusOp::Insert {
+                name: name.to_string(),
+                tokens,
+                vectors,
+            })
+        }
+        "remove" => {
+            let set = op
+                .get("set")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| "\"set\" must be a non-negative set id".to_string())?;
+            Ok(CorpusOp::remove(SetId(set as u32)))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Encodes an applied ingest batch as the `POST /ingest` reply.
+pub fn ingest_outcome_to_json(out: IngestOutcome) -> Json {
+    Json::obj([
+        ("inserted", Json::num(out.inserted as f64)),
+        ("removed", Json::num(out.removed as f64)),
+        ("epoch", Json::num(out.epoch as f64)),
+    ])
+}
+
+/// Decodes a `{"path": "..."}` body (`POST /snapshot`, `POST /reload`).
+pub fn parse_path_request(body: &Json) -> Result<String, String> {
+    body.get("path")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| "provide \"path\": the snapshot file to use".to_string())
+}
+
+/// Encodes the on-disk state written by `POST /snapshot`.
+pub fn snapshot_meta_to_json(path: &str, meta: &SnapshotMeta) -> Json {
+    Json::obj([
+        ("path", Json::str(path)),
+        ("format_version", Json::num(meta.format_version as f64)),
+        ("bytes", Json::num(meta.total_bytes as f64)),
+        ("num_sets", Json::num(meta.num_sets as f64)),
+        ("deltas", Json::num(meta.deltas.len() as f64)),
+        ("latest_epoch", Json::num(meta.latest_epoch() as f64)),
+    ])
+}
+
+fn snapshot_info_to_json(sn: &SnapshotInfo) -> Json {
+    Json::obj([
+        ("path", Json::str(&sn.path)),
+        ("format_version", Json::num(sn.format_version as f64)),
+        ("bytes", Json::num(sn.bytes as f64)),
+        ("partitions", Json::num(sn.partitions as f64)),
+        ("num_sets", Json::num(sn.num_sets as f64)),
+        ("vocab_size", Json::num(sn.vocab_size as f64)),
+        ("deltas", Json::num(sn.deltas as f64)),
+        ("latest_epoch", Json::num(sn.latest_epoch as f64)),
+        ("load_ms", millis(sn.load_time)),
+    ])
+}
+
+/// Encodes the provenance of a completed `POST /reload` hot swap.
+pub fn reload_to_json(info: &SnapshotInfo, epoch: u64) -> Json {
+    Json::obj([
+        ("reloaded", Json::Bool(true)),
+        ("epoch", Json::num(epoch as f64)),
+        ("snapshot", snapshot_info_to_json(info)),
+    ])
+}
+
 fn cache_outcome_str(outcome: CacheOutcome) -> &'static str {
     match outcome {
         CacheOutcome::Hit => "hit",
@@ -164,15 +298,7 @@ pub fn stats_to_json(st: &ServiceStats) -> Json {
     };
     let snapshot = match &st.snapshot {
         None => Json::Null,
-        Some(sn) => Json::obj([
-            ("path", Json::str(&sn.path)),
-            ("format_version", Json::num(sn.format_version as f64)),
-            ("bytes", Json::num(sn.bytes as f64)),
-            ("partitions", Json::num(sn.partitions as f64)),
-            ("num_sets", Json::num(sn.num_sets as f64)),
-            ("vocab_size", Json::num(sn.vocab_size as f64)),
-            ("load_ms", millis(sn.load_time)),
-        ]),
+        Some(sn) => snapshot_info_to_json(sn),
     };
     // Wall-clock start time as whole seconds since the Unix epoch (0 for
     // a default snapshot whose start time is the epoch itself).
@@ -191,6 +317,9 @@ pub fn stats_to_json(st: &ServiceStats) -> Json {
         ("rejected", Json::num(st.rejected as f64)),
         ("timed_out", Json::num(st.timed_out as f64)),
         ("partitions", Json::num(st.partitions as f64)),
+        ("engine_epoch", Json::num(st.engine_epoch as f64)),
+        ("sets_added", Json::num(st.sets_added as f64)),
+        ("sets_removed", Json::num(st.sets_removed as f64)),
         (
             "result_cache",
             Json::obj([
@@ -279,6 +408,78 @@ mod tests {
                 "accepted {bad}"
             );
         }
+    }
+
+    #[test]
+    fn parses_ingest_ops() {
+        let body = Json::parse(
+            r#"{"ops": [
+                {"op": "insert", "name": "s9", "tokens": ["a", "b"],
+                 "vectors": {"b": [0.5, 0.25]}},
+                {"op": "remove", "set": 3}
+            ]}"#,
+        )
+        .unwrap();
+        let ops = parse_ingest_request(&body).unwrap();
+        assert_eq!(ops.len(), 2);
+        match &ops[0] {
+            CorpusOp::Insert {
+                name,
+                tokens,
+                vectors,
+            } => {
+                assert_eq!(name, "s9");
+                assert_eq!(tokens, &["a", "b"]);
+                assert_eq!(vectors, &[("b".to_string(), vec![0.5, 0.25])]);
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+        assert_eq!(ops[1], CorpusOp::remove(SetId(3)));
+    }
+
+    #[test]
+    fn rejects_malformed_ingest_bodies() {
+        for bad in [
+            r#"[1]"#,
+            r#"{}"#,
+            r#"{"ops": 3}"#,
+            r#"{"ops": [{"op": "upsert"}]}"#,
+            r#"{"ops": [{"op": "insert", "tokens": ["a"]}]}"#,
+            r#"{"ops": [{"op": "insert", "name": "s", "tokens": [1]}]}"#,
+            r#"{"ops": [{"op": "insert", "name": "s", "tokens": ["a"], "vectors": [1]}]}"#,
+            r#"{"ops": [{"op": "insert", "name": "s", "tokens": ["a"], "vectors": {"a": "x"}}]}"#,
+            r#"{"ops": [{"op": "remove"}]}"#,
+            r#"{"ops": [{"op": "remove", "set": -1}]}"#,
+        ] {
+            let body = Json::parse(bad).unwrap();
+            assert!(parse_ingest_request(&body).is_err(), "accepted {bad}");
+        }
+        // Errors carry the offending op's index.
+        let body = Json::parse(r#"{"ops": [{"op": "remove", "set": 0}, {"op": "x"}]}"#).unwrap();
+        assert!(parse_ingest_request(&body).unwrap_err().contains("ops[1]"));
+    }
+
+    #[test]
+    fn path_requests_roundtrip() {
+        let ok = Json::parse(r#"{"path": "/tmp/x.ksnap"}"#).unwrap();
+        assert_eq!(parse_path_request(&ok).unwrap(), "/tmp/x.ksnap");
+        for bad in [r#"{}"#, r#"{"path": 3}"#, r#"[]"#] {
+            assert!(parse_path_request(&Json::parse(bad).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn stats_json_carries_live_counters() {
+        let st = ServiceStats {
+            engine_epoch: 4,
+            sets_added: 9,
+            sets_removed: 2,
+            ..Default::default()
+        };
+        let json = stats_to_json(&st);
+        assert_eq!(json.get("engine_epoch").unwrap().as_u64(), Some(4));
+        assert_eq!(json.get("sets_added").unwrap().as_u64(), Some(9));
+        assert_eq!(json.get("sets_removed").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -67,6 +67,6 @@ pub use cache::{CacheCounters, LruCache, StripedLruCache};
 pub use metrics::ServiceMetrics;
 pub use pool::{PoolInstruments, Ticket, WorkerPool};
 pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
-pub use service::{ResponseHandle, SearchService, ServiceConfig};
+pub use service::{IngestOutcome, LiveServiceError, ResponseHandle, SearchService, ServiceConfig};
 pub use slowlog::{SlowQueryLog, SlowQuerySink};
 pub use stats::{ServiceStats, SnapshotInfo};

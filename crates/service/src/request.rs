@@ -80,6 +80,11 @@ pub struct CacheKey {
     /// Filter toggles (`em_early_termination`, `no_em_filter`,
     /// `iub_filter`, `verify_all`) packed into one byte.
     pub flags: u8,
+    /// Corpus epoch the answer was computed against. Part of the key so a
+    /// result cached before a live mutation (or a snapshot reload) can
+    /// never be served — or refilled by an in-flight search — after the
+    /// backend was swapped for a newer corpus version.
+    pub epoch: u64,
 }
 
 impl Eq for CacheKey {}
@@ -104,6 +109,7 @@ impl CacheKey {
             alpha_bits: cfg.alpha.to_bits(),
             ub_mode: ub_mode_discriminant(cfg.ub_mode),
             flags,
+            epoch: cfg.epoch,
         }
     }
 
@@ -115,6 +121,7 @@ impl CacheKey {
         fp.write_u64(self.alpha_bits);
         fp.write_u32(self.ub_mode as u32);
         fp.write_u32(self.flags as u32);
+        fp.write_u64(self.epoch);
         fp.finish()
     }
 }
@@ -185,6 +192,9 @@ mod tests {
         assert_ne!(base, key(vec![1, 2, 3], &paper).fingerprint());
         let baseline = KoiosConfig::new(5, 0.8).baseline();
         assert_ne!(base, key(vec![1, 2, 3], &baseline).fingerprint());
+        // A mutated corpus (new epoch) invalidates every earlier entry.
+        let bumped = KoiosConfig::new(5, 0.8).with_epoch(1);
+        assert_ne!(base, key(vec![1, 2, 3], &bumped).fingerprint());
     }
 
     #[test]

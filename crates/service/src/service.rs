@@ -7,17 +7,20 @@ use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 use crate::slowlog::{SlowQueryLog, SlowQueryRecord};
 use crate::stats::{ServiceStats, SnapshotInfo};
 use koios_common::{SetId, TokenId};
+use koios_core::mutable::{BatchRejected, MutableEngine};
 use koios_core::{
     EngineBackend, Hit, KoiosConfig, OwnedKoios, OwnedPartitionedKoios, SearchResult, SearchStats,
 };
+use koios_embed::ops::CorpusOp;
 use koios_embed::repository::Repository;
 use koios_embed::sim::ElementSimilarity;
 use koios_embed::vectors::Embeddings;
 use koios_index::knn_cache::TokenKnnCache;
-use koios_store::snapshot::StoreError;
+use koios_index::live::Applied;
+use koios_store::snapshot::{SnapshotMeta, StoreError};
 use koios_telemetry::Registry;
-use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Tunables of a [`SearchService`].
@@ -141,6 +144,86 @@ struct StatsInner {
     engine: SearchStats,
 }
 
+/// The writer side of the service, behind its own mutex so mutation never
+/// blocks the read path (readers only take the backend `RwLock` for the
+/// nanoseconds of one `Arc` clone).
+#[derive(Default)]
+struct WriterState {
+    /// The mutable engine that mints new backends; `None` when the service
+    /// was constructed over an opaque backend (immutable serving).
+    engine: Option<MutableEngine>,
+    /// Sets appended by live ingestion since construction.
+    sets_added: u64,
+    /// Sets tombstoned by live ingestion since construction.
+    sets_removed: u64,
+    /// Ops applied since the last [`SearchService::snapshot_to`] — exactly
+    /// what the next snapshot call appends as one delta section.
+    pending_ops: Vec<CorpusOp>,
+    /// The file the pending ops chain onto (the last snapshot written or
+    /// reloaded).
+    snapshot_path: Option<PathBuf>,
+}
+
+/// What one applied [`SearchService::ingest`] batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Sets appended by the batch.
+    pub inserted: u64,
+    /// Sets tombstoned by the batch.
+    pub removed: u64,
+    /// The engine epoch after the batch (unchanged for an empty batch).
+    pub epoch: u64,
+}
+
+/// Errors from the live-mutation surface ([`SearchService::ingest`],
+/// [`SearchService::snapshot_to`], [`SearchService::reload`]).
+#[derive(Debug)]
+pub enum LiveServiceError {
+    /// The service was built over an opaque backend
+    /// ([`SearchService::from_backend`] and friends), so there is no
+    /// writer to mutate. Construct via [`SearchService::from_mutable`] or
+    /// [`SearchService::from_snapshot`] for a mutable service.
+    Immutable,
+    /// The op batch failed validation; nothing was applied.
+    Rejected(BatchRejected),
+    /// Snapshot I/O, decode, or chain verification failed.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for LiveServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveServiceError::Immutable => {
+                write!(f, "service was built without a mutable engine")
+            }
+            LiveServiceError::Rejected(e) => write!(f, "{e}"),
+            LiveServiceError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveServiceError::Immutable => None,
+            LiveServiceError::Rejected(e) => Some(e),
+            LiveServiceError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for LiveServiceError {
+    fn from(e: StoreError) -> Self {
+        LiveServiceError::Store(e)
+    }
+}
+
+impl From<BatchRejected> for LiveServiceError {
+    fn from(e: BatchRejected) -> Self {
+        LiveServiceError::Rejected(e)
+    }
+}
+
 /// A long-lived, thread-safe serving layer over one owned engine backend.
 ///
 /// The service amortizes index and similarity setup across queries: the
@@ -201,7 +284,15 @@ pub type ResponseHandle = Ticket<ServiceResponse>;
 /// Everything the workers need, behind one `Arc` so jobs on the persistent
 /// pool (which outlive any one call frame) can share it `'static`-ly.
 struct ServiceInner {
-    backend: EngineBackend,
+    // The serving backend, swapped atomically (read-copy-update) on live
+    // mutation or reload: readers clone the `Arc` under a momentary read
+    // lock and run the whole request against that frozen backend, so a
+    // swap never interrupts — or waits for — an in-flight search, and no
+    // request is ever dropped by a mutation.
+    backend: RwLock<Arc<EngineBackend>>,
+    // The writer: a mutable engine (when the service owns one) plus
+    // mutation bookkeeping. Its mutex serializes writers only.
+    writer: Mutex<WriterState>,
     default_budget: Option<Duration>,
     // Values are `Arc`ed so a hit only bumps a refcount while the stripe
     // lock is held; the O(k) hit-vector copy happens outside the critical
@@ -212,9 +303,9 @@ struct ServiceInner {
     // config; this handle serves stats and invalidation).
     token_cache: Option<Arc<TokenKnnCache>>,
     // Where the backend came from, when it was warm-started from a
-    // snapshot ([`SearchService::from_snapshot`]); surfaced in
-    // [`ServiceStats::snapshot`].
-    snapshot: Option<SnapshotInfo>,
+    // snapshot ([`SearchService::from_snapshot`]) or hot-reloaded
+    // ([`SearchService::reload`]); surfaced in [`ServiceStats::snapshot`].
+    snapshot: Mutex<Option<SnapshotInfo>>,
     stats: Mutex<StatsInner>,
     // Registry + pre-resolved instrument handles; recording on the request
     // path is a handful of relaxed atomic adds.
@@ -276,34 +367,68 @@ impl SearchService {
     /// `token_cache_bytes` to `0` disables token caching even then, by
     /// stripping the cache from the engine configuration.
     pub fn from_backend(backend: impl Into<EngineBackend>, cfg: ServiceConfig) -> Self {
-        Self::from_backend_with_provenance(backend.into(), cfg, None)
+        Self::build(backend.into(), cfg, None, None)
     }
 
-    /// Warm-starts a service from a `koios-store` snapshot: the backend —
-    /// single or sharded, whichever layout the snapshot holds — is restored
-    /// without any index rebuild, searching under a cosine similarity over
-    /// the snapshotted token vectors. `engine_cfg` supplies the serving
-    /// `k`/`α` and filter settings (they are not part of the snapshot — the
-    /// same state serves any configuration). The snapshot's provenance
-    /// (path, sizes, load time) is reported in [`ServiceStats::snapshot`].
+    /// Wraps a [`MutableEngine`]: the service serves a backend minted from
+    /// it and keeps the engine as its writer, enabling the live-mutation
+    /// surface — [`SearchService::ingest`], [`SearchService::snapshot_to`]
+    /// and [`SearchService::reload`]. The service's shared token-kNN cache
+    /// (per `cfg.token_cache_bytes`) is installed into the engine so every
+    /// backend minted across mutations reuses — and correctly
+    /// generation-invalidates — the same cache.
+    pub fn from_mutable(engine: MutableEngine, cfg: ServiceConfig) -> Self {
+        let backend = engine.backend();
+        Self::build(backend, cfg, None, Some(engine))
+    }
+
+    /// Warm-starts a **mutable** service from a `koios-store` snapshot: the
+    /// backend — single or sharded, whichever layout the snapshot holds —
+    /// is restored without any index rebuild, searching under a cosine
+    /// similarity over the snapshotted token vectors; any delta sections
+    /// are replayed and the service resumes from the chain's latest epoch.
+    /// `engine_cfg` supplies the serving `k`/`α` and filter settings (they
+    /// are not part of the snapshot — the same state serves any
+    /// configuration). The snapshot's provenance (path, sizes, delta-chain
+    /// length, load time) is reported in [`ServiceStats::snapshot`], and
+    /// later [`SearchService::snapshot_to`] calls to the same path append
+    /// deltas instead of rewriting the base.
     pub fn from_snapshot(
         path: impl AsRef<Path>,
         engine_cfg: KoiosConfig,
         cfg: ServiceConfig,
     ) -> Result<Self, StoreError> {
-        Self::from_snapshot_with(path, engine_cfg, cfg, |_, emb| match emb {
-            Some(emb) => Ok(Arc::new(koios_embed::sim::CosineSimilarity::new(emb))
-                as Arc<dyn ElementSimilarity>),
-            None => Err(StoreError::MissingSection(
-                koios_store::snapshot::SectionKind::Embeddings,
-            )),
-        })
+        let path = path.as_ref();
+        let t0 = Instant::now();
+        let (engine, meta) = MutableEngine::from_snapshot(path, engine_cfg)?;
+        let backend = engine.backend();
+        let info = SnapshotInfo {
+            path: path.display().to_string(),
+            format_version: meta.format_version,
+            bytes: meta.total_bytes,
+            partitions: backend.num_partitions(),
+            num_sets: meta.num_sets,
+            vocab_size: meta.vocab_size,
+            deltas: meta.deltas.len(),
+            latest_epoch: meta.latest_epoch(),
+            load_time: t0.elapsed(),
+        };
+        let svc = Self::build(backend, cfg, Some(info), Some(engine));
+        svc.inner.writer.lock().expect("writer lock").snapshot_path = Some(path.to_path_buf());
+        Ok(svc)
     }
 
     /// [`Self::from_snapshot`] with a caller-chosen similarity factory (for
     /// snapshots written without embeddings, or engines over non-cosine
     /// similarities). The factory sees the restored repository and token
     /// vectors and returns the similarity the service will search under.
+    ///
+    /// The factory is consumed once, so the resulting service is
+    /// **immutable** (no writer — [`SearchService::ingest`] returns
+    /// [`LiveServiceError::Immutable`]). For a mutable non-cosine service,
+    /// build a [`MutableEngine`] with a reusable
+    /// [`koios_core::mutable::SimFactory`] and use
+    /// [`SearchService::from_mutable`].
     pub fn from_snapshot_with<F>(
         path: impl AsRef<Path>,
         engine_cfg: KoiosConfig,
@@ -327,15 +452,18 @@ impl SearchService {
             partitions: backend.num_partitions(),
             num_sets: meta.num_sets,
             vocab_size: meta.vocab_size,
+            deltas: meta.deltas.len(),
+            latest_epoch: meta.latest_epoch(),
             load_time: t0.elapsed(),
         };
-        Ok(Self::from_backend_with_provenance(backend, cfg, Some(info)))
+        Ok(Self::build(backend, cfg, Some(info), None))
     }
 
-    fn from_backend_with_provenance(
+    fn build(
         backend: EngineBackend,
         cfg: ServiceConfig,
         snapshot: Option<SnapshotInfo>,
+        writer: Option<MutableEngine>,
     ) -> Self {
         let workers = if cfg.workers == 0 {
             std::thread::available_parallelism()
@@ -379,13 +507,24 @@ impl SearchService {
             depth: Arc::clone(&metrics.queue_depth),
             wait: Arc::clone(&metrics.queue_wait),
         };
+        // The writer engine must mint future backends with the *resolved*
+        // token cache (the one the served backend carries), so mutation
+        // invalidation and cache sharing stay coherent across swaps.
+        let writer = writer.map(|mut engine| {
+            engine.set_token_cache(token_cache.clone());
+            engine
+        });
         SearchService {
             inner: Arc::new(ServiceInner {
-                backend,
+                backend: RwLock::new(Arc::new(backend)),
+                writer: Mutex::new(WriterState {
+                    engine: writer,
+                    ..WriterState::default()
+                }),
                 default_budget: cfg.default_time_budget,
                 cache,
                 token_cache,
-                snapshot,
+                snapshot: Mutex::new(snapshot),
                 stats: Mutex::new(StatsInner::default()),
                 metrics,
                 slowlog: cfg.slow_query_log,
@@ -397,14 +536,142 @@ impl SearchService {
     }
 
     /// Provenance of a snapshot-restored backend (`None` when the service
-    /// was built from live structures).
-    pub fn snapshot_info(&self) -> Option<&SnapshotInfo> {
-        self.inner.snapshot.as_ref()
+    /// was built from live structures). Updated by
+    /// [`SearchService::reload`].
+    pub fn snapshot_info(&self) -> Option<SnapshotInfo> {
+        self.inner.snapshot.lock().expect("snapshot lock").clone()
     }
 
-    /// The shared engine backend.
-    pub fn backend(&self) -> &EngineBackend {
-        &self.inner.backend
+    /// The currently served engine backend. The returned `Arc` is a frozen
+    /// view: it stays valid (and keeps serving its corpus version) however
+    /// many [`SearchService::ingest`] batches or reloads happen after.
+    pub fn backend(&self) -> Arc<EngineBackend> {
+        Arc::clone(&self.inner.backend.read().expect("backend lock"))
+    }
+
+    /// The epoch of the currently served backend (see
+    /// [`ServiceStats::engine_epoch`]).
+    pub fn engine_epoch(&self) -> u64 {
+        self.backend().config().epoch
+    }
+
+    /// Whether the service owns a writer (constructed via
+    /// [`SearchService::from_mutable`] or [`SearchService::from_snapshot`])
+    /// and therefore accepts [`SearchService::ingest`].
+    pub fn is_mutable(&self) -> bool {
+        self.inner
+            .writer
+            .lock()
+            .expect("writer lock")
+            .engine
+            .is_some()
+    }
+
+    /// Applies a batch of corpus ops — atomically: either every op applies
+    /// and the freshly minted backend is swapped in, or nothing changes —
+    /// and returns what the batch did. In-flight and queued searches are
+    /// never dropped: each runs to completion against the backend `Arc` it
+    /// cloned at pickup (its response reports the older `stats.epoch`).
+    /// The result LRU needs no flush — cache keys carry the epoch, so
+    /// entries from older epochs simply stop matching — but it is flushed
+    /// anyway to reclaim their space, and the token-kNN cache is
+    /// invalidated by the engine's generation bump.
+    pub fn ingest(&self, ops: &[CorpusOp]) -> Result<IngestOutcome, LiveServiceError> {
+        let mut w = self.inner.writer.lock().expect("writer lock");
+        let engine = w.engine.as_mut().ok_or(LiveServiceError::Immutable)?;
+        let applied = engine.apply(ops)?;
+        let epoch = engine.epoch();
+        let swap = (!applied.is_empty()).then(|| Arc::new(engine.backend()));
+        let (mut inserted, mut removed) = (0u64, 0u64);
+        for a in &applied {
+            match a {
+                Applied::Inserted(_) => inserted += 1,
+                Applied::Removed(_) => removed += 1,
+            }
+        }
+        w.sets_added += inserted;
+        w.sets_removed += removed;
+        w.pending_ops.extend_from_slice(ops);
+        if let Some(backend) = swap {
+            *self.inner.backend.write().expect("backend lock") = backend;
+            self.inner.cache.invalidate_all();
+        }
+        Ok(IngestOutcome {
+            inserted,
+            removed,
+            epoch,
+        })
+    }
+
+    /// Persists the current corpus state to `path`. When `path` is the
+    /// file this service last snapshotted to (or was loaded/reloaded
+    /// from), only the ops applied since then are **appended as one delta
+    /// section** — checksum-chained onto the existing file, without
+    /// rewriting the base payloads. Any other path gets a fresh full base.
+    /// Writers are serialized against [`SearchService::ingest`], so the
+    /// snapshot is a consistent cut: it contains exactly the batches whose
+    /// `ingest` returned before this call.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<SnapshotMeta, LiveServiceError> {
+        let path = path.as_ref();
+        let mut w = self.inner.writer.lock().expect("writer lock");
+        let engine = w.engine.as_ref().ok_or(LiveServiceError::Immutable)?;
+        let chains = w.snapshot_path.as_deref() == Some(path) && path.exists();
+        let meta = if chains {
+            if w.pending_ops.is_empty() {
+                SnapshotMeta::read(path)?
+            } else {
+                koios_store::append_delta(path, &w.pending_ops, engine.epoch())?
+            }
+        } else {
+            engine.write_snapshot(path)?
+        };
+        w.pending_ops.clear();
+        w.snapshot_path = Some(path.to_path_buf());
+        Ok(meta)
+    }
+
+    /// Hot-swaps the serving state for the snapshot at `path` (deltas
+    /// replayed), with **zero downtime**: requests keep being admitted and
+    /// answered throughout — each against whichever backend it picked up.
+    /// The reloaded engine searches under the writer's existing similarity
+    /// factory and keeps the service's shared token cache; its epoch is
+    /// raised strictly above the replaced engine's, so no cached result
+    /// from before the reload can be served after it. Returns the new
+    /// provenance (also visible in [`ServiceStats::snapshot`]).
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<SnapshotInfo, LiveServiceError> {
+        let path = path.as_ref();
+        let t0 = Instant::now();
+        let mut w = self.inner.writer.lock().expect("writer lock");
+        let old = w.engine.as_ref().ok_or(LiveServiceError::Immutable)?;
+        let (factory, old_epoch, engine_cfg) =
+            (old.sim_factory(), old.epoch(), old.config().clone());
+        let state = koios_store::snapshot::read_snapshot(path)?;
+        let meta = state.meta.clone();
+        let mut engine = MutableEngine::from_state(state, engine_cfg, factory)?;
+        engine.advance_epoch_to(old_epoch + 1);
+        let backend = Arc::new(engine.backend());
+        let info = SnapshotInfo {
+            path: path.display().to_string(),
+            format_version: meta.format_version,
+            bytes: meta.total_bytes,
+            partitions: backend.num_partitions(),
+            num_sets: meta.num_sets,
+            vocab_size: meta.vocab_size,
+            deltas: meta.deltas.len(),
+            latest_epoch: meta.latest_epoch(),
+            load_time: t0.elapsed(),
+        };
+        w.engine = Some(engine);
+        w.pending_ops.clear();
+        w.snapshot_path = Some(path.to_path_buf());
+        drop(w);
+        *self.inner.backend.write().expect("backend lock") = backend;
+        self.inner.cache.invalidate_all();
+        if let Some(tc) = &self.inner.token_cache {
+            tc.bump_generation();
+        }
+        *self.inner.snapshot.lock().expect("snapshot lock") = Some(info.clone());
+        Ok(info)
     }
 
     /// The worker-pool width (long-lived threads draining the submission
@@ -421,12 +688,14 @@ impl SearchService {
     /// Number of index partitions the backend searches (1 for a single
     /// engine).
     pub fn partitions(&self) -> usize {
-        self.inner.backend.num_partitions()
+        self.backend().num_partitions()
     }
 
-    /// The repository behind the engine.
-    pub fn repository(&self) -> &Repository {
-        self.inner.backend.repository()
+    /// The repository behind the currently served backend (shared
+    /// ownership — live mutation swaps the service onto a new repository,
+    /// but the one returned here stays valid).
+    pub fn repository(&self) -> Arc<Repository> {
+        self.backend().repository_arc()
     }
 
     /// Runs one request (a batch of one).
@@ -518,6 +787,11 @@ impl SearchService {
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
+        let backend = self.backend();
+        let (sets_added, sets_removed) = {
+            let w = self.inner.writer.lock().expect("writer lock");
+            (w.sets_added, w.sets_removed)
+        };
         let st = self.inner.stats.lock().expect("stats lock");
         let cache = self.inner.cache.counters();
         ServiceStats {
@@ -527,10 +801,13 @@ impl SearchService {
             searched: st.searched,
             rejected: st.rejected,
             timed_out: st.timed_out,
-            partitions: self.inner.backend.num_partitions(),
+            partitions: backend.num_partitions(),
             cache,
             token_cache: self.inner.token_cache.as_ref().map(|tc| tc.snapshot()),
-            snapshot: self.inner.snapshot.clone(),
+            snapshot: self.snapshot_info(),
+            engine_epoch: backend.config().epoch,
+            sets_added,
+            sets_removed,
             engine: st.engine.clone(),
             uptime_secs: self.inner.started.elapsed().as_secs_f64(),
             start_time: self.inner.start_time,
@@ -625,7 +902,7 @@ impl SearchService {
 
     /// Exact overlap oracle passthrough (auditing cached answers).
     pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
-        self.inner.backend.exact_overlap(query, set)
+        self.backend().exact_overlap(query, set)
     }
 }
 
@@ -653,9 +930,15 @@ impl ServiceInner {
         let queue_time = submitted.elapsed();
         self.metrics.request_queue.record_duration(queue_time);
 
+        // Pin the serving backend once: the whole request — cache key
+        // (whose fingerprint covers the backend's epoch), admission,
+        // search — runs against this frozen corpus version, however many
+        // live mutations swap the service's backend meanwhile.
+        let backend = Arc::clone(&self.backend.read().expect("backend lock"));
+
         // Effective per-request configuration (cheap: no index rebuild on
         // either backend).
-        let mut cfg = self.backend.config().clone();
+        let mut cfg = backend.config().clone();
         if let Some(k) = req.k {
             cfg.k = k;
         }
@@ -689,6 +972,7 @@ impl ServiceInner {
                         fingerprint: fp,
                         k: cfg.k,
                         alpha: cfg.alpha,
+                        epoch: cfg.epoch,
                         queue: queue_time,
                         search: Duration::ZERO,
                         cache: CacheOutcome::Hit,
@@ -744,16 +1028,16 @@ impl ServiceInner {
             }
         }
 
-        let (eff_k, eff_alpha) = (cfg.k, cfg.alpha);
+        let (eff_k, eff_alpha, eff_epoch) = (cfg.k, cfg.alpha, cfg.epoch);
         let search_start = Instant::now();
         // Fast path: without per-request overrides the effective config is
         // the backend's own, so the shared backend (and its pre-built
         // shard engines) is searched directly — no config-sibling rebuild
         // per request.
         let result = if req.k.is_none() && req.alpha.is_none() {
-            self.backend.search_with_deadline(&key.tokens, deadline)
+            backend.search_with_deadline(&key.tokens, deadline)
         } else {
-            self.backend
+            backend
                 .with_config(cfg)
                 .search_with_deadline(&key.tokens, deadline)
         };
@@ -774,6 +1058,7 @@ impl ServiceInner {
                 fingerprint: fp,
                 k: eff_k,
                 alpha: eff_alpha,
+                epoch: eff_epoch,
                 queue: queue_time,
                 search: search_time,
                 cache: if req.bypass_cache {
@@ -1185,7 +1470,10 @@ mod tests {
         assert_eq!(info.partitions, 2);
         assert_eq!(info.num_sets, repo.num_sets());
         assert!(info.bytes > 0);
-        assert_eq!(warm.stats().snapshot.as_ref(), Some(info));
+        assert_eq!(info.deltas, 0, "plain base: no delta chain");
+        assert_eq!(info.latest_epoch, 0);
+        assert_eq!(warm.stats().snapshot, Some(info));
+        assert!(warm.is_mutable(), "snapshot services own a writer");
 
         let q = repo.intern_query(["LA", "Blain", "SC"]);
         let a = cold.search(SearchRequest::new(q.clone()));
@@ -1309,6 +1597,156 @@ mod tests {
         // reset_stats zeroes counters but the service did not restart.
         svc.reset_stats();
         assert!(svc.stats().uptime_secs >= after.uptime_secs);
+    }
+
+    fn equality_factory() -> koios_core::mutable::SimFactory {
+        Arc::new(|_, _| Ok(Arc::new(EqualitySimilarity) as Arc<dyn ElementSimilarity>))
+    }
+
+    #[test]
+    fn live_ingest_mutates_the_served_corpus() {
+        let (repo, _) = service(1, 8);
+        let engine = MutableEngine::single(
+            Arc::clone(&repo),
+            None,
+            KoiosConfig::new(2, 0.9),
+            equality_factory(),
+        )
+        .unwrap();
+        let svc = SearchService::from_mutable(
+            engine,
+            ServiceConfig::new().with_workers(2).with_cache_capacity(8),
+        );
+        assert!(svc.is_mutable());
+        assert_eq!(svc.engine_epoch(), 0);
+
+        let q = repo.intern_query(["m", "n", "o"]);
+        let before = svc.search(SearchRequest::new(q.clone()));
+        assert_eq!(before.result.stats.epoch, 0);
+        // Pin the pre-mutation backend: it must keep serving its frozen
+        // corpus after the swap.
+        let frozen = svc.backend();
+
+        let out = svc
+            .ingest(&[CorpusOp::insert("s4", ["m", "n", "o"])])
+            .unwrap();
+        assert_eq!((out.inserted, out.removed, out.epoch), (1, 0, 1));
+        let st = svc.stats();
+        assert_eq!(st.engine_epoch, 1);
+        assert_eq!((st.sets_added, st.sets_removed), (1, 0));
+
+        let after = svc.search(SearchRequest::new(q.clone()));
+        assert_eq!(after.cache, CacheOutcome::Miss, "epoch keys the cache");
+        assert_eq!(after.result.stats.epoch, 1);
+        let repo_now = svc.repository();
+        assert!(
+            after
+                .result
+                .hits
+                .iter()
+                .any(|h| repo_now.set_name(h.set) == "s4"),
+            "the ingested set ranks for its own tokens"
+        );
+        assert_eq!(frozen.repository().num_sets(), 4, "old backend frozen");
+        assert_eq!(frozen.search(&q).hits, before.result.hits);
+
+        // Tombstoning takes it back out.
+        let s4 = SetId(4);
+        let out = svc.ingest(&[CorpusOp::remove(s4)]).unwrap();
+        assert_eq!((out.inserted, out.removed, out.epoch), (0, 1, 2));
+        let gone = svc.search(SearchRequest::new(q));
+        assert!(gone.result.hits.iter().all(|h| h.set != s4));
+        assert_eq!(svc.stats().sets_removed, 1);
+
+        // A rejected batch mutates nothing and keeps the epoch.
+        let err = svc.ingest(&[CorpusOp::remove(SetId(99))]).unwrap_err();
+        assert!(matches!(err, LiveServiceError::Rejected(_)), "{err}");
+        assert_eq!(svc.engine_epoch(), 2);
+    }
+
+    #[test]
+    fn immutable_services_refuse_the_mutation_surface() {
+        let (_repo, svc) = service(1, 8);
+        assert!(!svc.is_mutable());
+        for err in [
+            svc.ingest(&[]).unwrap_err(),
+            svc.snapshot_to("/tmp/never-written.ksnap").unwrap_err(),
+            svc.reload("/tmp/never-read.ksnap").unwrap_err(),
+        ] {
+            assert!(matches!(err, LiveServiceError::Immutable), "{err}");
+            assert!(err.to_string().contains("mutable"));
+        }
+        assert_eq!(svc.stats().engine_epoch, 0);
+    }
+
+    #[test]
+    fn snapshot_to_appends_deltas_and_reload_hot_swaps() {
+        use koios_embed::synthetic::SyntheticEmbeddings;
+        let mut b = RepositoryBuilder::new();
+        b.add_set("c1", ["LA", "Blain", "Appleton"]);
+        b.add_set("c2", ["LA", "Sacramento", "SC"]);
+        let repo = Arc::new(b.build());
+        let emb = Arc::new(
+            SyntheticEmbeddings::builder()
+                .dimensions(8)
+                .seed(5)
+                .build(&repo),
+        );
+        let engine = koios_core::mutable::MutableEngine::single(
+            Arc::clone(&repo),
+            Some(emb),
+            KoiosConfig::new(2, 0.5),
+            koios_core::mutable::cosine_factory(),
+        )
+        .unwrap();
+        let svc = SearchService::from_mutable(engine, ServiceConfig::new().with_workers(1));
+
+        let dir = std::env::temp_dir().join("koios-service-live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.ksnap");
+        let _ = std::fs::remove_file(&path);
+
+        let meta = svc.snapshot_to(&path).unwrap();
+        assert!(meta.deltas.is_empty(), "first write is a fresh base");
+
+        svc.ingest(&[CorpusOp::insert("n1", ["LA", "SC", "Fresno"])])
+            .unwrap();
+        let meta = svc.snapshot_to(&path).unwrap();
+        assert_eq!(meta.deltas.len(), 1, "second write appends one delta");
+        assert_eq!(meta.latest_epoch(), 1);
+        let again = svc.snapshot_to(&path).unwrap();
+        assert_eq!(again.deltas.len(), 1, "nothing pending: chain unchanged");
+
+        // A fresh service restores base + delta and resumes the epoch.
+        let warm = SearchService::from_snapshot(
+            &path,
+            KoiosConfig::new(2, 0.5),
+            ServiceConfig::new().with_workers(1),
+        )
+        .unwrap();
+        assert_eq!(warm.engine_epoch(), 1);
+        assert_eq!(warm.repository().num_sets(), repo.num_sets() + 1);
+        let info = warm.snapshot_info().unwrap();
+        assert_eq!((info.deltas, info.latest_epoch), (1, 1));
+        let q = warm.repository().intern_query(["LA", "SC"]);
+        assert_eq!(
+            warm.search(SearchRequest::new(q.clone())).result.hits,
+            svc.search(SearchRequest::new(q.clone())).result.hits,
+            "restored service answers identically"
+        );
+
+        // Hot reload rolls the original service back to the file's state,
+        // with a strictly higher epoch than the replaced engine.
+        svc.ingest(&[CorpusOp::insert("n2", ["Blain"])]).unwrap(); // epoch 2, unsnapshotted
+        let info = svc.reload(&path).unwrap();
+        assert_eq!((info.deltas, info.latest_epoch), (1, 1));
+        assert_eq!(svc.engine_epoch(), 3, "max(old + 1, chain latest)");
+        assert_eq!(svc.repository().num_sets(), repo.num_sets() + 1, "n2 gone");
+        assert_eq!(svc.stats().snapshot, Some(info));
+        assert_eq!(
+            svc.search(SearchRequest::new(q.clone())).result.hits,
+            warm.search(SearchRequest::new(q)).result.hits
+        );
     }
 
     #[test]

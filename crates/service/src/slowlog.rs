@@ -92,6 +92,10 @@ pub(crate) struct SlowQueryRecord<'a> {
     pub fingerprint: u64,
     pub k: usize,
     pub alpha: f64,
+    /// Corpus epoch of the backend that served (or would have served) the
+    /// request, so slow queries are attributable to a corpus version even
+    /// after later live mutations.
+    pub epoch: u64,
     pub queue: Duration,
     pub search: Duration,
     pub cache: CacheOutcome,
@@ -104,11 +108,12 @@ impl SlowQueryRecord<'_> {
         let mut line = String::with_capacity(256);
         let _ = write!(
             line,
-            "{{\"fingerprint\":\"{}\",\"k\":{},\"alpha\":{},\"total_ns\":{},\
+            "{{\"fingerprint\":\"{}\",\"k\":{},\"alpha\":{},\"epoch\":{},\"total_ns\":{},\
              \"queue_ns\":{},\"search_ns\":{},\"cache\":\"{}\"",
             fingerprint::hex(self.fingerprint),
             self.k,
             self.alpha,
+            self.epoch,
             (self.queue + self.search).as_nanos(),
             self.queue.as_nanos(),
             self.search.as_nanos(),
@@ -167,6 +172,7 @@ mod tests {
             fingerprint: 0xE6F2_8F54_69D3_412F,
             k: 5,
             alpha: 0.8,
+            epoch: 7,
             queue: Duration::from_nanos(100),
             search: Duration::from_nanos(900),
             cache: CacheOutcome::Miss,
@@ -200,6 +206,7 @@ mod tests {
         let line = &lines[0];
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"fingerprint\":\"0xe6f28f5469d3412f\""));
+        assert!(line.contains("\"epoch\":7"));
         assert!(line.contains("\"total_ns\":1000"));
         assert!(line.contains("\"refine_ns\":700"));
         assert!(line.contains("\"verify_ns\":150"));

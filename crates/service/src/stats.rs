@@ -23,6 +23,13 @@ pub struct SnapshotInfo {
     pub num_sets: usize,
     /// Vocabulary size of the restored repository.
     pub vocab_size: usize,
+    /// Length of the snapshot's delta chain (0 for a plain base — see
+    /// `koios_store::append_delta`). Each delta was replayed onto the base
+    /// during the load.
+    pub deltas: usize,
+    /// Highest epoch recorded in the delta chain (0 for a plain base); the
+    /// restored engine resumes its epoch count from here.
+    pub latest_epoch: u64,
     /// Wall time of read + restore (file to query-ready backend).
     pub load_time: Duration,
 }
@@ -67,8 +74,18 @@ pub struct ServiceStats {
     /// adds the global view: bytes held, entries, evictions, generation.
     pub token_cache: Option<KnnCacheSnapshot>,
     /// Provenance of the snapshot the backend was warm-started from
-    /// (`None` when the service was built from live structures).
+    /// (`None` when the service was built from live structures). Updated
+    /// by [`crate::SearchService::reload`].
     pub snapshot: Option<SnapshotInfo>,
+    /// Epoch of the currently served backend: 0 at construction, +1 per
+    /// applied [`crate::SearchService::ingest`] batch, strictly increasing
+    /// across [`crate::SearchService::reload`]. Every search response's
+    /// `stats.epoch` reports the epoch of the backend that served it.
+    pub engine_epoch: u64,
+    /// Sets appended by live ingestion since construction.
+    pub sets_added: u64,
+    /// Sets tombstoned by live ingestion since construction.
+    pub sets_removed: u64,
     /// Folded per-search engine instrumentation.
     pub engine: SearchStats,
     /// Seconds since the service was constructed (monotone clock; not
@@ -93,6 +110,9 @@ impl Default for ServiceStats {
             cache: CacheCounters::default(),
             token_cache: None,
             snapshot: None,
+            engine_epoch: 0,
+            sets_added: 0,
+            sets_removed: 0,
             engine: SearchStats::default(),
             uptime_secs: 0.0,
             start_time: SystemTime::UNIX_EPOCH,

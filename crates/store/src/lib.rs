@@ -23,8 +23,12 @@
 //!   readers: fixed-width ints/floats, varints, length-prefixed strings,
 //!   delta-encoded sorted id sequences, and the CRC-32.
 //! * [`snapshot`] — the section container: [`write_snapshot`]
-//!   (temp-file + rename), [`read_snapshot`] (verify-then-decode), and
-//!   [`SnapshotMeta::read`] for cheap inspection without loading payloads.
+//!   (temp-file + rename), [`read_snapshot`] (verify-then-decode, replaying
+//!   any appended delta sections), [`SnapshotMeta::read`] for cheap
+//!   inspection without loading payloads, plus the live-corpus surface:
+//!   [`append_delta`] chains a batch of corpus ops onto an existing
+//!   snapshot by checksum, and [`compact`] folds the chain back into a
+//!   fresh base.
 //!
 //! Entry points for applications live one level up:
 //! `EngineBackend::{write_snapshot, from_snapshot}` in `koios-core`
@@ -35,12 +39,15 @@
 //! [`write_snapshot`]: snapshot::write_snapshot
 //! [`read_snapshot`]: snapshot::read_snapshot
 //! [`SnapshotMeta::read`]: snapshot::SnapshotMeta::read
+//! [`append_delta`]: snapshot::append_delta
+//! [`compact`]: snapshot::compact
 
 pub mod codec;
 pub mod snapshot;
 
 pub use codec::{crc32, CodecError, Reader, Writer};
 pub use snapshot::{
-    read_snapshot, write_snapshot, SectionInfo, SectionKind, SnapshotLayout, SnapshotMeta,
-    SnapshotState, SnapshotView, StoreError, FORMAT_VERSION, SNAPSHOT_EXT,
+    append_delta, compact, read_snapshot, write_snapshot, DeltaInfo, SectionInfo, SectionKind,
+    SnapshotLayout, SnapshotMeta, SnapshotState, SnapshotView, StoreError, FORMAT_VERSION,
+    SNAPSHOT_EXT,
 };

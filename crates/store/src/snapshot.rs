@@ -11,7 +11,8 @@
 //! │          crc32 u32                      (24 bytes per entry) │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ payloads Meta · Repository · [Embeddings] ·                  │
-//! │          InvertedIndex × n (shard order) · [MinHash]         │
+//! │          InvertedIndex × n (shard order) · [MinHash] ·       │
+//! │          Delta × m (append order)                            │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -22,14 +23,30 @@
 //! failures are typed [`StoreError`]s — a corrupt snapshot can never panic
 //! the loader.
 //!
+//! ## Deltas (format v2)
+//!
+//! A snapshot is a **base** (the sections above the `Delta` rows) plus an
+//! append-only chain of delta sections, each holding a batch of
+//! [`CorpusOp`]s recorded by a live engine ([`append_delta`]). On load,
+//! [`read_snapshot`] replays the chain through the same
+//! [`koios_index::live::apply_op`] the live engine used, so a reloaded
+//! engine is byte-identical to the one that wrote the deltas. The chain is
+//! tamper-evident: every delta records its parent checksum — the CRC-32
+//! folded over the base section checksums for the first delta, the previous
+//! delta's own checksum after that — and a mismatch fails with
+//! [`StoreError::DeltaChainBroken`] before any op is applied.
+//! [`compact`] folds the chain into a fresh base.
+//!
 //! [`SnapshotMeta::read`] inspects a snapshot — layout, counts, section
-//! sizes — by reading only the header, the table and the small Meta
-//! section, without touching the (much larger) payloads. [`write_snapshot`]
+//! sizes, the delta chain's epochs and parent checksums — by reading only
+//! the header, the table, the small Meta section and each delta's fixed
+//! header, without touching the (much larger) payloads. [`write_snapshot`]
 //! writes to a temporary sibling file and renames it into place, so a crash
 //! mid-write never leaves a half-written snapshot under the final name.
 
 use crate::codec::{crc32, CodecError, Reader, Writer};
 use koios_common::{SetId, TokenId};
+use koios_embed::ops::CorpusOp;
 use koios_embed::repository::{Repository, RepositoryBuilder};
 use koios_embed::vectors::Embeddings;
 use koios_index::inverted::InvertedIndex;
@@ -41,8 +58,11 @@ use std::path::Path;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"KOIOSNAP";
 
-/// Current snapshot format version; readers reject anything newer.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version; readers reject anything newer and
+/// accept anything older. v1: base sections only. v2: the repository
+/// section carries a trailing tombstone list and `Delta` sections may
+/// follow the base.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Conventional file extension for snapshots (`engine.ksnap`).
 pub const SNAPSHOT_EXT: &str = "ksnap";
@@ -68,6 +88,10 @@ pub enum SectionKind {
     /// MinHash-LSH signatures (`MinHashIndex`; band tables are derived and
     /// rebuilt on load).
     MinHash,
+    /// One appended batch of corpus mutations (format v2): a fixed header
+    /// (parent checksum + epoch) followed by encoded [`CorpusOp`]s,
+    /// replayed onto the base state on load.
+    Delta,
 }
 
 impl SectionKind {
@@ -78,6 +102,7 @@ impl SectionKind {
             SectionKind::Embeddings => 2,
             SectionKind::InvertedIndex => 3,
             SectionKind::MinHash => 4,
+            SectionKind::Delta => 5,
         }
     }
 
@@ -88,6 +113,7 @@ impl SectionKind {
             2 => Some(SectionKind::Embeddings),
             3 => Some(SectionKind::InvertedIndex),
             4 => Some(SectionKind::MinHash),
+            5 => Some(SectionKind::Delta),
             _ => None,
         }
     }
@@ -100,6 +126,7 @@ impl SectionKind {
             SectionKind::Embeddings => "embeddings",
             SectionKind::InvertedIndex => "inverted-index",
             SectionKind::MinHash => "minhash",
+            SectionKind::Delta => "delta",
         }
     }
 }
@@ -145,6 +172,21 @@ pub struct SectionInfo {
     pub crc: u32,
 }
 
+/// Provenance of one delta section, readable from its fixed header without
+/// decoding the ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaInfo {
+    /// Checksum of this delta's parent: the folded base checksum for the
+    /// first delta, the previous delta's `crc` after that.
+    pub parent_crc: u32,
+    /// CRC-32 of this delta's payload (its identity in the chain).
+    pub crc: u32,
+    /// Engine epoch at the time the batch was appended.
+    pub epoch: u64,
+    /// Number of ops in the batch.
+    pub ops: usize,
+}
+
 /// Everything a snapshot says about itself, readable without decoding the
 /// payload sections (see [`SnapshotMeta::read`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,9 +195,10 @@ pub struct SnapshotMeta {
     pub format_version: u32,
     /// Single or partitioned engine layout.
     pub layout: SnapshotLayout,
-    /// Number of sets in the repository.
+    /// Number of sets in the repository **base** (live + tombstoned;
+    /// replayed deltas can grow this).
     pub num_sets: usize,
-    /// Vocabulary size of the repository.
+    /// Vocabulary size of the repository base.
     pub vocab_size: usize,
     /// Number of inverted-index sections (1, or the partition count).
     pub num_indexes: usize,
@@ -167,6 +210,16 @@ pub struct SnapshotMeta {
     pub total_bytes: u64,
     /// The section table (kind, offset, length, checksum per section).
     pub sections: Vec<SectionInfo>,
+    /// The delta chain, in replay order (empty for a fresh base).
+    pub deltas: Vec<DeltaInfo>,
+}
+
+impl SnapshotMeta {
+    /// The engine epoch of the newest delta (0 for a fresh or compacted
+    /// base — bases do not record an epoch).
+    pub fn latest_epoch(&self) -> u64 {
+        self.deltas.last().map(|d| d.epoch).unwrap_or(0)
+    }
 }
 
 /// Why a snapshot could not be written or read.
@@ -210,6 +263,17 @@ pub enum StoreError {
         /// The layout the snapshot holds.
         found: String,
     },
+    /// A delta section's recorded parent checksum does not match the chain
+    /// tip — the base was rewritten, a delta was dropped, or sections were
+    /// reordered after the delta was appended.
+    DeltaChainBroken {
+        /// Position of the offending delta in the chain (0-based).
+        index: usize,
+        /// The chain tip the delta should descend from.
+        expected: u32,
+        /// The parent checksum the delta actually records.
+        found: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -238,6 +302,15 @@ impl fmt::Display for StoreError {
             StoreError::LayoutMismatch { expected, found } => write!(
                 f,
                 "snapshot layout mismatch: expected a {expected} engine, snapshot holds {found}"
+            ),
+            StoreError::DeltaChainBroken {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "delta chain broken at delta {index}: parent checksum {found:#010x} \
+                 does not match chain tip {expected:#010x}"
             ),
         }
     }
@@ -376,6 +449,9 @@ fn decode_meta(
         has_minhash,
         total_bytes,
         sections,
+        // Filled in by the caller from the delta headers (decode_meta only
+        // sees the Meta payload).
+        deltas: Vec::new(),
     })
 }
 
@@ -390,6 +466,15 @@ fn encode_repository(repo: &Repository) -> Vec<u8> {
         w.str(repo.set_name(id));
         w.delta_seq(set.iter().map(|t| t.0));
     }
+    // v2 trailer: tombstoned set ids (slots are written above either way —
+    // the id space stays dense — but removed sets must come back removed).
+    // v1 payloads simply end after the sets; the decoder accepts both.
+    w.delta_seq(
+        repo.tombstones()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|s| s.0),
+    );
     w.into_bytes()
 }
 
@@ -448,16 +533,30 @@ fn decode_repository(payload: &[u8]) -> Result<Repository, StoreError> {
         let ids = read_id_seq(&mut r, "set element", kind, vocab, TokenId)?;
         sets.push((name, ids.into_vec()));
     }
+    // v2 payloads carry a trailing tombstone list; v1 payloads end here.
+    let tombstones = if r.is_exhausted() {
+        Box::from([])
+    } else {
+        read_id_seq(&mut r, "tombstone", kind, num_sets, SetId)?
+    };
     if !r.is_exhausted() {
         return Err(StoreError::Malformed(
             "trailing bytes in repository section".to_string(),
         ));
     }
-    let repo = RepositoryBuilder::from_snapshot(strings, sets);
+    let mut repo = RepositoryBuilder::from_snapshot(strings, sets);
     if repo.vocab_size() != vocab {
         return Err(StoreError::Malformed(
             "duplicate vocabulary strings collapse under interning".to_string(),
         ));
+    }
+    for &id in tombstones.iter() {
+        if !repo.remove_set(id) {
+            return Err(StoreError::Malformed(format!(
+                "tombstone names set {} twice",
+                id.0
+            )));
+        }
     }
     Ok(repo)
 }
@@ -639,6 +738,163 @@ fn decode_minhash(payload: &[u8]) -> Result<MinHashIndex, StoreError> {
 }
 
 // ---------------------------------------------------------------------------
+// Delta sections: op codec and checksum chaining.
+// ---------------------------------------------------------------------------
+
+/// Fixed bytes at the head of every delta payload: parent CRC-32 (4) +
+/// epoch (8). Everything after is the varint op count and the encoded ops.
+const DELTA_HEADER_LEN: usize = 12;
+
+/// The chain tip a snapshot's **first** delta must descend from: the
+/// CRC-32 folded over the base sections' checksums (little-endian, table
+/// order). Any change to any base payload changes this value, so a delta
+/// appended against one base can never silently replay onto another.
+fn base_chain_tip(sections: &[SectionInfo]) -> u32 {
+    let mut bytes = Vec::with_capacity(sections.len() * 4);
+    for s in sections.iter().filter(|s| s.kind != SectionKind::Delta) {
+        bytes.extend_from_slice(&s.crc.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+fn encode_op(w: &mut Writer, op: &CorpusOp) {
+    match op {
+        CorpusOp::Insert {
+            name,
+            tokens,
+            vectors,
+        } => {
+            w.u8(0);
+            w.str(name);
+            w.varint(tokens.len() as u64);
+            for t in tokens {
+                w.str(t);
+            }
+            w.varint(vectors.len() as u64);
+            for (t, row) in vectors {
+                w.str(t);
+                w.varint(row.len() as u64);
+                for &v in row {
+                    w.f32(v);
+                }
+            }
+        }
+        CorpusOp::Remove { set } => {
+            w.u8(1);
+            w.varint(set.0 as u64);
+        }
+    }
+}
+
+fn decode_op(r: &mut Reader) -> Result<CorpusOp, StoreError> {
+    let kind = SectionKind::Delta;
+    match r.u8().map_err(corrupt(kind))? {
+        0 => {
+            let name = r.str("op set name").map_err(corrupt(kind))?.to_string();
+            let num_tokens = r.checked_len(1, "op tokens").map_err(corrupt(kind))?;
+            let mut tokens = Vec::with_capacity(num_tokens);
+            for _ in 0..num_tokens {
+                tokens.push(r.str("op token").map_err(corrupt(kind))?.to_string());
+            }
+            let num_vectors = r.checked_len(1, "op vectors").map_err(corrupt(kind))?;
+            let mut vectors = Vec::with_capacity(num_vectors);
+            for _ in 0..num_vectors {
+                let token = r.str("op vector token").map_err(corrupt(kind))?.to_string();
+                let dim = r.checked_len(4, "op vector row").map_err(corrupt(kind))?;
+                let mut row = vec![0.0f32; dim];
+                r.f32_into(&mut row).map_err(corrupt(kind))?;
+                vectors.push((token, row));
+            }
+            Ok(CorpusOp::Insert {
+                name,
+                tokens,
+                vectors,
+            })
+        }
+        1 => {
+            let set = r.varint().map_err(corrupt(kind))?;
+            if set > u32::MAX as u64 {
+                return Err(StoreError::Malformed(format!(
+                    "remove op names set {set}, beyond the 32-bit id space"
+                )));
+            }
+            Ok(CorpusOp::Remove {
+                set: SetId(set as u32),
+            })
+        }
+        other => Err(StoreError::Malformed(format!("unknown op tag {other}"))),
+    }
+}
+
+fn encode_delta(parent_crc: u32, epoch: u64, ops: &[CorpusOp]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(parent_crc);
+    w.u64(epoch);
+    w.varint(ops.len() as u64);
+    for op in ops {
+        encode_op(&mut w, op);
+    }
+    w.into_bytes()
+}
+
+fn decode_delta(payload: &[u8]) -> Result<(u32, u64, Vec<CorpusOp>), StoreError> {
+    let kind = SectionKind::Delta;
+    let mut r = Reader::new(payload);
+    let parent_crc = r.u32().map_err(corrupt(kind))?;
+    let epoch = r.u64().map_err(corrupt(kind))?;
+    let count = r.checked_len(1, "delta ops").map_err(corrupt(kind))?;
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        ops.push(decode_op(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::Malformed(
+            "trailing bytes in delta section".to_string(),
+        ));
+    }
+    Ok((parent_crc, epoch, ops))
+}
+
+/// Decodes only a delta's fixed header and op count (the cheap-inspection
+/// path of [`SnapshotMeta::read`]; `head` need not contain the ops).
+fn decode_delta_head(head: &[u8], crc: u32) -> Result<DeltaInfo, StoreError> {
+    let kind = SectionKind::Delta;
+    let mut r = Reader::new(head);
+    let parent_crc = r.u32().map_err(corrupt(kind))?;
+    let epoch = r.u64().map_err(corrupt(kind))?;
+    let ops = r.varint().map_err(corrupt(kind))? as usize;
+    Ok(DeltaInfo {
+        parent_crc,
+        crc,
+        epoch,
+        ops,
+    })
+}
+
+/// Walks the delta chain, verifying each delta's parent checksum against
+/// the running tip. Returns the infos in replay order.
+fn verify_chain(
+    sections: &[SectionInfo],
+    read_head: impl Fn(&SectionInfo) -> Result<DeltaInfo, StoreError>,
+) -> Result<Vec<DeltaInfo>, StoreError> {
+    let mut tip = base_chain_tip(sections);
+    let mut deltas = Vec::new();
+    for info in sections.iter().filter(|s| s.kind == SectionKind::Delta) {
+        let head = read_head(info)?;
+        if head.parent_crc != tip {
+            return Err(StoreError::DeltaChainBroken {
+                index: deltas.len(),
+                expected: tip,
+                found: head.parent_crc,
+            });
+        }
+        tip = head.crc;
+        deltas.push(head);
+    }
+    Ok(deltas)
+}
+
+// ---------------------------------------------------------------------------
 // Container assembly and parsing.
 // ---------------------------------------------------------------------------
 
@@ -775,9 +1031,12 @@ fn checked_section<'a>(bytes: &'a [u8], info: &SectionInfo) -> Result<&'a [u8], 
 }
 
 impl SnapshotMeta {
-    /// Reads a snapshot's self-description — header, section table and the
-    /// small Meta section — without loading or decoding the payload
-    /// sections. Cheap on arbitrarily large snapshots.
+    /// Reads a snapshot's self-description — header, section table, the
+    /// small Meta section and each delta's fixed header — without loading
+    /// or decoding the payload sections. Cheap on arbitrarily large
+    /// snapshots: the chain length, parent checksums and epochs of every
+    /// delta are reported (and the chain verified) from fixed-size
+    /// delta-header reads.
     pub fn read(path: &Path) -> Result<SnapshotMeta, StoreError> {
         let mut f = std::fs::File::open(path)?;
         let file_len = f.metadata()?.len();
@@ -799,13 +1058,28 @@ impl SnapshotMeta {
                 kind: SectionKind::Meta,
             });
         }
-        decode_meta(&payload, version, sections, file_len)
+        let mut meta = decode_meta(&payload, version, sections, file_len)?;
+        let f = std::cell::RefCell::new(f);
+        meta.deltas = verify_chain(&meta.sections, |info| {
+            // Only the fixed header plus the op-count varint (≤ 10 bytes).
+            let want = (info.len as usize).min(DELTA_HEADER_LEN + 10);
+            let mut buf = vec![0u8; want];
+            let mut f = f.borrow_mut();
+            f.seek(SeekFrom::Start(info.offset))?;
+            f.read_exact(&mut buf)?;
+            decode_delta_head(&buf, info.crc)
+        })?;
+        Ok(meta)
     }
 }
 
 /// Reads and fully restores a snapshot: every section checksum is verified
-/// before decoding, and the decoded contents are cross-validated against
-/// the meta section (counts, layout, id ranges).
+/// before decoding, the decoded contents are cross-validated against the
+/// meta section (counts, layout, id ranges), and the delta chain — checked
+/// link by link — is replayed onto the base through the same
+/// [`koios_index::live::apply_op`] a live engine mutates with, so the
+/// restored state is byte-identical to the engine that appended the
+/// deltas.
 pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
     let bytes = std::fs::read(path)?;
     let (version, sections) = parse_table(&bytes, bytes.len() as u64)?;
@@ -827,7 +1101,7 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
         .find(|s| s.kind == SectionKind::Repository)
         .copied()
         .ok_or(StoreError::MissingSection(SectionKind::Repository))?;
-    let repository = decode_repository(checked_section(&bytes, &repo_info)?)?;
+    let mut repository = decode_repository(checked_section(&bytes, &repo_info)?)?;
     if repository.num_sets() != meta.num_sets || repository.vocab_size() != meta.vocab_size {
         return Err(StoreError::Malformed(format!(
             "repository holds {} sets / {} tokens, meta records {} / {}",
@@ -844,6 +1118,7 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
     for info in &sections {
         match info.kind {
             SectionKind::Meta | SectionKind::Repository => {}
+            SectionKind::Delta => {} // replayed below, after the base is validated
             SectionKind::Embeddings => {
                 if embeddings.is_some() {
                     return Err(StoreError::Malformed(
@@ -887,6 +1162,50 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
         ));
     }
 
+    // Replay the delta chain. Routing must match the engine that appended
+    // the ops: the workspace's single shard-assignment function for
+    // partitioned layouts, shard 0 for single ones.
+    let mut meta = meta;
+    let route: Box<dyn Fn(SetId) -> usize> = match meta.layout {
+        SnapshotLayout::Single => Box::new(|_| 0),
+        SnapshotLayout::Partitioned { partitions, seed } => {
+            let n = partitions as usize;
+            Box::new(move |id| koios_common::fingerprint::partition_of(seed, id, n))
+        }
+    };
+    let mut tip = base_chain_tip(&sections);
+    for info in sections.iter().filter(|s| s.kind == SectionKind::Delta) {
+        let (parent_crc, epoch, ops) = decode_delta(checked_section(&bytes, info)?)?;
+        if parent_crc != tip {
+            return Err(StoreError::DeltaChainBroken {
+                index: meta.deltas.len(),
+                expected: tip,
+                found: parent_crc,
+            });
+        }
+        tip = info.crc;
+        let mut index_refs: Vec<&mut InvertedIndex> = indexes.iter_mut().collect();
+        for op in &ops {
+            koios_index::live::apply_op(
+                &mut repository,
+                embeddings.as_mut(),
+                &mut index_refs,
+                minhash.as_mut(),
+                &route,
+                op,
+            )
+            .map_err(|e| {
+                StoreError::Malformed(format!("delta {} replay failed: {e}", meta.deltas.len()))
+            })?;
+        }
+        meta.deltas.push(DeltaInfo {
+            parent_crc,
+            crc: info.crc,
+            epoch,
+            ops: ops.len(),
+        });
+    }
+
     Ok(SnapshotState {
         meta,
         repository,
@@ -894,6 +1213,111 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
         indexes,
         minhash,
     })
+}
+
+/// Appends one batch of [`CorpusOp`]s to an existing snapshot as a new
+/// delta section, chained to the current tip by checksum. The base payloads
+/// are copied byte-for-byte (their checksums — and therefore the chain —
+/// are unchanged); the whole file is rewritten through the same
+/// temp-then-rename discipline as [`write_snapshot`], so a crash mid-append
+/// leaves the previous snapshot intact. A v1 file is upgraded to v2 in
+/// passing (the payload bytes still decode identically). Every existing
+/// section's checksum is verified first, so corruption is caught at append
+/// time rather than compounded.
+///
+/// `epoch` is the appending engine's corpus epoch after applying `ops`
+/// (pure provenance — replay order alone defines the restored state).
+pub fn append_delta(path: &Path, ops: &[CorpusOp], epoch: u64) -> Result<SnapshotMeta, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let (version, sections) = parse_table(&bytes, bytes.len() as u64)?;
+    // Verify everything we are about to copy, and find the chain tip.
+    let mut tip = base_chain_tip(&sections);
+    let mut delta_idx = 0usize;
+    for info in &sections {
+        let payload = checked_section(&bytes, info)?;
+        if info.kind == SectionKind::Delta {
+            let head = &payload[..DELTA_HEADER_LEN.min(payload.len())];
+            let parent_crc = Reader::new(head)
+                .u32()
+                .map_err(corrupt(SectionKind::Delta))?;
+            if parent_crc != tip {
+                return Err(StoreError::DeltaChainBroken {
+                    index: delta_idx,
+                    expected: tip,
+                    found: parent_crc,
+                });
+            }
+            tip = info.crc;
+            delta_idx += 1;
+        }
+    }
+    let _ = version; // v1 inputs are re-written as v2 below.
+
+    let delta = encode_delta(tip, epoch, ops);
+    let count = sections.len() + 1;
+    let table_start = HEADER_LEN as u64;
+    let payload_start = table_start + (count * TABLE_ENTRY_LEN) as u64;
+    let mut infos: Vec<SectionInfo> = Vec::with_capacity(count);
+    let mut offset = payload_start;
+    for info in &sections {
+        infos.push(SectionInfo {
+            kind: info.kind,
+            offset,
+            len: info.len,
+            crc: info.crc,
+        });
+        offset += info.len;
+    }
+    infos.push(SectionInfo {
+        kind: SectionKind::Delta,
+        offset,
+        len: delta.len() as u64,
+        crc: crc32(&delta),
+    });
+    offset += delta.len() as u64;
+
+    let mut file = Vec::with_capacity(offset as usize);
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file.extend_from_slice(&(count as u32).to_le_bytes());
+    for info in &infos {
+        file.extend_from_slice(&info.kind.to_u32().to_le_bytes());
+        file.extend_from_slice(&info.offset.to_le_bytes());
+        file.extend_from_slice(&info.len.to_le_bytes());
+        file.extend_from_slice(&info.crc.to_le_bytes());
+    }
+    for info in &sections {
+        file.extend_from_slice(&bytes[info.offset as usize..(info.offset + info.len) as usize]);
+    }
+    file.extend_from_slice(&delta);
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &file)?;
+    std::fs::rename(&tmp, path)?;
+
+    SnapshotMeta::read(path)
+}
+
+/// Folds a snapshot's delta chain into a fresh base: fully restores the
+/// file (replaying every delta) and rewrites it as a delta-free v2
+/// snapshot of the end state. Tombstoned set slots survive compaction —
+/// the id space stays dense, so ids recorded elsewhere stay valid — but
+/// the chain provenance (epochs, parent checksums) is consumed; read the
+/// meta first if it needs to be archived. Returns the new meta.
+pub fn compact(path: &Path) -> Result<SnapshotMeta, StoreError> {
+    let state = read_snapshot(path)?;
+    write_snapshot(
+        path,
+        &SnapshotView {
+            repository: &state.repository,
+            embeddings: state.embeddings.as_ref(),
+            layout: state.meta.layout,
+            indexes: state.indexes.iter().collect(),
+            minhash: state.minhash.as_ref(),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -1056,5 +1480,293 @@ mod tests {
         };
         assert!(e.to_string().contains("repository"));
         assert!(StoreError::BadMagic.to_string().contains("magic"));
+        let e = StoreError::DeltaChainBroken {
+            index: 2,
+            expected: 0xAB,
+            found: 0xCD,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("delta 2") && msg.contains("0x000000ab") && msg.contains("0x000000cd")
+        );
+    }
+
+    fn write_sample_base(path: &Path) -> (Repository, Embeddings) {
+        let (repo, emb, index, mh) = sample();
+        write_snapshot(
+            path,
+            &SnapshotView {
+                repository: &repo,
+                embeddings: Some(&emb),
+                layout: SnapshotLayout::Single,
+                indexes: vec![&index],
+                minhash: Some(&mh),
+            },
+        )
+        .unwrap();
+        (repo, emb)
+    }
+
+    fn sample_ops() -> Vec<CorpusOp> {
+        vec![
+            CorpusOp::Insert {
+                name: "valley".into(),
+                tokens: vec!["Fresno".into(), "LA".into()],
+                vectors: vec![("Fresno".into(), vec![0.1, 0.2, 0.3, 0.4])],
+            },
+            CorpusOp::remove(SetId(1)),
+        ]
+    }
+
+    #[test]
+    fn tombstones_roundtrip_through_the_base() {
+        let (mut repo, emb, _, _) = sample();
+        repo.remove_set(SetId(2));
+        let index = InvertedIndex::build(&repo);
+        let path = tmp("tombstoned-base.ksnap");
+        write_snapshot(
+            &path,
+            &SnapshotView {
+                repository: &repo,
+                embeddings: Some(&emb),
+                layout: SnapshotLayout::Single,
+                indexes: vec![&index],
+                minhash: None,
+            },
+        )
+        .unwrap();
+        let state = read_snapshot(&path).unwrap();
+        assert_eq!(state.repository.num_sets(), 3);
+        assert!(!state.repository.is_live(SetId(2)));
+        assert!(state.repository.is_live(SetId(0)));
+        // The tombstoned slot stays readable, exactly like the original.
+        assert_eq!(state.repository.set(SetId(2)), repo.set(SetId(2)));
+    }
+
+    #[test]
+    fn delta_replay_equals_in_memory_mutation() {
+        let path = tmp("delta-replay.ksnap");
+        let (mut repo, mut emb) = write_sample_base(&path);
+        let ops = sample_ops();
+        let meta = append_delta(&path, &ops, 1).unwrap();
+        assert_eq!(meta.format_version, FORMAT_VERSION);
+        assert_eq!(meta.deltas.len(), 1);
+        assert_eq!(meta.deltas[0].epoch, 1);
+        assert_eq!(meta.deltas[0].ops, 2);
+        assert_eq!(meta.latest_epoch(), 1);
+
+        // Reference: the same ops applied in memory to the same base.
+        let mut index = InvertedIndex::build(&repo);
+        for op in &ops {
+            koios_index::live::apply_op(
+                &mut repo,
+                Some(&mut emb),
+                &mut [&mut index],
+                None,
+                &|_| 0,
+                op,
+            )
+            .unwrap();
+        }
+
+        let state = read_snapshot(&path).unwrap();
+        assert_eq!(state.meta.deltas, meta.deltas);
+        assert_eq!(state.repository.num_sets(), repo.num_sets());
+        assert!(!state.repository.is_live(SetId(1)));
+        let fresno = state.repository.token_id("Fresno").unwrap();
+        let remb = state.embeddings.unwrap();
+        assert_eq!(remb.raw_data(), emb.raw_data());
+        assert_eq!(remb.present_mask(), emb.present_mask());
+        assert!(remb.has(fresno));
+        for t in 0..repo.vocab_size() as u32 {
+            assert_eq!(
+                state.indexes[0].postings(TokenId(t)),
+                index.postings(TokenId(t))
+            );
+        }
+        // MinHash grew to the new vocabulary.
+        assert_eq!(state.minhash.unwrap().signatures().len(), repo.vocab_size());
+    }
+
+    #[test]
+    fn delta_chain_links_by_checksum() {
+        let path = tmp("delta-chain.ksnap");
+        write_sample_base(&path);
+        append_delta(&path, &[CorpusOp::insert("x", ["LA"])], 1).unwrap();
+        let meta = append_delta(&path, &[CorpusOp::insert("y", ["SC"])], 2).unwrap();
+        assert_eq!(meta.deltas.len(), 2);
+        assert_eq!(meta.deltas[1].parent_crc, meta.deltas[0].crc);
+        assert_eq!(meta.latest_epoch(), 2);
+        // Cheap inspection agrees with the full read.
+        let state = read_snapshot(&path).unwrap();
+        assert_eq!(state.meta.deltas, meta.deltas);
+        assert_eq!(state.repository.num_sets(), 5);
+    }
+
+    #[test]
+    fn bit_flips_in_delta_sections_are_typed_errors() {
+        let path = tmp("delta-flip.ksnap");
+        write_sample_base(&path);
+        append_delta(&path, &sample_ops(), 1).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let meta = SnapshotMeta::read(&path).unwrap();
+        let info = *meta
+            .sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Delta)
+            .unwrap();
+        // Flip one bit at every byte of the delta payload: each read must
+        // fail with a typed error (checksum or chain), never panic.
+        for at in info.offset..info.offset + info.len {
+            let mut bad = good.clone();
+            bad[at as usize] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            let err = read_snapshot(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::ChecksumMismatch {
+                        kind: SectionKind::Delta
+                    } | StoreError::DeltaChainBroken { .. }
+                ),
+                "offset {at}: {err}"
+            );
+            // Appending to a corrupt file must refuse, not compound.
+            assert!(append_delta(&path, &[CorpusOp::insert("z", ["LA"])], 9).is_err());
+        }
+        std::fs::write(&path, &good).unwrap();
+        assert!(read_snapshot(&path).is_ok());
+    }
+
+    #[test]
+    fn rewriting_the_base_breaks_the_chain() {
+        let path = tmp("delta-rebase.ksnap");
+        let (repo, emb) = write_sample_base(&path);
+        append_delta(&path, &sample_ops(), 1).unwrap();
+        let with_delta = std::fs::read(&path).unwrap();
+
+        // Write a *different* base (no embeddings), then graft the old
+        // delta section onto it by re-appending its bytes: parent checksum
+        // no longer matches the folded base checksums.
+        let index = InvertedIndex::build(&repo);
+        write_snapshot(
+            &path,
+            &SnapshotView {
+                repository: &repo,
+                embeddings: Some(&emb),
+                layout: SnapshotLayout::Single,
+                indexes: vec![&index],
+                minhash: None, // dropped section: base checksum fold changes
+            },
+        )
+        .unwrap();
+        let meta = SnapshotMeta::read(&path).unwrap();
+        let delta_info = {
+            let m = {
+                std::fs::write(tmp("delta-rebase-probe.ksnap"), &with_delta).unwrap();
+                SnapshotMeta::read(&tmp("delta-rebase-probe.ksnap")).unwrap()
+            };
+            *m.sections
+                .iter()
+                .find(|s| s.kind == SectionKind::Delta)
+                .unwrap()
+        };
+        let delta_bytes =
+            &with_delta[delta_info.offset as usize..(delta_info.offset + delta_info.len) as usize];
+
+        // Hand-assemble base + stale delta.
+        let base = std::fs::read(&path).unwrap();
+        let count = meta.sections.len() + 1;
+        let mut file = Vec::new();
+        file.extend_from_slice(&MAGIC);
+        file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file.extend_from_slice(&(count as u32).to_le_bytes());
+        let shift = TABLE_ENTRY_LEN as u64;
+        let mut tail_offset = 0;
+        for info in &meta.sections {
+            file.extend_from_slice(&info.kind.to_u32().to_le_bytes());
+            file.extend_from_slice(&(info.offset + shift).to_le_bytes());
+            file.extend_from_slice(&info.len.to_le_bytes());
+            file.extend_from_slice(&info.crc.to_le_bytes());
+            tail_offset = tail_offset.max(info.offset + shift + info.len);
+        }
+        file.extend_from_slice(&SectionKind::Delta.to_u32().to_le_bytes());
+        file.extend_from_slice(&tail_offset.to_le_bytes());
+        file.extend_from_slice(&(delta_bytes.len() as u64).to_le_bytes());
+        file.extend_from_slice(&crc32(delta_bytes).to_le_bytes());
+        file.extend_from_slice(&base[HEADER_LEN + meta.sections.len() * TABLE_ENTRY_LEN..]);
+        file.extend_from_slice(delta_bytes);
+        std::fs::write(&path, &file).unwrap();
+
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::DeltaChainBroken { index: 0, .. }),
+            "{err}"
+        );
+        let err = SnapshotMeta::read(&path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::DeltaChainBroken { index: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn compact_folds_the_chain_into_a_fresh_base() {
+        let path = tmp("delta-compact.ksnap");
+        write_sample_base(&path);
+        append_delta(&path, &sample_ops(), 1).unwrap();
+        append_delta(&path, &[CorpusOp::insert("y", ["SC", "Yuma"])], 2).unwrap();
+        let before = read_snapshot(&path).unwrap();
+
+        let meta = compact(&path).unwrap();
+        assert!(meta.deltas.is_empty());
+        assert_eq!(meta.num_sets, before.repository.num_sets());
+
+        let after = read_snapshot(&path).unwrap();
+        assert_eq!(after.repository.num_sets(), before.repository.num_sets());
+        assert_eq!(
+            after.repository.tombstones().collect::<Vec<_>>(),
+            before.repository.tombstones().collect::<Vec<_>>()
+        );
+        let aemb = after.embeddings.unwrap();
+        let bemb = before.embeddings.unwrap();
+        assert_eq!(aemb.raw_data(), bemb.raw_data());
+        assert_eq!(aemb.present_mask(), bemb.present_mask());
+        for t in 0..after.repository.vocab_size() as u32 {
+            assert_eq!(
+                after.indexes[0].postings(TokenId(t)),
+                before.indexes[0].postings(TokenId(t))
+            );
+        }
+        // Further deltas chain onto the compacted base.
+        let meta = append_delta(&path, &[CorpusOp::remove(SetId(0))], 3).unwrap();
+        assert_eq!(meta.deltas.len(), 1);
+        assert!(!read_snapshot(&path).unwrap().repository.is_live(SetId(0)));
+    }
+
+    #[test]
+    fn v1_headers_are_still_accepted() {
+        let path = tmp("v1-compat.ksnap");
+        write_sample_base(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let meta = SnapshotMeta::read(&path).unwrap();
+        assert_eq!(meta.format_version, 1);
+        assert!(read_snapshot(&path).is_ok());
+        // Appending upgrades the header to the current version.
+        let meta = append_delta(&path, &[CorpusOp::insert("x", ["LA"])], 1).unwrap();
+        assert_eq!(meta.format_version, FORMAT_VERSION);
+    }
+
+    #[test]
+    fn delta_replay_of_a_bad_op_is_a_typed_error() {
+        let path = tmp("delta-badop.ksnap");
+        write_sample_base(&path);
+        // Removing a set that does not exist decodes fine but cannot replay.
+        append_delta(&path, &[CorpusOp::remove(SetId(77))], 1).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("replay"));
     }
 }

@@ -1,12 +1,13 @@
 //! Network serving demo: the whole stack behind one socket.
 //!
-//! Generates a synthetic corpus, wraps a sharded engine in a
+//! Generates a synthetic corpus, wraps a sharded *mutable* engine in a
 //! [`SearchService`] (persistent worker pool + submission queue), binds a
 //! [`KoiosServer`] to an ephemeral loopback port, and then acts as its own
 //! remote client: top-k searches over HTTP (string elements and raw token
 //! ids), a per-request `k` override, a cache hit, a malformed request that
-//! bounces with a 400, `/stats`, a Prometheus `/metrics` scrape, and
-//! `/invalidate`.
+//! bounces with a 400, a live `/ingest` that mutates the served corpus
+//! mid-flight (then finds the new set by searching for it), `/stats`,
+//! a Prometheus `/metrics` scrape, and `/invalidate`.
 //!
 //! ```text
 //! cargo run --release --example http_service
@@ -19,15 +20,22 @@ use std::sync::Arc;
 fn main() {
     let corpus = Corpus::generate(CorpusSpec::small(42));
     let repo = Arc::new(corpus.repository);
-    let sim: Arc<dyn ElementSimilarity> =
-        Arc::new(CosineSimilarity::new(Arc::new(corpus.embeddings)));
+    let embeddings = Arc::new(corpus.embeddings);
 
-    let service = Arc::new(SearchService::new_partitioned(
+    // A mutable sharded engine: the server can ingest, snapshot and
+    // reload live (the immutable constructors still work — those
+    // deployments just answer 409 on the mutation routes).
+    let engine = MutableEngine::partitioned(
         Arc::clone(&repo),
-        sim,
+        Some(embeddings),
         KoiosConfig::new(5, 0.8),
         4,
         0xC0FFEE,
+        cosine_factory(),
+    )
+    .expect("corpus has embeddings");
+    let service = Arc::new(SearchService::from_mutable(
+        engine,
         ServiceConfig::new()
             .with_workers(4)
             .with_cache_capacity(256),
@@ -100,14 +108,46 @@ fn main() {
         err.get("error").unwrap().as_str().unwrap()
     );
 
+    // Live ingestion: append a set over the wire, then find it by
+    // searching for its own elements. The backend hot-swaps under the
+    // readers — zero downtime, and the epoch bump keys the caches so no
+    // stale answer survives the mutation.
+    let fresh: Vec<String> = elements.iter().take(3).cloned().collect();
+    let ingest = Json::obj([(
+        "ops",
+        Json::arr([Json::obj([
+            ("op", Json::str("insert")),
+            ("name", Json::str("ingested-live")),
+            ("tokens", Json::arr(fresh.iter().map(Json::str))),
+        ])]),
+    )]);
+    let (status, outcome) = client.ingest(&ingest).expect("ingest");
+    println!(
+        "\nPOST /ingest -> {status}, inserted {} set(s), epoch now {}",
+        outcome.get("inserted").unwrap().as_u64().unwrap(),
+        outcome.get("epoch").unwrap().as_u64().unwrap(),
+    );
+    let (_, found) = client.search_elements(&fresh).expect("search");
+    let top = found.get("hits").unwrap().as_array().unwrap();
+    println!(
+        "POST /search (the ingested elements) -> {} hits, best: {}",
+        top.len(),
+        top.first()
+            .map(|h| h.get("name").unwrap().as_str().unwrap())
+            .unwrap_or("<none>"),
+    );
+
     // Observability and invalidation round out the operator surface.
     let (_, stats) = client.stats().expect("stats");
     println!(
-        "\nGET /stats -> queries {}, searched {}, cache_hits {}, partitions {}",
+        "\nGET /stats -> queries {}, searched {}, cache_hits {}, partitions {}, \
+         engine_epoch {}, sets_added {}",
         stats.get("queries").unwrap().as_u64().unwrap(),
         stats.get("searched").unwrap().as_u64().unwrap(),
         stats.get("cache_hits").unwrap().as_u64().unwrap(),
         stats.get("partitions").unwrap().as_u64().unwrap(),
+        stats.get("engine_epoch").unwrap().as_u64().unwrap(),
+        stats.get("sets_added").unwrap().as_u64().unwrap(),
     );
     // Prometheus scrape: the same registry an operator would poll. The
     // CI smoke gate greps this output for the stage/queue/lock-wait

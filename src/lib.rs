@@ -142,9 +142,11 @@ pub use koios_telemetry as telemetry;
 pub mod prelude {
     pub use koios_common::prelude::*;
     pub use koios_core::{
-        EngineBackend, Hit, Koios, KoiosConfig, OwnedKoios, OwnedPartitionedKoios,
-        PartitionedKoios, ScoreBound, SearchResult, ShardExecutor, SharedTheta, UbMode,
+        cosine_factory, EngineBackend, Hit, Koios, KoiosConfig, MutableEngine, OwnedKoios,
+        OwnedPartitionedKoios, PartitionedKoios, ScoreBound, SearchResult, ShardExecutor,
+        SharedTheta, SimFactory, UbMode,
     };
+    pub use koios_embed::ops::CorpusOp;
     pub use koios_embed::repository::{RepoRef, Repository, RepositoryBuilder};
     pub use koios_embed::sim::{
         CosineSimilarity, EditSimilarity, ElementSimilarity, EqualitySimilarity, QGramJaccard,
@@ -154,8 +156,8 @@ pub mod prelude {
     pub use koios_matching::{solve_max_matching, MatchOutcome};
     pub use koios_net::{KoiosClient, KoiosServer};
     pub use koios_service::{
-        CacheOutcome, ResponseHandle, SearchRequest, SearchService, ServiceConfig, ServiceResponse,
-        ServiceStats,
+        CacheOutcome, IngestOutcome, LiveServiceError, ResponseHandle, SearchRequest,
+        SearchService, ServiceConfig, ServiceResponse, ServiceStats, SnapshotInfo,
     };
     pub use koios_store::{SnapshotLayout, SnapshotMeta, StoreError};
     pub use koios_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Span};
