@@ -9,9 +9,11 @@
 //! ```
 //!
 //! Subcommands: `table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8
-//! silkmoth ablation token_cache partitioned serving snapshot live all`.
-//! (`partitioned`, `serving`, `snapshot` and `live` also write
-//! `BENCH_partitioned.json` / `BENCH_serving.json` / `BENCH_store.json` /
+//! silkmoth ablation token_cache partitioned serving trace_overhead
+//! snapshot live all`.
+//! (`partitioned`, `serving`, `trace_overhead`, `snapshot` and `live` also
+//! write `BENCH_partitioned.json` / `BENCH_serving.json` /
+//! `BENCH_trace_overhead.json` / `BENCH_store.json` /
 //! `BENCH_live.json` to the working directory.) Options: `--scale F`
 //! (corpus scale, default 0.2), `--k N`, `--alpha F`, `--partitions N`,
 //! `--queries N` (per interval), `--timeout SECS`, `--seed N`.
@@ -21,7 +23,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|snapshot|live|all>\n\
+        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|trace_overhead|snapshot|live|all>\n\
          \x20       [--scale F] [--k N] [--alpha F] [--partitions N] [--queries N] [--timeout SECS] [--seed N]"
     );
     std::process::exit(2);
@@ -81,6 +83,7 @@ fn main() {
         "token_cache",
         "partitioned",
         "serving",
+        "trace_overhead",
         "snapshot",
         "live",
     ];
@@ -115,6 +118,7 @@ fn main() {
             "token_cache" => experiments::token_cache(&cfg),
             "partitioned" => experiments::partitioned(&cfg),
             "serving" => experiments::serving(&cfg),
+            "trace_overhead" => experiments::trace_overhead(&cfg),
             "snapshot" => experiments::snapshot(&cfg),
             "live" => experiments::live(&cfg),
             other => {

@@ -265,6 +265,7 @@ impl<'r> PartitionedKoios<'r> {
         // with the relative budget cleared; shards get the absolute
         // deadline directly, so it is not double-applied from each shard's
         // start time.
+        let executor_start = Instant::now();
         let partials: Vec<(SearchResult, Duration)> = match &self.engines {
             // Owned repository: `'static` shard tasks on the process-wide
             // executor — no per-request thread spawn, and total search
@@ -313,6 +314,9 @@ impl<'r> PartitionedKoios<'r> {
                 })
             }
         };
+        // Submission → last partial back: shard queue wait + shard search
+        // (the `executor` span of a request trace).
+        let executor_time = executor_start.elapsed();
 
         let mut q = query.to_vec();
         q.sort_unstable();
@@ -328,6 +332,7 @@ impl<'r> PartitionedKoios<'r> {
         }
         // Assigned (not merged): each entry is one shard of *this* search.
         stats.shard_times = shard_times;
+        stats.executor_time = executor_time;
         let merge_start = Instant::now();
         let hits = self.merge_partials(&q, pool, deadline, &mut stats);
         stats.merge_time = merge_start.elapsed();

@@ -52,6 +52,12 @@ pub struct SearchStats {
     /// Wall time of the partitioned merge loop (resolving interval-scored
     /// hits in descending-UB order, §VI). Zero for single-engine searches.
     pub merge_time: Duration,
+    /// Wall time the [`crate::ShardExecutor`] batch held the query: from
+    /// submitting the per-shard tasks until the last shard's partial result
+    /// returned (covers shard queue wait *and* shard search). Zero for
+    /// single-engine searches. Feeds the `executor` span of a request
+    /// trace.
+    pub executor_time: Duration,
     /// Per-shard wall time of a partitioned search, indexed by partition
     /// (empty for single-engine searches). Parallel merges take the
     /// element-wise max — shards of one query run concurrently — while
@@ -111,6 +117,7 @@ impl SearchStats {
         self.postprocess_time = self.postprocess_time.max(other.postprocess_time);
         self.verify_time = self.verify_time.max(other.verify_time);
         self.merge_time = self.merge_time.max(other.merge_time);
+        self.executor_time = self.executor_time.max(other.executor_time);
         merge_shard_times(&mut self.shard_times, &other.shard_times, |a, b| a.max(b));
         self.memory.merge(&other.memory);
     }
@@ -127,6 +134,7 @@ impl SearchStats {
         self.postprocess_time += other.postprocess_time;
         self.verify_time += other.verify_time;
         self.merge_time += other.merge_time;
+        self.executor_time += other.executor_time;
         merge_shard_times(&mut self.shard_times, &other.shard_times, |a, b| a + b);
         self.memory.max_merge(&other.memory);
     }

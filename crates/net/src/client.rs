@@ -54,6 +54,7 @@ pub type JsonReply = (u16, Json);
 pub struct KoiosClient {
     addr: SocketAddr,
     timeout: Option<Duration>,
+    traceparent: Option<String>,
     conn: Option<BufReader<TcpStream>>,
 }
 
@@ -64,6 +65,7 @@ impl KoiosClient {
         KoiosClient {
             addr,
             timeout: Some(Duration::from_secs(30)),
+            traceparent: None,
             conn: None,
         }
     }
@@ -72,6 +74,14 @@ impl KoiosClient {
     /// indefinitely).
     pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a `traceparent` header to every subsequent request (see
+    /// [`koios_telemetry::trace::TraceContext::render_traceparent`]), so
+    /// the server records its span trees under the caller's trace id.
+    pub fn with_traceparent(mut self, header: impl Into<String>) -> Self {
+        self.traceparent = Some(header.into());
         self
     }
 
@@ -105,6 +115,18 @@ impl KoiosClient {
     /// `GET /healthz`.
     pub fn healthz(&mut self) -> Result<JsonReply, NetError> {
         self.request("GET", "/healthz", None)
+    }
+
+    /// `GET /traces` — sampler stats plus summaries of the retained ring.
+    pub fn traces(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/traces", None)
+    }
+
+    /// `GET /traces?id=…` — the full span tree of one retained trace
+    /// (404 if the tail sampler dropped it).
+    pub fn trace(&mut self, trace_id: u64) -> Result<JsonReply, NetError> {
+        let path = format!("/traces?id={}", koios_common::fingerprint::hex(trace_id));
+        self.request("GET", &path, None)
     }
 
     /// `POST /invalidate`.
@@ -234,6 +256,9 @@ impl KoiosClient {
         let mut head = format!("{method} {path} HTTP/1.1\r\nhost: koios\r\n");
         if body.is_some() {
             head.push_str("content-type: application/json\r\n");
+        }
+        if let Some(tp) = &self.traceparent {
+            head.push_str(&format!("traceparent: {tp}\r\n"));
         }
         head.push_str(&format!("content-length: {}\r\n\r\n", payload.len()));
 

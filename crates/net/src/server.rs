@@ -16,6 +16,7 @@
 //! | `POST /search` | run one top-k search (body: see [`crate::wire`]) |
 //! | `GET /stats` | [`ServiceStats`](koios_service::ServiceStats) snapshot |
 //! | `GET /metrics` | Prometheus text exposition of the service registry |
+//! | `GET /traces` | retained request traces (`?id=0x…` for one span tree) |
 //! | `GET /healthz` | liveness + basic shape of the backend |
 //! | `POST /invalidate` | drop result cache + bump token-cache generation |
 //! | `POST /ingest` | apply a live mutation batch (body: see [`crate::wire`]) |
@@ -28,6 +29,13 @@
 //! rejected batch (unknown set id, embedding dimension mismatch) is `400`
 //! and mutates nothing; snapshot I/O failures are `500`.
 //!
+//! `POST /search` honours a `traceparent` request header (W3C-style
+//! `00-<trace>-<span>-<flags>`): the request's span tree is recorded under
+//! the client's trace id, parented to the client's span, and — when the
+//! sampled flag is set — force-retained in the trace ring. The response
+//! body's `"trace_id"` echoes whichever id (propagated or minted) the tree
+//! was recorded under.
+//!
 //! Unknown paths give `404`, known paths with the wrong method `405`,
 //! framing or JSON errors `400` (with an `"error"` body), oversized
 //! messages `413`. Shutdown is graceful: stop accepting, then join every
@@ -38,6 +46,7 @@ use crate::http::{HttpError, HttpRequest, HttpResponse};
 use crate::wire;
 use koios_common::Json;
 use koios_service::SearchService;
+use koios_telemetry::trace::{trace_summary_json, trace_to_json, TraceContext};
 use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -209,6 +218,7 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
         ("POST", "/search") => search(request, service),
         ("GET", "/stats") => HttpResponse::json(200, &wire::stats_to_json(&service.stats())),
         ("GET", "/metrics") => HttpResponse::metrics_text(200, service.render_metrics()),
+        ("GET", "/traces") => traces(request, service),
         ("GET", "/healthz") => HttpResponse::json(
             200,
             &Json::obj([
@@ -227,7 +237,7 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
         ("POST", "/reload") => reload(request, service),
         (
             _,
-            "/search" | "/stats" | "/metrics" | "/healthz" | "/invalidate" | "/ingest"
+            "/search" | "/stats" | "/metrics" | "/traces" | "/healthz" | "/invalidate" | "/ingest"
             | "/snapshot" | "/reload",
         ) => HttpResponse::json(
             405,
@@ -246,10 +256,19 @@ fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {
     // serialization must agree on token ids and set names even if a
     // concurrent `/ingest` or `/reload` swaps the backend mid-request.
     let repo = service.repository();
-    let search_request = match wire::parse_search_request(&json, &repo) {
+    let mut search_request = match wire::parse_search_request(&json, &repo) {
         Ok(req) => req,
         Err(e) => return bad_request(&e),
     };
+    // Wire-propagated trace context: a valid `traceparent` header threads
+    // the remote caller's trace id through the whole request, so the span
+    // tree the service records is a subtree of the *client's* trace.
+    if let Some(ctx) = request
+        .header("traceparent")
+        .and_then(TraceContext::parse_traceparent)
+    {
+        search_request = search_request.with_trace(ctx);
+    }
     // Submit-then-await on the persistent pool: the connection thread
     // blocks, the queue applies the same admission control as in-process
     // callers.
@@ -259,11 +278,69 @@ fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {
     // response time, invisible to the in-process service metrics.
     let serialize_start = std::time::Instant::now();
     let http = HttpResponse::json(200, &wire::response_to_json(&response, &repo));
+    let serialize_time = serialize_start.elapsed();
     service
         .metrics()
         .request_serialize
-        .record_duration(serialize_start.elapsed());
+        .record_duration(serialize_time);
+    // Appended after the worker sealed the tree: if the tail sampler
+    // retained this trace, it grows a `serialize` span (and its total
+    // duration extends to cover it).
+    if let Some(id) = response.trace_id {
+        service.record_trace_span(id, "serialize", serialize_start, serialize_time);
+    }
     http
+}
+
+/// `GET /traces` — the retained trace ring. Without a query string:
+/// sampler stats plus one summary per retained trace (newest first). With
+/// `?id=0x…`: the full span tree, or `404` if the sampler dropped (or
+/// never saw) that id. `409` when the service runs without tracing.
+fn traces(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    if !service.tracing_enabled() {
+        return HttpResponse::json(
+            409,
+            &Json::obj([("error", Json::str("tracing is disabled on this service"))]),
+        );
+    }
+    let query = request.path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let id_param = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("id="))
+        .map(str::trim);
+    if let Some(raw) = id_param {
+        let parsed = u64::from_str_radix(raw.trim_start_matches("0x"), 16).ok();
+        return match parsed.and_then(|id| service.trace(id)) {
+            Some(trace) => HttpResponse::json(200, &trace_to_json(&trace)),
+            None => HttpResponse::json(
+                404,
+                &Json::obj([("error", Json::str(format!("no retained trace {raw}")))]),
+            ),
+        };
+    }
+    let stats = service.trace_stats().unwrap_or_default();
+    let summaries = service
+        .traces()
+        .iter()
+        .map(trace_summary_json)
+        .collect::<Vec<_>>();
+    HttpResponse::json(
+        200,
+        &Json::obj([
+            ("enabled", Json::Bool(true)),
+            (
+                "stats",
+                Json::obj([
+                    ("completed", Json::num(stats.completed as f64)),
+                    ("retained", Json::num(stats.retained as f64)),
+                    ("sampled", Json::num(stats.sampled as f64)),
+                    ("stored", Json::num(stats.stored as f64)),
+                    ("capacity", Json::num(stats.capacity as f64)),
+                ]),
+            ),
+            ("traces", Json::Arr(summaries)),
+        ]),
+    )
 }
 
 fn ingest(request: &HttpRequest, service: &SearchService) -> HttpResponse {

@@ -263,11 +263,18 @@ pub fn response_to_json(resp: &ServiceResponse, repo: &Repository) -> Json {
         })
         .collect::<Vec<_>>();
     let s = &resp.result.stats;
+    // The trace id uses the same hex form as cache-key fingerprints, so a
+    // client can paste it straight into `GET /traces?id=…`.
+    let trace_id = match resp.trace_id {
+        Some(id) => Json::str(koios_common::fingerprint::hex(id)),
+        None => Json::Null,
+    };
     Json::obj([
         ("hits", Json::Arr(hits)),
         ("cache", Json::str(cache_outcome_str(resp.cache))),
         ("rejected", Json::Bool(resp.rejected)),
         ("timed_out", Json::Bool(s.timed_out)),
+        ("trace_id", trace_id),
         ("queue_ms", millis(resp.queue_time)),
         ("response_ms", millis(s.response_time())),
         (

@@ -54,6 +54,15 @@
 //! `GET /metrics` by `koios-net`), and catch outliers with the structured
 //! slow-query log ([`slowlog::SlowQueryLog`]): one JSON line per request
 //! over a configurable latency threshold, through a pluggable sink.
+//!
+//! Every request also records a **span tree** ([`tracer::Tracer`] over
+//! [`koios_telemetry::trace`]): queue wait, cache probes, the executor
+//! batch with per-shard spans, the refine/verify/merge stage breakdown,
+//! and — for live mutations — epoch-stamped ingest/snapshot/reload spans.
+//! A fixed ring retains the interesting tail (timeouts, rejections, slow
+//! and top-percentile requests, plus a deterministic sample), browsable
+//! via [`SearchService::traces`] / `GET /traces`, with slow-log lines and
+//! `/metrics` exemplars carrying the joinable `trace_id`.
 
 pub mod cache;
 pub mod metrics;
@@ -62,6 +71,7 @@ pub mod request;
 pub mod service;
 pub mod slowlog;
 pub mod stats;
+pub mod tracer;
 
 pub use cache::{CacheCounters, LruCache, StripedLruCache};
 pub use metrics::ServiceMetrics;
@@ -70,3 +80,4 @@ pub use request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 pub use service::{IngestOutcome, LiveServiceError, ResponseHandle, SearchService, ServiceConfig};
 pub use slowlog::{SlowQueryLog, SlowQuerySink};
 pub use stats::{ServiceStats, SnapshotInfo};
+pub use tracer::Tracer;

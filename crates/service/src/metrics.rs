@@ -12,7 +12,7 @@
 //! 7/8), `postprocess` (the whole post-filter phase containing `verify`)
 //! and `merge` (the partitioned merge loop, §VI).
 
-use koios_telemetry::{Gauge, Histogram, Registry};
+use koios_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::{Arc, Mutex};
 
 /// Pre-resolved instrument handles shared by the workers, the pool, and
@@ -40,6 +40,22 @@ pub struct ServiceMetrics {
     /// `koios_request_seconds{phase="serialize"}` — response serialization
     /// (recorded by the HTTP front-end; empty under direct in-process use).
     pub request_serialize: Arc<Histogram>,
+    /// `koios_request_seconds{phase="ingest"}` — wall time of one applied
+    /// [`crate::SearchService::ingest`] batch (lock wait + apply + swap).
+    pub request_ingest: Arc<Histogram>,
+    /// `koios_request_seconds{phase="snapshot"}` — wall time of one
+    /// [`crate::SearchService::snapshot_to`] (base write or delta append).
+    pub request_snapshot: Arc<Histogram>,
+    /// `koios_request_seconds{phase="reload"}` — wall time of one
+    /// [`crate::SearchService::reload`] hot swap.
+    pub request_reload: Arc<Histogram>,
+    /// `koios_mutations_total{op="ingest"}` — successfully applied ingest
+    /// batches.
+    pub mutations_ingest: Arc<Counter>,
+    /// `koios_mutations_total{op="snapshot"}` — successful snapshot writes.
+    pub mutations_snapshot: Arc<Counter>,
+    /// `koios_mutations_total{op="reload"}` — successful hot reloads.
+    pub mutations_reload: Arc<Counter>,
     /// `koios_lock_wait_seconds{cache="result"}` — blocked time acquiring
     /// the result-cache mutex on the request path.
     pub lock_wait_result: Arc<Histogram>,
@@ -83,6 +99,13 @@ impl ServiceMetrics {
                 &[("cache", c)],
             )
         };
+        let mutation = |op: &str| {
+            registry.counter(
+                "koios_mutations_total",
+                "Successful corpus mutations by operation",
+                &[("op", op)],
+            )
+        };
         ServiceMetrics {
             stage_refine: stage("refine"),
             stage_postprocess: stage("postprocess"),
@@ -91,6 +114,12 @@ impl ServiceMetrics {
             request_queue: phase("queue"),
             request_search: phase("search"),
             request_serialize: phase("serialize"),
+            request_ingest: phase("ingest"),
+            request_snapshot: phase("snapshot"),
+            request_reload: phase("reload"),
+            mutations_ingest: mutation("ingest"),
+            mutations_snapshot: mutation("snapshot"),
+            mutations_reload: mutation("reload"),
             lock_wait_result: lock("result"),
             lock_wait_token: lock("token"),
             queue_depth: registry.gauge(

@@ -3,6 +3,7 @@
 use koios_common::fingerprint::Fingerprinter;
 use koios_common::TokenId;
 use koios_core::{KoiosConfig, SearchResult, UbMode};
+use koios_telemetry::trace::TraceContext;
 use std::time::Duration;
 
 /// One top-k query submitted to the service.
@@ -25,6 +26,11 @@ pub struct SearchRequest {
     pub time_budget: Option<Duration>,
     /// Skip the result cache for this request (no lookup, no fill).
     pub bypass_cache: bool,
+    /// Propagated trace context (parsed from a `traceparent`-style header
+    /// by the HTTP front-end, or minted by an in-process caller). `None`
+    /// lets the service mint its own trace id; the context's `sampled`
+    /// flag force-retains the trace in the `GET /traces` ring.
+    pub trace: Option<TraceContext>,
 }
 
 impl SearchRequest {
@@ -36,6 +42,7 @@ impl SearchRequest {
             alpha: None,
             time_budget: None,
             bypass_cache: false,
+            trace: None,
         }
     }
 
@@ -60,6 +67,13 @@ impl SearchRequest {
     /// Disables the result cache for this request.
     pub fn bypassing_cache(mut self) -> Self {
         self.bypass_cache = true;
+        self
+    }
+
+    /// Attaches a propagated trace context (the request's span tree is
+    /// recorded under `ctx.trace_id`, rooted at `ctx.parent_span`).
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
         self
     }
 }
@@ -164,6 +178,10 @@ pub struct ServiceResponse {
     pub rejected: bool,
     /// Time between batch submission and a worker starting the request.
     pub queue_time: Duration,
+    /// Id of the span tree this request recorded (`None` when the service
+    /// runs without tracing). Resolve it via `GET /traces?id=…` — if the
+    /// tail sampler retained the trace.
+    pub trace_id: Option<u64>,
 }
 
 #[cfg(test)]

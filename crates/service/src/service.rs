@@ -6,6 +6,7 @@ use crate::pool::{PoolInstruments, Ticket, WorkerPool};
 use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 use crate::slowlog::{SlowQueryLog, SlowQueryRecord};
 use crate::stats::{ServiceStats, SnapshotInfo};
+use crate::tracer::{record_search_spans, Tracer};
 use koios_common::{SetId, TokenId};
 use koios_core::mutable::{BatchRejected, MutableEngine};
 use koios_core::{
@@ -18,7 +19,9 @@ use koios_embed::vectors::Embeddings;
 use koios_index::knn_cache::TokenKnnCache;
 use koios_index::live::Applied;
 use koios_store::snapshot::{SnapshotMeta, StoreError};
+use koios_telemetry::trace::{Trace, TraceBuilder, TraceConfig, TraceSinkStats};
 use koios_telemetry::Registry;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
@@ -58,6 +61,13 @@ pub struct ServiceConfig {
     /// line through the configured sink (see [`SlowQueryLog`]). `None`
     /// (the default) disables the log.
     pub slow_query_log: Option<SlowQueryLog>,
+    /// Request-scoped tracing: span trees retained under tail-based
+    /// sampling, served as `GET /traces` by `koios-net`. Enabled by
+    /// default (a 256-trace ring, 5% probability floor — see
+    /// [`TraceConfig`]); set to `None` to strip every per-request tracing
+    /// cost. The slow-query-log threshold, when configured, doubles as a
+    /// retention rule so every slow-log line resolves to a trace.
+    pub tracing: Option<TraceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +80,7 @@ impl Default for ServiceConfig {
             result_ttl: None,
             token_cache_ttl: None,
             slow_query_log: None,
+            tracing: Some(TraceConfig::default()),
         }
     }
 }
@@ -120,6 +131,20 @@ impl ServiceConfig {
     /// Installs a slow-query log (threshold + sink; see [`SlowQueryLog`]).
     pub fn with_slow_query_log(mut self, log: SlowQueryLog) -> Self {
         self.slow_query_log = Some(log);
+        self
+    }
+
+    /// Replaces the tracing configuration (ring capacity + sampling
+    /// policy).
+    pub fn with_tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = Some(tracing);
+        self
+    }
+
+    /// Disables request tracing entirely (the A/B baseline of the
+    /// `harness trace_overhead` gate).
+    pub fn without_tracing(mut self) -> Self {
+        self.tracing = None;
         self
     }
 }
@@ -313,6 +338,9 @@ struct ServiceInner {
     // Slow-query threshold + sink; `None` keeps the request path free of
     // any per-query rendering.
     slowlog: Option<SlowQueryLog>,
+    // Request tracing: id minting + the tail-sampled retention ring.
+    // `None` strips every per-request tracing branch.
+    tracer: Option<Tracer>,
     // Construction instants for `uptime_secs` (monotone) and `start_time`
     // (wall clock, for operators correlating restarts across machines).
     started: Instant,
@@ -492,6 +520,11 @@ impl SearchService {
             None => (backend, None),
         };
         let metrics = ServiceMetrics::new();
+        // The slow-query threshold doubles as a trace-retention rule, so
+        // every slow-log line's `trace_id` resolves via `GET /traces`.
+        let tracer = cfg
+            .tracing
+            .map(|tc| Tracer::new(tc, cfg.slow_query_log.as_ref().map(|log| log.threshold())));
         // Lock-wait observability on both shared caches: installing the
         // histograms turns each stripe acquisition into a timed one —
         // `koios_lock_wait_seconds{cache="token"|"result"}` is the direct
@@ -528,6 +561,7 @@ impl SearchService {
                 stats: Mutex::new(StatsInner::default()),
                 metrics,
                 slowlog: cfg.slow_query_log,
+                tracer,
                 started: Instant::now(),
                 start_time: SystemTime::now(),
             }),
@@ -577,6 +611,7 @@ impl SearchService {
     /// anyway to reclaim their space, and the token-kNN cache is
     /// invalidated by the engine's generation bump.
     pub fn ingest(&self, ops: &[CorpusOp]) -> Result<IngestOutcome, LiveServiceError> {
+        let t0 = Instant::now();
         let mut w = self.inner.writer.lock().expect("writer lock");
         let engine = w.engine.as_mut().ok_or(LiveServiceError::Immutable)?;
         let applied = engine.apply(ops)?;
@@ -596,6 +631,8 @@ impl SearchService {
             *self.inner.backend.write().expect("backend lock") = backend;
             self.inner.cache.invalidate_all();
         }
+        self.record_mutation("ingest", &self.inner.metrics.request_ingest, epoch, t0);
+        self.inner.metrics.mutations_ingest.inc();
         Ok(IngestOutcome {
             inserted,
             removed,
@@ -612,9 +649,11 @@ impl SearchService {
     /// snapshot is a consistent cut: it contains exactly the batches whose
     /// `ingest` returned before this call.
     pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<SnapshotMeta, LiveServiceError> {
+        let t0 = Instant::now();
         let path = path.as_ref();
         let mut w = self.inner.writer.lock().expect("writer lock");
         let engine = w.engine.as_ref().ok_or(LiveServiceError::Immutable)?;
+        let epoch = engine.epoch();
         let chains = w.snapshot_path.as_deref() == Some(path) && path.exists();
         let meta = if chains {
             if w.pending_ops.is_empty() {
@@ -627,6 +666,9 @@ impl SearchService {
         };
         w.pending_ops.clear();
         w.snapshot_path = Some(path.to_path_buf());
+        drop(w);
+        self.record_mutation("snapshot", &self.inner.metrics.request_snapshot, epoch, t0);
+        self.inner.metrics.mutations_snapshot.inc();
         Ok(meta)
     }
 
@@ -671,7 +713,32 @@ impl SearchService {
             tc.bump_generation();
         }
         *self.inner.snapshot.lock().expect("snapshot lock") = Some(info.clone());
+        self.record_mutation(
+            "reload",
+            &self.inner.metrics.request_reload,
+            old_epoch + 1,
+            t0,
+        );
+        self.inner.metrics.mutations_reload.inc();
         Ok(info)
+    }
+
+    /// Admin-route observability (the PR 8 mutation surface): one
+    /// `koios_request_seconds{phase}` sample per successful mutation, plus
+    /// a forced (always-retained) single-span trace stamped with the epoch
+    /// the mutation published.
+    fn record_mutation(
+        &self,
+        op: &'static str,
+        phase: &koios_telemetry::Histogram,
+        epoch: u64,
+        started: Instant,
+    ) {
+        let duration = started.elapsed();
+        phase.record_duration(duration);
+        if let Some(tracer) = &self.inner.tracer {
+            tracer.record_mutation(op, epoch, started, duration);
+        }
     }
 
     /// The worker-pool width (long-lived threads draining the submission
@@ -828,6 +895,50 @@ impl SearchService {
         self.inner.metrics.registry()
     }
 
+    /// Whether request tracing is enabled (see [`ServiceConfig::tracing`]).
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracer.is_some()
+    }
+
+    /// Looks up a retained trace by id (`GET /traces?id=…`).
+    pub fn trace(&self, trace_id: u64) -> Option<Trace> {
+        self.inner.tracer.as_ref()?.sink().get(trace_id)
+    }
+
+    /// Every currently retained trace, newest first (`GET /traces`).
+    pub fn traces(&self) -> Vec<Trace> {
+        self.inner
+            .tracer
+            .as_ref()
+            .map(|t| t.sink().list())
+            .unwrap_or_default()
+    }
+
+    /// Trace-sink lifetime counters (`None` when tracing is disabled).
+    pub fn trace_stats(&self) -> Option<TraceSinkStats> {
+        self.inner.tracer.as_ref().map(|t| t.stats())
+    }
+
+    /// The slowest currently retained trace (exemplar source).
+    pub fn slowest_trace(&self) -> Option<Trace> {
+        self.inner.tracer.as_ref()?.sink().slowest()
+    }
+
+    /// Appends a late span to a retained trace — the HTTP front-end
+    /// records its serialization phase here, after the worker sealed the
+    /// tree. No-op when tracing is disabled or the trace was not retained.
+    pub fn record_trace_span(
+        &self,
+        trace_id: u64,
+        name: &'static str,
+        start: Instant,
+        duration: Duration,
+    ) {
+        if let Some(tracer) = &self.inner.tracer {
+            tracer.sink().append_span(trace_id, name, start, duration);
+        }
+    }
+
     /// Renders the full metric surface in Prometheus text exposition
     /// format (version 0.0.4) — the body of `GET /metrics`. Scrape-derived
     /// series (uptime, cache operation totals, token-cache occupancy) are
@@ -887,7 +998,35 @@ impl SearchService {
         if let Some(tc) = &self.inner.token_cache {
             stripes("token", tc.stripes());
         }
-        reg.render_prometheus()
+        let mut text = reg.render_prometheus();
+        // Exemplar linkage: the slowest retained trace, rendered as its own
+        // family (hand-appended so trace-id label churn never grows the
+        // registry). `series` names the histogram the exemplar explains —
+        // a `koios_request_seconds`/`koios_stage_seconds` p99 resolves to
+        // this concrete trace via `GET /traces?id=<trace_id>`.
+        if let Some(slowest) = self.slowest_trace() {
+            let id = koios_common::fingerprint::hex(slowest.trace_id);
+            text.push_str(
+                "# HELP koios_trace_exemplar_ns Slowest retained trace; join \
+                 GET /traces by trace_id\n# TYPE koios_trace_exemplar_ns gauge\n",
+            );
+            let _ = writeln!(
+                text,
+                "koios_trace_exemplar_ns{{series=\"koios_request_seconds\",trace_id=\"{id}\"}} {}",
+                slowest.duration_ns
+            );
+            for span in &slowest.spans {
+                if matches!(span.name, "refine" | "postprocess" | "verify" | "merge") {
+                    let _ = writeln!(
+                        text,
+                        "koios_trace_exemplar_ns{{series=\"koios_stage_seconds\",\
+                         stage=\"{}\",trace_id=\"{id}\"}} {}",
+                        span.name, span.duration_ns
+                    );
+                }
+            }
+        }
+        text
     }
 
     /// Zeroes every service counter (including both caches') without
@@ -924,11 +1063,33 @@ impl ServiceInner {
         }
     }
 
+    /// Seals a request's span tree and offers it to the tail sampler;
+    /// returns the trace id for the response.
+    fn finish_trace(
+        &self,
+        builder: Option<TraceBuilder>,
+        submitted: Instant,
+        timed_out: bool,
+        rejected: bool,
+    ) -> Option<u64> {
+        let tracer = self.tracer.as_ref()?;
+        Some(tracer.finish(builder?, submitted.elapsed(), timed_out, rejected))
+    }
+
     /// The full request lifecycle: normalize → cache probe → admission →
     /// search → cache fill → bookkeeping.
     fn process_one(&self, req: &SearchRequest, submitted: Instant) -> ServiceResponse {
         let queue_time = submitted.elapsed();
         self.metrics.request_queue.record_duration(queue_time);
+
+        // Trace assembly starts at submission, so the queue span begins at
+        // offset zero. The builder lives on this worker's stack — span
+        // recording takes no locks; only completion touches the sink.
+        let mut tb = self.tracer.as_ref().map(|t| t.begin(req.trace, submitted));
+        if let Some(tb) = tb.as_mut() {
+            let root = tb.root();
+            tb.add("queue", root, 0, queue_time.as_nanos() as u64);
+        }
 
         // Pin the serving backend once: the whole request — cache key
         // (whose fingerprint covers the backend's epoch), admission,
@@ -947,11 +1108,13 @@ impl ServiceInner {
         }
         if cfg.k == 0 || !(cfg.alpha > 0.0 && cfg.alpha <= 1.0) {
             self.stats.lock().expect("stats lock").rejected += 1;
+            let trace_id = self.finish_trace(tb, submitted, false, true);
             return ServiceResponse {
                 result: SearchResult::default(),
                 cache: CacheOutcome::Rejected,
                 rejected: true,
                 queue_time,
+                trace_id,
             };
         }
 
@@ -964,9 +1127,27 @@ impl ServiceInner {
         // Cache probe first: a hit is effectively free, so it is served
         // even when the deadline has already expired.
         if !req.bypass_cache {
+            let probe_start = Instant::now();
             let cached = self.cache.get(fp, &key);
+            if let Some(tb) = tb.as_mut() {
+                let root = tb.root();
+                let off = tb.offset(probe_start);
+                let outcome = if cached.is_some() { "hit" } else { "miss" };
+                tb.add_detail(
+                    "cache.result",
+                    root,
+                    off,
+                    probe_start.elapsed().as_nanos() as u64,
+                    None,
+                    Some(outcome),
+                    cfg.epoch,
+                );
+            }
             if let Some(hits) = cached {
                 self.stats.lock().expect("stats lock").cache_hits += 1;
+                if let Some(tb) = tb.as_mut() {
+                    tb.set_epoch(cfg.epoch);
+                }
                 if let Some(log) = &self.slowlog {
                     log.observe(&SlowQueryRecord {
                         fingerprint: fp,
@@ -976,9 +1157,12 @@ impl ServiceInner {
                         queue: queue_time,
                         search: Duration::ZERO,
                         cache: CacheOutcome::Hit,
+                        trace_id: tb.as_ref().map(|b| b.trace_id()),
+                        trace_depth: tb.as_ref().map(|b| b.depth()).unwrap_or(0),
                         stats: None,
                     });
                 }
+                let trace_id = self.finish_trace(tb, submitted, false, false);
                 return ServiceResponse {
                     result: SearchResult {
                         hits: (*hits).clone(), // copy outside the cache lock
@@ -987,6 +1171,7 @@ impl ServiceInner {
                     cache: CacheOutcome::Hit,
                     rejected: false,
                     queue_time,
+                    trace_id,
                 };
             }
         }
@@ -1012,6 +1197,7 @@ impl ServiceInner {
                     timed_out: true,
                     ..SearchStats::default()
                 };
+                let trace_id = self.finish_trace(tb, submitted, true, true);
                 return ServiceResponse {
                     result: SearchResult {
                         hits: Vec::new(),
@@ -1024,6 +1210,7 @@ impl ServiceInner {
                     },
                     rejected: true,
                     queue_time,
+                    trace_id,
                 };
             }
         }
@@ -1044,6 +1231,11 @@ impl ServiceInner {
         let search_time = search_start.elapsed();
         self.metrics.request_search.record_duration(search_time);
         self.record_stages(&result.stats);
+        if let Some(tb) = tb.as_mut() {
+            let off = tb.offset(search_start);
+            record_search_spans(tb, &result.stats, off, search_time.as_nanos() as u64);
+            tb.set_epoch(eff_epoch);
+        }
 
         // Only complete answers are worth caching: a timed-out search holds
         // partial hits that a later, luckier run could improve on.
@@ -1066,6 +1258,8 @@ impl ServiceInner {
                 } else {
                     CacheOutcome::Miss
                 },
+                trace_id: tb.as_ref().map(|b| b.trace_id()),
+                trace_depth: tb.as_ref().map(|b| b.depth()).unwrap_or(0),
                 stats: Some(&result.stats),
             });
         }
@@ -1079,6 +1273,7 @@ impl ServiceInner {
             st.engine.merge_sequential(&result.stats);
         }
 
+        let trace_id = self.finish_trace(tb, submitted, result.stats.timed_out, false);
         ServiceResponse {
             result,
             cache: if req.bypass_cache {
@@ -1088,6 +1283,7 @@ impl ServiceInner {
             },
             rejected: false,
             queue_time,
+            trace_id,
         }
     }
 }

@@ -99,6 +99,14 @@ pub(crate) struct SlowQueryRecord<'a> {
     pub queue: Duration,
     pub search: Duration,
     pub cache: CacheOutcome,
+    /// Id of the request's span tree (`None` when tracing is disabled).
+    /// Slow traces are always retained by the tail sampler, so the line is
+    /// joinable against `GET /traces?id=…`.
+    pub trace_id: Option<u64>,
+    /// Span-tree depth recorded so far (0 when tracing is disabled) —
+    /// operators can tell a full partitioned tree from a flat cache-hit
+    /// trace before fetching it.
+    pub trace_depth: usize,
     /// `None` for cache hits (no engine work happened).
     pub stats: Option<&'a SearchStats>,
 }
@@ -124,6 +132,14 @@ impl SlowQueryRecord<'_> {
                 CacheOutcome::Rejected => "rejected",
             },
         );
+        if let Some(trace_id) = self.trace_id {
+            let _ = write!(
+                line,
+                ",\"trace_id\":\"{}\",\"trace_depth\":{}",
+                fingerprint::hex(trace_id),
+                self.trace_depth,
+            );
+        }
         if let Some(stats) = self.stats {
             let _ = write!(
                 line,
@@ -176,6 +192,8 @@ mod tests {
             queue: Duration::from_nanos(100),
             search: Duration::from_nanos(900),
             cache: CacheOutcome::Miss,
+            trace_id: Some(0xABCD),
+            trace_depth: 3,
             stats,
         }
     }
@@ -212,6 +230,18 @@ mod tests {
         assert!(line.contains("\"verify_ns\":150"));
         assert!(line.contains("\"shards_ns\":[300,400]"));
         assert!(line.contains("\"timed_out\":false"));
+        assert!(line.contains("\"trace_id\":\"0x000000000000abcd\""));
+        assert!(line.contains("\"trace_depth\":3"));
+    }
+
+    #[test]
+    fn untraced_services_omit_the_trace_fields() {
+        let (sink, lines) = collecting();
+        let log = SlowQueryLog::new(Duration::ZERO, sink);
+        let mut r = record(None);
+        r.trace_id = None;
+        log.observe(&r);
+        assert!(!lines.lock().unwrap()[0].contains("trace_id"));
     }
 
     #[test]

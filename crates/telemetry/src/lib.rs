@@ -45,6 +45,13 @@
 //! assert!(text.contains("koios_stage_seconds_bucket{stage=\"refine\",le=\"+Inf\"} 2"));
 //! ```
 
+pub mod trace;
+
+pub use trace::{
+    RetainReason, SamplingPolicy, SpanRecord, Trace, TraceBuilder, TraceConfig, TraceContext,
+    TraceSink, TraceSinkStats,
+};
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

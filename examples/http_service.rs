@@ -6,7 +6,8 @@
 //! remote client: top-k searches over HTTP (string elements and raw token
 //! ids), a per-request `k` override, a cache hit, a malformed request that
 //! bounces with a 400, a live `/ingest` that mutates the served corpus
-//! mid-flight (then finds the new set by searching for it), `/stats`,
+//! mid-flight (then finds the new set by searching for it), a traced
+//! search whose full span tree comes back from `GET /traces`, `/stats`,
 //! a Prometheus `/metrics` scrape, and `/invalidate`.
 //!
 //! ```text
@@ -137,6 +138,58 @@ fn main() {
             .unwrap_or("<none>"),
     );
 
+    // Request-scoped tracing: hand the server our own trace context via
+    // a W3C-style `traceparent` header. The `01` sampled flag forces the
+    // tail sampler to pin the trace, so the full span tree — queue wait,
+    // cache probe, the executor batch with one span per shard, and the
+    // paper's refine/verify/merge stages — comes back on `GET /traces`.
+    let ctx = TraceContext::new(0x0DD_BA11_F00D);
+    let mut traced = KoiosClient::new(server.addr()).with_traceparent(ctx.render_traceparent());
+    let (_, reply) = traced.search(&narrow).expect("traced search");
+    let trace_hex = reply.get("trace_id").unwrap().as_str().unwrap();
+    let (status, tree) = traced.trace(ctx.trace_id).expect("trace fetch");
+    let spans = tree.get("spans").unwrap().as_array().unwrap();
+    println!(
+        "\nGET /traces?id={trace_hex} -> {status}, retained \"{}\", {} spans:",
+        tree.get("reason").unwrap().as_str().unwrap(),
+        spans.len()
+    );
+    let parents: std::collections::HashMap<&str, Option<&str>> = spans
+        .iter()
+        .map(|s| {
+            (
+                s.get("id").unwrap().as_str().unwrap(),
+                s.get("parent").and_then(|p| p.as_str()),
+            )
+        })
+        .collect();
+    for span in spans {
+        let mut depth = 0usize;
+        let mut cursor = span.get("parent").and_then(|p| p.as_str());
+        // The root's parent is the caller's remote span: not in the map.
+        while let Some(up) = cursor.and_then(|p| parents.get(p)) {
+            depth += 1;
+            cursor = *up;
+        }
+        let shard = span
+            .get("shard")
+            .and_then(|v| v.as_u64())
+            .map(|v| format!(" shard={v}"))
+            .unwrap_or_default();
+        let cache = span
+            .get("cache")
+            .and_then(|v| v.as_str())
+            .map(|v| format!(" [{v}]"))
+            .unwrap_or_default();
+        let micros = span.get("duration_ns").unwrap().as_f64().unwrap() / 1000.0;
+        println!(
+            "  {:indent$}{}{shard}{cache} ({micros:.1}us)",
+            "",
+            span.get("name").unwrap().as_str().unwrap(),
+            indent = depth * 2
+        );
+    }
+
     // Observability and invalidation round out the operator surface.
     let (_, stats) = client.stats().expect("stats");
     println!(
@@ -160,6 +213,7 @@ fn main() {
         "koios_queue_wait_seconds_count",
         "koios_lock_wait_seconds_count",
         "koios_request_seconds_count",
+        "koios_trace_exemplar_ns",
     ];
     println!(
         "\nGET /metrics -> {status}, {} series lines; highlights:",

@@ -58,7 +58,17 @@
 //! `GET /metrics` on the server or
 //! [`render_metrics`](service::SearchService::render_metrics) in process,
 //! and catch outliers with the structured slow-query log
-//! ([`service::slowlog`]). See the "Observability" section of
+//! ([`service::slowlog`]).
+//!
+//! Every request additionally records a **span tree**
+//! ([`telemetry::trace`]): queue wait, cache probes, the shard-executor
+//! batch, the refine/verify/merge stage breakdown, and epoch-stamped
+//! mutation spans, all under one trace id that propagates across the HTTP
+//! boundary via a `traceparent`-style header. A tail-based sampler keeps
+//! the interesting traces (timeouts, rejections, slow and top-percentile
+//! requests, plus a deterministic random sample) in a fixed ring served by
+//! `GET /traces`; slow-log lines and `/metrics` exemplars carry the
+//! joinable `trace_id`. See the "Observability" section of
 //! `ARCHITECTURE.md` for the full instrument map.
 //!
 //! ```
@@ -160,5 +170,8 @@ pub mod prelude {
         SearchService, ServiceConfig, ServiceResponse, ServiceStats, SnapshotInfo,
     };
     pub use koios_store::{SnapshotLayout, SnapshotMeta, StoreError};
-    pub use koios_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Span};
+    pub use koios_telemetry::{
+        Counter, Gauge, Histogram, HistogramSnapshot, Registry, SamplingPolicy, Span, Trace,
+        TraceConfig, TraceContext, TraceSink,
+    };
 }

@@ -382,6 +382,32 @@ fn http_admin_routes_mutate_snapshot_and_reload() {
     let snap = stats.get("snapshot").unwrap();
     assert_eq!(snap.get("deltas").unwrap().as_u64(), Some(0));
 
+    // The admin routes are instrumented: mutation counters and phase
+    // histograms in /metrics, plus epoch-stamped forced traces in the ring
+    // (ingest ×2, snapshot ×1, reload ×1 so far).
+    let (status, text) = client.metrics().unwrap();
+    assert_eq!(status, 200);
+    for want in [
+        "koios_mutations_total{op=\"ingest\"} 2",
+        "koios_mutations_total{op=\"snapshot\"} 1",
+        "koios_mutations_total{op=\"reload\"} 1",
+        "koios_request_seconds_count{phase=\"ingest\"} 2",
+        "koios_request_seconds_count{phase=\"snapshot\"} 1",
+        "koios_request_seconds_count{phase=\"reload\"} 1",
+    ] {
+        assert!(text.contains(want), "missing {want} in:\n{text}");
+    }
+    let mutation_traces: Vec<_> = service
+        .traces()
+        .into_iter()
+        .filter(|t| t.spans.iter().any(|s| s.name == "reload"))
+        .collect();
+    assert_eq!(mutation_traces.len(), 1, "reload trace always retained");
+    assert!(mutation_traces[0].forced);
+    // The reload published epoch 3: two ingests bumped the live engine to
+    // 2, and the hot swap bumps past it so stale cache entries die.
+    assert_eq!(mutation_traces[0].spans[0].epoch, 3);
+
     // Malformed ops are 400s; an immutable server answers 409.
     let (status, reply) = client
         .ingest(&Json::obj([("ops", Json::num(3.0))]))
