@@ -10,11 +10,12 @@
 //!
 //! Subcommands: `table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8
 //! silkmoth ablation token_cache partitioned serving trace_overhead
-//! snapshot live all`.
-//! (`partitioned`, `serving`, `trace_overhead`, `snapshot` and `live` also
-//! write `BENCH_partitioned.json` / `BENCH_serving.json` /
-//! `BENCH_trace_overhead.json` / `BENCH_store.json` /
-//! `BENCH_live.json` to the working directory.) Options: `--scale F`
+//! profile_overhead snapshot live all`.
+//! (`partitioned`, `serving`, `trace_overhead`, `profile_overhead`,
+//! `snapshot` and `live` also write `BENCH_partitioned.json` /
+//! `BENCH_serving.json` / `BENCH_trace_overhead.json` /
+//! `BENCH_profile.json` / `BENCH_store.json` / `BENCH_live.json` to the
+//! working directory.) Options: `--scale F`
 //! (corpus scale, default 0.2), `--k N`, `--alpha F`, `--partitions N`,
 //! `--queries N` (per interval), `--timeout SECS`, `--seed N`.
 
@@ -23,7 +24,7 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|trace_overhead|snapshot|live|all>\n\
+        "usage: harness <table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|silkmoth|ablation|token_cache|partitioned|serving|trace_overhead|profile_overhead|snapshot|live|all>\n\
          \x20       [--scale F] [--k N] [--alpha F] [--partitions N] [--queries N] [--timeout SECS] [--seed N]"
     );
     std::process::exit(2);
@@ -84,6 +85,7 @@ fn main() {
         "partitioned",
         "serving",
         "trace_overhead",
+        "profile_overhead",
         "snapshot",
         "live",
     ];
@@ -119,6 +121,7 @@ fn main() {
             "partitioned" => experiments::partitioned(&cfg),
             "serving" => experiments::serving(&cfg),
             "trace_overhead" => experiments::trace_overhead(&cfg),
+            "profile_overhead" => experiments::profile_overhead(&cfg),
             "snapshot" => experiments::snapshot(&cfg),
             "live" => experiments::live(&cfg),
             other => {

@@ -1324,6 +1324,168 @@ pub fn trace_overhead_with_output(hc: &HarnessConfig, json_path: &std::path::Pat
     )
 }
 
+/// Profiler + EXPLAIN overhead A/B/C: the same partitioned service with
+/// the cooperative wall-clock profiler on (1 ms sampler), with EXPLAIN
+/// funnel accounting per request, and with both off, interleaved best-of
+/// rounds.
+///
+/// Three service legs share one corpus and config (tracing off everywhere
+/// so the measured deltas isolate this PR's two opt-in costs):
+/// `baseline` has no profiler, `profiled` runs the default 1 ms sampler,
+/// and `explain` (also profiler-free) sends every request with
+/// `explain: true`. The gate (`overhead_ok`) passes when **both** the
+/// profiled and the explain best are within 2% of the baseline best *or*
+/// within the baseline's own round-to-round noise — same two-clause rule
+/// as [`trace_overhead`], recorded per leg so CI can tell which clause
+/// held. Hits are cross-checked for exact equality across all three legs
+/// (`identical`), and the artifact records the sampler's tick count plus
+/// whether it produced non-empty collapsed stacks.
+pub fn profile_overhead(hc: &HarnessConfig) -> String {
+    profile_overhead_with_output(hc, std::path::Path::new("BENCH_profile.json"))
+}
+
+/// [`profile_overhead`] with an explicit JSON artifact path.
+pub fn profile_overhead_with_output(hc: &HarnessConfig, json_path: &std::path::Path) -> String {
+    let profile = profiles::opendata(hc.scale);
+    let run = hc.profile_run(profile);
+    let repo = Arc::new(run.corpus.repository.clone());
+    let build = |profiler: bool| {
+        let mut cfg = ServiceConfig::new()
+            .with_workers(4)
+            .with_cache_capacity(0)
+            .without_tracing();
+        if !profiler {
+            cfg = cfg.without_profiler();
+        }
+        SearchService::new_partitioned(
+            Arc::clone(&repo),
+            Arc::clone(&run.sim),
+            hc.koios_config(),
+            hc.partitions.max(1),
+            hc.seed,
+            cfg,
+        )
+    };
+    let baseline = build(false);
+    let profiled = build(true);
+    let explain = build(false);
+
+    let queries: Vec<Vec<TokenId>> = run
+        .benchmark
+        .queries
+        .iter()
+        .map(|q| q.tokens.clone())
+        .collect();
+
+    // Divergence check once up front: neither the sampler nor funnel
+    // accounting may change a single hit.
+    let identical = queries.iter().all(|q| {
+        let a = baseline.search(SearchRequest::new(q.clone()).bypassing_cache());
+        let b = profiled.search(SearchRequest::new(q.clone()).bypassing_cache());
+        let c = explain.search(
+            SearchRequest::new(q.clone())
+                .with_explain(true)
+                .bypassing_cache(),
+        );
+        a.result.hits == b.result.hits && a.result.hits == c.result.hits
+    });
+
+    let pass = |svc: &SearchService, with_explain: bool| {
+        let t0 = std::time::Instant::now();
+        for q in &queries {
+            let mut req = SearchRequest::new(q.clone()).bypassing_cache();
+            if with_explain {
+                req = req.with_explain(true);
+            }
+            let _ = svc.search(req);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+
+    const ROUNDS: usize = 5;
+    let mut baseline_walls = Vec::with_capacity(ROUNDS);
+    let mut profiled_walls = Vec::with_capacity(ROUNDS);
+    let mut explain_walls = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Rotate which leg runs first so thermal/cache drift cancels.
+        match round % 3 {
+            0 => {
+                baseline_walls.push(pass(&baseline, false));
+                profiled_walls.push(pass(&profiled, false));
+                explain_walls.push(pass(&explain, true));
+            }
+            1 => {
+                profiled_walls.push(pass(&profiled, false));
+                explain_walls.push(pass(&explain, true));
+                baseline_walls.push(pass(&baseline, false));
+            }
+            _ => {
+                explain_walls.push(pass(&explain, true));
+                baseline_walls.push(pass(&baseline, false));
+                profiled_walls.push(pass(&profiled, false));
+            }
+        }
+    }
+    let best = |w: &[f64]| w.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = |w: &[f64]| w.iter().cloned().fold(0.0f64, f64::max);
+    let best_baseline = best(&baseline_walls);
+    let best_profiled = best(&profiled_walls);
+    let best_explain = best(&explain_walls);
+    let pct = |wall: f64| 100.0 * (wall / best_baseline.max(1e-12) - 1.0);
+    let profiler_overhead_pct = pct(best_profiled);
+    let explain_overhead_pct = pct(best_explain);
+    let noise_pct = 100.0 * (worst(&baseline_walls) / best_baseline.max(1e-12) - 1.0);
+    let leg_ok = |overhead: f64| overhead <= 2.0 || overhead <= noise_pct;
+    let overhead_ok = leg_ok(profiler_overhead_pct) && leg_ok(explain_overhead_pct);
+    let qps = |wall: f64| queries.len() as f64 / wall.max(1e-12);
+
+    // The sampler must have actually been working while it was measured.
+    let (ticks, has_stacks) = profiled
+        .profiler()
+        .map(|p| (p.ticks(), !p.collapsed_stacks().is_empty()))
+        .unwrap_or((0, false));
+
+    let json = Json::obj([
+        ("experiment", Json::str("profile_overhead")),
+        ("scale", Json::num(hc.scale)),
+        ("k", Json::num(hc.k as f64)),
+        ("alpha", Json::num(hc.alpha)),
+        ("partitions", Json::num(hc.partitions.max(1) as f64)),
+        ("queries", Json::num(queries.len() as f64)),
+        ("rounds", Json::num(ROUNDS as f64)),
+        ("identical", Json::Bool(identical)),
+        ("baseline_best_qps", Json::num(qps(best_baseline))),
+        ("profiled_best_qps", Json::num(qps(best_profiled))),
+        ("explain_best_qps", Json::num(qps(best_explain))),
+        ("profiler_overhead_pct", Json::num(profiler_overhead_pct)),
+        ("explain_overhead_pct", Json::num(explain_overhead_pct)),
+        ("baseline_noise_pct", Json::num(noise_pct)),
+        ("profiler_ticks", Json::num(ticks as f64)),
+        ("collapsed_stacks_nonempty", Json::Bool(has_stacks)),
+        ("overhead_ok", Json::Bool(overhead_ok)),
+    ])
+    .encode()
+        + "\n";
+    let json_note = match std::fs::write(json_path, &json) {
+        Ok(()) => format!("rows written to {}", json_path.display()),
+        Err(e) => format!("could not write {}: {e}", json_path.display()),
+    };
+
+    format!(
+        "Profiler/EXPLAIN overhead A/B/C — {} queries × {ROUNDS} rotated rounds on a\n\
+         {}-shard service (identical hits: {identical}; sampler ticks {ticks}).\n\
+         baseline best {:.1} qps, profiled best {:.1} qps ({profiler_overhead_pct:+.2}%),\n\
+         explain best {:.1} qps ({explain_overhead_pct:+.2}%); baseline noise {noise_pct:.2}%,\n\
+         overhead_ok={overhead_ok}.\n\
+         {json_note}.",
+        queries.len(),
+        hc.partitions.max(1),
+        qps(best_baseline),
+        qps(best_profiled),
+        qps(best_explain),
+    )
+}
+
 /// Snapshot persistence experiment (ROADMAP "production-scale serving"):
 /// cold build vs warm start from a `koios-store` snapshot.
 ///

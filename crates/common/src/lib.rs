@@ -19,6 +19,9 @@
 //! * [`json::Json`] — a minimal JSON value with an encoder/decoder (the wire
 //!   format of the `koios-net` HTTP front-end; crates.io — and therefore
 //!   `serde` — is unreachable here).
+//! * [`profile`] — the publishing side of the cooperative wall-clock
+//!   profiler: per-thread atomic `(stage, shard)` slots the engine and
+//!   service crates write and the `koios-telemetry` sampler reads.
 //!
 //! Entry points: most users only touch [`TokenId`]/[`SetId`] (returned by
 //! `Repository::intern_query` in `koios-embed`) and import the rest through
@@ -29,6 +32,7 @@ pub mod ids;
 pub mod interner;
 pub mod json;
 pub mod memsize;
+pub mod profile;
 pub mod sim;
 pub mod sparse;
 pub mod topk;

@@ -70,6 +70,11 @@ pub struct KoiosConfig {
     /// slow-query log line) records which corpus version answered the
     /// query. Purely observational — the epoch never changes scores.
     pub epoch: u64,
+    /// EXPLAIN mode: collect the per-stage [`crate::stats::FunnelCounts`]
+    /// alongside the usual [`crate::SearchStats`] counters. Off by
+    /// default; results are identical either way — the flag only decides
+    /// whether the funnel accumulator is allocated.
+    pub explain: bool,
 }
 
 impl KoiosConfig {
@@ -98,7 +103,14 @@ impl KoiosConfig {
             time_budget: None,
             token_cache: None,
             epoch: 0,
+            explain: false,
         }
+    }
+
+    /// Turns EXPLAIN-mode funnel accounting on or off (builder style).
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
     }
 
     /// Sets the corpus epoch stamped into every search's stats (builder
@@ -203,6 +215,8 @@ mod tests {
         assert!(c.time_budget.is_some());
         assert!(c.token_cache.is_none());
         assert_eq!(c.epoch, 0);
+        assert!(!c.explain);
+        assert!(c.clone().with_explain(true).explain);
         assert_eq!(c.with_epoch(7).epoch, 7);
     }
 

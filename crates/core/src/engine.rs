@@ -7,7 +7,7 @@ use crate::refine::{refine, RefineOutput};
 use crate::result::SearchResult;
 use crate::stats::SearchStats;
 use crate::theta::SharedTheta;
-use koios_common::{HeapSize, SetId, TokenId};
+use koios_common::{profile, HeapSize, SetId, TokenId};
 use koios_embed::repository::{RepoRef, Repository};
 use koios_embed::sim::ElementSimilarity;
 use koios_index::inverted::InvertedIndex;
@@ -237,6 +237,7 @@ impl<'r> Koios<'r> {
         debug_assert!(q.windows(2).all(|w| w[0] < w[1]), "query must be sorted");
         let mut stats = SearchStats {
             epoch: self.cfg.epoch,
+            funnel: self.cfg.explain.then(Box::default),
             ..SearchStats::default()
         };
         if q.is_empty() {
@@ -248,6 +249,7 @@ impl<'r> Koios<'r> {
         let deadline = effective_deadline(deadline, self.cfg.time_budget);
 
         let t0 = Instant::now();
+        let stage = profile::enter(profile::Stage::Refine);
         let mut stream = TokenStream::new(source, q.len());
         let RefineOutput { survivors, mut llb } = refine(
             self.repo.get(),
@@ -259,12 +261,19 @@ impl<'r> Koios<'r> {
             &mut stats,
             deadline,
         );
+        drop(stage);
         stats.refine_time = t0.elapsed();
         if let Some(c) = stream.source().cache_counters() {
             stats.knn_cache = c;
         }
+        let (knn_hits, knn_misses) = (stats.knn_cache.hits, stats.knn_cache.misses);
+        if let Some(f) = stats.funnel_mut() {
+            f.knn_cache_hits = knn_hits;
+            f.knn_cache_misses = knn_misses;
+        }
 
         let t1 = Instant::now();
+        let _stage = profile::enter(profile::Stage::Postprocess);
         let hits = postprocess(
             self.repo.get(),
             &self.sim,
@@ -281,6 +290,10 @@ impl<'r> Koios<'r> {
 
         let mut result = SearchResult { hits, stats };
         result.sort_hits();
+        let returned = result.hits.len();
+        if let Some(f) = result.stats.funnel_mut() {
+            f.returned = returned;
+        }
         result
     }
 

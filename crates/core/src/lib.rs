@@ -43,8 +43,11 @@ pub use engine::{Koios, OwnedKoios};
 pub use executor::ShardExecutor;
 pub use many_to_one::{bounded_many_to_one_overlap, many_to_one_overlap};
 pub use mutable::{cosine_factory, BatchRejected, MutableEngine, SimFactory};
-pub use overlap::{greedy_overlap, semantic_overlap, semantic_overlap_bounded, similarity_matrix};
+pub use overlap::{
+    greedy_overlap, semantic_overlap, semantic_overlap_bounded,
+    semantic_overlap_bounded_with_effort, similarity_matrix, MatchingEffort,
+};
 pub use partitioned::{OwnedPartitionedKoios, PartitionedKoios};
 pub use result::{Hit, ScoreBound, SearchResult};
-pub use stats::SearchStats;
+pub use stats::{FunnelCounts, SearchStats, ShardFunnel};
 pub use theta::SharedTheta;

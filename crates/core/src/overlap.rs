@@ -23,29 +23,57 @@ pub fn similarity_matrix(
     WeightMatrix::from_vec(query.len(), set.len(), w)
 }
 
+/// The work one verification performed — EXPLAIN-mode bookkeeping for the
+/// funnel's verify stage. Returned by value so the parallel verification
+/// threads of [`crate::postprocess`] can fold efforts after joining
+/// instead of sharing a mutable accumulator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingEffort {
+    /// Cells of the full `|Q| × |C|` α-thresholded similarity matrix that
+    /// were materialised.
+    pub matrix_cells: u64,
+    /// Cells of the non-zero support the Hungarian solver actually relaxed
+    /// (after dropping all-zero rows/columns); 0 when the support was
+    /// empty and no solve ran.
+    pub support_cells: u64,
+}
+
+impl MatchingEffort {
+    /// Folds another verification's effort into this one.
+    pub fn merge(&mut self, other: MatchingEffort) {
+        self.matrix_cells += other.matrix_cells;
+        self.support_cells += other.support_cells;
+    }
+}
+
 /// Drops all-zero rows and columns before solving: elements without a
 /// single `≥ α` edge can never contribute to the matching, so the optimum
 /// is unchanged while the `O(r²·c)` Hungarian instance shrinks to the
 /// non-zero support (typically a small fraction of `|Q| × |C|` — this is
-/// the sparsity the α threshold creates).
-fn solve_compacted(m: &WeightMatrix, theta: Option<f64>) -> MatchOutcome {
+/// the sparsity the α threshold creates). Also reports the support size
+/// the solver saw (the funnel's `support_cells`).
+fn solve_compacted(m: &WeightMatrix, theta: Option<f64>) -> (MatchOutcome, u64) {
     let rows: Vec<usize> = (0..m.rows())
         .filter(|&i| m.row(i).iter().any(|&w| w > 0.0))
         .collect();
     if rows.is_empty() {
-        return MatchOutcome::Exact(koios_matching::Matching {
-            score: 0.0,
-            pairs: Vec::new(),
-        });
+        return (
+            MatchOutcome::Exact(koios_matching::Matching {
+                score: 0.0,
+                pairs: Vec::new(),
+            }),
+            0,
+        );
     }
     let cols: Vec<usize> = (0..m.cols())
         .filter(|&j| rows.iter().any(|&i| m.get(i, j) > 0.0))
         .collect();
+    let support = (rows.len() * cols.len()) as u64;
     if rows.len() == m.rows() && cols.len() == m.cols() {
-        return solve_max_matching(m, theta);
+        return (solve_max_matching(m, theta), support);
     }
     let compact = WeightMatrix::from_fn(rows.len(), cols.len(), |i, j| m.get(rows[i], cols[j]));
-    match solve_max_matching(&compact, theta) {
+    let outcome = match solve_max_matching(&compact, theta) {
         MatchOutcome::Exact(mut mm) => {
             for p in mm.pairs.iter_mut() {
                 *p = (rows[p.0 as usize] as u32, cols[p.1 as usize] as u32);
@@ -53,7 +81,8 @@ fn solve_compacted(m: &WeightMatrix, theta: Option<f64>) -> MatchOutcome {
             MatchOutcome::Exact(mm)
         }
         e => e,
-    }
+    };
+    (outcome, support)
 }
 
 /// The exact semantic overlap `SO(Q, C)`.
@@ -65,7 +94,7 @@ pub fn semantic_overlap(
     set: SetId,
 ) -> f64 {
     let m = similarity_matrix(sim, alpha, query, repo.set(set));
-    solve_compacted(&m, None).score()
+    solve_compacted(&m, None).0.score()
 }
 
 /// Exact semantic overlap with the Lemma-8 early-termination threshold:
@@ -78,8 +107,30 @@ pub fn semantic_overlap_bounded(
     set: SetId,
     theta: Option<f64>,
 ) -> MatchOutcome {
+    semantic_overlap_bounded_with_effort(repo, sim, alpha, query, set, theta).0
+}
+
+/// [`semantic_overlap_bounded`] plus the [`MatchingEffort`] the
+/// verification performed — the EXPLAIN-mode entry point. The outcome is
+/// identical to the plain call; only the bookkeeping differs.
+pub fn semantic_overlap_bounded_with_effort(
+    repo: &Repository,
+    sim: &dyn ElementSimilarity,
+    alpha: f64,
+    query: &[TokenId],
+    set: SetId,
+    theta: Option<f64>,
+) -> (MatchOutcome, MatchingEffort) {
     let m = similarity_matrix(sim, alpha, query, repo.set(set));
-    solve_compacted(&m, theta)
+    let matrix_cells = (m.rows() * m.cols()) as u64;
+    let (outcome, support_cells) = solve_compacted(&m, theta);
+    (
+        outcome,
+        MatchingEffort {
+            matrix_cells,
+            support_cells,
+        },
+    )
 }
 
 /// The greedy matching score (Lemma 3 lower bound; also the non-exact
@@ -93,6 +144,36 @@ pub fn greedy_overlap(
 ) -> f64 {
     let m = similarity_matrix(sim, alpha, query, repo.set(set));
     greedy_matching(&m).score
+}
+
+#[cfg(test)]
+mod effort_tests {
+    use super::*;
+    use koios_embed::repository::RepositoryBuilder;
+    use koios_embed::sim::EqualitySimilarity;
+
+    #[test]
+    fn effort_reports_matrix_and_support_sizes() {
+        let mut b = RepositoryBuilder::new();
+        let id = b.add_set("c", ["LA", "Blain", "NewYork"]);
+        let r = b.build();
+        // "Missing" is not in the vocabulary: intern_query drops it.
+        let q = r.intern_query(["LA", "Blain", "Missing"]);
+        assert_eq!(q.len(), 2);
+        let (outcome, effort) =
+            semantic_overlap_bounded_with_effort(&r, &EqualitySimilarity, 0.5, &q, id, None);
+        assert_eq!(outcome.score(), 2.0);
+        assert_eq!(effort.matrix_cells, 6); // full 2×3 materialised
+        assert_eq!(effort.support_cells, 4); // 2 live rows × 2 live cols
+        let plain = semantic_overlap_bounded(&r, &EqualitySimilarity, 0.5, &q, id, None);
+        assert_eq!(plain.score(), outcome.score());
+
+        let mut total = MatchingEffort::default();
+        total.merge(effort);
+        total.merge(effort);
+        assert_eq!(total.matrix_cells, 12);
+        assert_eq!(total.support_cells, 8);
+    }
 }
 
 #[cfg(test)]

@@ -11,11 +11,11 @@
 use crate::config::KoiosConfig;
 use crate::engine::{effective_deadline, Koios, OwnedKoios};
 use crate::executor::ShardExecutor;
-use crate::overlap::semantic_overlap;
+use crate::overlap::{semantic_overlap, semantic_overlap_bounded_with_effort};
 use crate::result::{Hit, ScoreBound, SearchResult};
-use crate::stats::SearchStats;
+use crate::stats::{SearchStats, ShardFunnel};
 use crate::theta::SharedTheta;
-use koios_common::{SetId, TokenId};
+use koios_common::{profile, SetId, TokenId};
 use koios_embed::repository::{RepoRef, Repository};
 use koios_embed::sim::ElementSimilarity;
 use koios_index::inverted::InvertedIndex;
@@ -278,11 +278,13 @@ impl<'r> PartitionedKoios<'r> {
                 let query: Arc<[TokenId]> = Arc::from(query);
                 let tasks: Vec<_> = engines
                     .iter()
-                    .map(|engine| {
+                    .enumerate()
+                    .map(|(shard, engine)| {
                         let engine = Arc::clone(engine);
                         let theta = Arc::clone(&theta);
                         let query = Arc::clone(&query);
                         move || {
+                            let _stage = profile::enter_shard(profile::Stage::Shard, shard);
                             let shard_start = Instant::now();
                             let result = engine.search_shared_deadline(&query, &theta, deadline);
                             (result, shard_start.elapsed())
@@ -298,9 +300,11 @@ impl<'r> PartitionedKoios<'r> {
                 std::thread::scope(|sc| {
                     let handles: Vec<_> = engines
                         .iter()
-                        .map(|engine| {
+                        .enumerate()
+                        .map(|(shard, engine)| {
                             let theta = &theta;
                             sc.spawn(move || {
+                                let _stage = profile::enter_shard(profile::Stage::Shard, shard);
                                 let shard_start = Instant::now();
                                 let result = engine.search_shared_deadline(query, theta, deadline);
                                 (result, shard_start.elapsed())
@@ -325,17 +329,32 @@ impl<'r> PartitionedKoios<'r> {
         let mut stats = SearchStats::default();
         let mut pool: Vec<Hit> = Vec::new();
         let mut shard_times = Vec::with_capacity(partials.len());
-        for (partial, shard_time) in partials {
+        // EXPLAIN mode: summarize each shard's funnel as a sub-funnel row
+        // before the parallel merge folds the per-shard totals together.
+        let mut shard_rows: Vec<ShardFunnel> = Vec::new();
+        for (shard, (partial, shard_time)) in partials.into_iter().enumerate() {
+            if let Some(f) = partial.stats.funnel.as_deref() {
+                shard_rows.push(ShardFunnel::from_counts(shard, f));
+            }
             stats.merge_parallel(&partial.stats);
             shard_times.push(shard_time);
             pool.extend(partial.hits);
+        }
+        if let Some(f) = stats.funnel_mut() {
+            f.shards = shard_rows;
         }
         // Assigned (not merged): each entry is one shard of *this* search.
         stats.shard_times = shard_times;
         stats.executor_time = executor_time;
         let merge_start = Instant::now();
+        let merge_stage = profile::enter(profile::Stage::Merge);
         let hits = self.merge_partials(&q, pool, deadline, &mut stats);
+        drop(merge_stage);
         stats.merge_time = merge_start.elapsed();
+        let returned = hits.len();
+        if let Some(f) = stats.funnel_mut() {
+            f.returned = returned;
+        }
         SearchResult { hits, stats }
     }
 
@@ -396,15 +415,22 @@ impl<'r> PartitionedKoios<'r> {
                     }
                     stats.em_full += 1; // merge-time verification
                     let verify_start = Instant::now();
-                    let exact = semantic_overlap(
+                    let (outcome, effort) = semantic_overlap_bounded_with_effort(
                         self.repo.get(),
                         self.sim.as_ref(),
                         self.cfg.alpha,
                         q,
                         hit.set,
+                        None,
                     );
                     stats.verify_time += verify_start.elapsed();
-                    exact
+                    if let Some(f) = stats.funnel_mut() {
+                        f.em_verified += 1;
+                        f.merge_verifications += 1;
+                        f.matrix_cells += effort.matrix_cells;
+                        f.support_cells += effort.support_cells;
+                    }
+                    outcome.score()
                 }
             };
             resolved.push(Hit {

@@ -19,13 +19,13 @@
 //! share the global `θlb` (the paper's background thread pool).
 
 use crate::config::KoiosConfig;
-use crate::overlap::semantic_overlap_bounded;
+use crate::overlap::{semantic_overlap_bounded_with_effort, MatchingEffort};
 use crate::refine::Survivor;
 use crate::result::{Hit, ScoreBound};
 use crate::stats::SearchStats;
 use crate::theta::{slack, SharedTheta};
 use koios_common::topk::TopKList;
-use koios_common::{HeapSize, SetId, Sim, TokenId};
+use koios_common::{profile, HeapSize, SetId, Sim, TokenId};
 use koios_embed::repository::Repository;
 use koios_embed::sim::ElementSimilarity;
 use koios_matching::MatchOutcome;
@@ -122,6 +122,9 @@ pub fn postprocess(
             if p.ub < slack(theta.get()) {
                 p.alive = false;
                 stats.postprocess_ub_pruned += 1;
+                if let Some(f) = stats.funnel_mut() {
+                    f.postprocess_ub_pruned += 1;
+                }
                 continue;
             }
             lub.offer(set, ub);
@@ -150,6 +153,9 @@ pub fn postprocess(
             }
             if certified > 0 {
                 stats.no_em += certified;
+                if let Some(f) = stats.funnel_mut() {
+                    f.no_em_certified += certified;
+                }
                 continue;
             }
         }
@@ -157,13 +163,13 @@ pub fn postprocess(
         // Verify the highest-UB unchecked sets (a batch when parallel).
         let batch: Vec<SetId> = unchecked.into_iter().take(cfg.parallel_em.max(1)).collect();
         let verify_start = Instant::now();
-        let outcomes: Vec<(SetId, MatchOutcome)> = if batch.len() == 1 {
+        let _stage = profile::enter(profile::Stage::Verify);
+        let outcomes: Vec<(SetId, MatchOutcome, MatchingEffort)> = if batch.len() == 1 {
             let set = batch[0];
             let th = em_threshold(cfg, theta);
-            vec![(
-                set,
-                semantic_overlap_bounded(repo, sim.as_ref(), cfg.alpha, query, set, th),
-            )]
+            let (outcome, effort) =
+                semantic_overlap_bounded_with_effort(repo, sim.as_ref(), cfg.alpha, query, set, th);
+            vec![(set, outcome, effort)]
         } else {
             std::thread::scope(|sc| {
                 let handles: Vec<_> = batch
@@ -174,17 +180,15 @@ pub fn postprocess(
                             // Read θlb at spawn time: completions of sibling
                             // verifications keep raising it between batches.
                             let th = em_threshold(cfg, theta);
-                            (
+                            let (outcome, effort) = semantic_overlap_bounded_with_effort(
+                                repo,
+                                sim.as_ref(),
+                                cfg.alpha,
+                                query,
                                 set,
-                                semantic_overlap_bounded(
-                                    repo,
-                                    sim.as_ref(),
-                                    cfg.alpha,
-                                    query,
-                                    set,
-                                    th,
-                                ),
-                            )
+                                th,
+                            );
+                            (set, outcome, effort)
                         })
                     })
                     .collect();
@@ -196,24 +200,38 @@ pub fn postprocess(
         };
         stats.verify_time += verify_start.elapsed();
 
-        for (set, outcome) in outcomes {
-            let p = states.get_mut(&set).expect("verified set has state");
+        for (set, outcome, effort) in outcomes {
+            if let Some(f) = stats.funnel_mut() {
+                f.matrix_cells += effort.matrix_cells;
+                f.support_cells += effort.support_cells;
+            }
             match outcome {
                 MatchOutcome::EarlyTerminated { upper_bound } => {
                     stats.em_early_terminated += 1;
+                    if let Some(f) = stats.funnel_mut() {
+                        f.em_early_terminated += 1;
+                    }
                     debug_assert!(upper_bound < theta.get() + 1e-9);
+                    let p = states.get_mut(&set).expect("verified set has state");
                     p.alive = false;
                     p.checked = true;
                     lub.remove(set);
                 }
                 MatchOutcome::Exact(m) => {
                     stats.em_full += 1;
+                    if let Some(f) = stats.funnel_mut() {
+                        f.em_verified += 1;
+                    }
                     let so = m.score;
+                    let p = states.get_mut(&set).expect("verified set has state");
                     p.exact = Some(so);
                     p.checked = true;
                     p.lb = so;
                     p.ub = so;
                     if llb.offer(set, Sim::new(so)) {
+                        if let Some(f) = stats.funnel_mut() {
+                            f.theta_raises += 1;
+                        }
                         if let Some(b) = llb.bottom() {
                             theta.raise(b.get());
                         }
@@ -263,12 +281,18 @@ fn verify_all(
             }
         }
         let verify_start = Instant::now();
-        let wave_scores: Vec<(SetId, f64)> = if wave.len() == 1 {
+        let _stage = profile::enter(profile::Stage::Verify);
+        let wave_scores: Vec<(SetId, f64, MatchingEffort)> = if wave.len() == 1 {
             let set = wave[0].set;
-            vec![(
+            let (outcome, effort) = semantic_overlap_bounded_with_effort(
+                repo,
+                sim.as_ref(),
+                cfg.alpha,
+                query,
                 set,
-                semantic_overlap_bounded(repo, sim.as_ref(), cfg.alpha, query, set, None).score(),
-            )]
+                None,
+            );
+            vec![(set, outcome.score(), effort)]
         } else {
             std::thread::scope(|sc| {
                 let handles: Vec<_> = wave
@@ -277,18 +301,15 @@ fn verify_all(
                         let set = sv.set;
                         let sim = Arc::clone(sim);
                         sc.spawn(move || {
-                            (
+                            let (outcome, effort) = semantic_overlap_bounded_with_effort(
+                                repo,
+                                sim.as_ref(),
+                                cfg.alpha,
+                                query,
                                 set,
-                                semantic_overlap_bounded(
-                                    repo,
-                                    sim.as_ref(),
-                                    cfg.alpha,
-                                    query,
-                                    set,
-                                    None,
-                                )
-                                .score(),
-                            )
+                                None,
+                            );
+                            (set, outcome.score(), effort)
                         })
                     })
                     .collect();
@@ -299,8 +320,13 @@ fn verify_all(
             })
         };
         stats.verify_time += verify_start.elapsed();
-        for (set, so) in wave_scores {
+        for (set, so, effort) in wave_scores {
             stats.em_full += 1;
+            if let Some(f) = stats.funnel_mut() {
+                f.em_verified += 1;
+                f.matrix_cells += effort.matrix_cells;
+                f.support_cells += effort.support_cells;
+            }
             llb.offer(set, Sim::new(so));
             scored.push((so, set));
         }

@@ -171,10 +171,20 @@ pub fn refine<K: KnnSource>(
         stats.stream_tuples += 1;
         let s = tuple.sim;
         last_sim = s;
-        for &set in index.postings(tuple.token) {
+        let posting = index.postings(tuple.token);
+        if let Some(f) = stats.funnel_mut() {
+            f.stream_tuples += 1;
+            f.postings_probed += 1;
+            f.posting_entries_scanned += posting.len();
+            f.posting_lengths.push(posting.len());
+        }
+        for &set in posting {
             // Tombstoned sets stay in posting lists until the owning index
             // is patched; never surface them as candidates (live corpora).
             if !repo.is_live(set) {
+                if let Some(f) = stats.funnel_mut() {
+                    f.tombstone_skips += 1;
+                }
                 continue;
             }
             match states.entry(set) {
@@ -189,10 +199,16 @@ pub fn refine<K: KnnSource>(
                     if cfg.iub_filter && new_key != old_key {
                         buckets.reinsert(old_key.0, old_key.1, new_key.0, new_key.1, set);
                         stats.bucket_moves += 1;
+                        if let Some(f) = stats.funnel_mut() {
+                            f.bucket_moves += 1;
+                        }
                     }
                     if lb_improved {
                         let lb = cand.lb;
                         if llb.offer(set, Sim::new(lb)) {
+                            if let Some(f) = stats.funnel_mut() {
+                                f.theta_raises += 1;
+                            }
                             if let Some(b) = llb.bottom() {
                                 theta.raise(b.get());
                             }
@@ -201,6 +217,9 @@ pub fn refine<K: KnnSource>(
                 }
                 Entry::Vacant(v) => {
                     stats.candidates += 1;
+                    if let Some(f) = stats.funnel_mut() {
+                        f.candidates_discovered += 1;
+                    }
                     let clen = repo.set_len(set) as u32;
                     let cap = (qlen as u32).min(clen);
                     // UB-filter at discovery (Lemma 2 with the §IV cap):
@@ -209,6 +228,9 @@ pub fn refine<K: KnnSource>(
                     // (§VIII-A4) verifies every candidate unpruned.
                     if cfg.iub_filter && (cap as f64) * s < slack(theta.get()) {
                         stats.ub_filter_pruned += 1;
+                        if let Some(f) = stats.funnel_mut() {
+                            f.ub_filter_pruned += 1;
+                        }
                         v.insert(Cand::tombstone(cap));
                         continue;
                     }
@@ -221,6 +243,9 @@ pub fn refine<K: KnnSource>(
                         buckets.insert(key.0, key.1, set);
                     }
                     if llb.offer(set, Sim::new(lb)) {
+                        if let Some(f) = stats.funnel_mut() {
+                            f.theta_raises += 1;
+                        }
                         if let Some(b) = llb.bottom() {
                             theta.raise(b.get());
                         }
@@ -233,11 +258,15 @@ pub fn refine<K: KnnSource>(
         if cfg.iub_filter {
             let th = theta.get();
             if th > last_swept_theta || since_sweep >= cfg.sweep_interval {
-                stats.iub_pruned += buckets.sweep(s, slack(th), |set| {
+                let swept = buckets.sweep(s, slack(th), |set| {
                     if let Some(c) = states.get_mut(&set) {
                         c.prune();
                     }
                 });
+                stats.iub_pruned += swept;
+                if let Some(f) = stats.funnel_mut() {
+                    f.iub_pruned += swept;
+                }
                 last_swept_theta = th;
                 since_sweep = 0;
             }
@@ -259,11 +288,15 @@ pub fn refine<K: KnnSource>(
             UbMode::SoundRowMax => 0.0,
             UbMode::PaperGreedy => cfg.alpha.min(last_sim),
         };
-        stats.iub_pruned += buckets.sweep(s_final, slack(theta.get()), |set| {
+        let swept = buckets.sweep(s_final, slack(theta.get()), |set| {
             if let Some(c) = states.get_mut(&set) {
                 c.prune();
             }
         });
+        stats.iub_pruned += swept;
+        if let Some(f) = stats.funnel_mut() {
+            f.iub_pruned += swept;
+        }
     }
 
     // Memory snapshot of the refinement structures (paper §VIII-D sums the
@@ -290,6 +323,9 @@ pub fn refine<K: KnnSource>(
             .then_with(|| a.set.cmp(&b.set))
     });
     stats.to_postprocess = survivors.len();
+    if let Some(f) = stats.funnel_mut() {
+        f.entered_postprocess = survivors.len();
+    }
     RefineOutput { survivors, llb }
 }
 

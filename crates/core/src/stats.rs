@@ -6,9 +6,271 @@
 //! `refine_time` / `postprocess_time` are the phase-breakdown panels of
 //! Figs. 5–7; `memory` feeds the footprint panels.
 
+use koios_common::json::Json;
 use koios_common::memsize::MemoryReport;
 use koios_index::knn_cache::KnnCacheSearchStats;
 use std::time::Duration;
+
+/// EXPLAIN-mode funnel accounting: stage-by-stage candidate attrition for
+/// one query, from token-stream discovery through the refinement filters
+/// (Lemmas 2 and 4, §V) to verification (Lemmas 7–8) and the returned
+/// top-k. Opt-in via [`crate::KoiosConfig::explain`] — when the flag is
+/// off, [`SearchStats::funnel`] stays `None` and the hot paths pay one
+/// predictable branch per counter site.
+///
+/// Counters that shadow an existing [`SearchStats`] field (e.g.
+/// [`candidates_discovered`](Self::candidates_discovered) vs
+/// [`SearchStats::candidates`]) are incremented at the *same* code sites,
+/// so the two always reconcile exactly; the rest (posting lengths, theta
+/// raises, matching effort, per-shard sub-funnels) exist only here.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FunnelCounts {
+    /// Tuples consumed from the token stream `Ie` (mirrors
+    /// [`SearchStats::stream_tuples`]).
+    pub stream_tuples: usize,
+    /// Distinct query tokens whose inverted-index posting lists were
+    /// walked during candidate discovery.
+    pub postings_probed: usize,
+    /// Total posting entries touched across all probed lists.
+    pub posting_entries_scanned: usize,
+    /// Length of each posting list probed, in probe order — the raw
+    /// material of the per-token fan-out histogram in an explain report.
+    pub posting_lengths: Vec<usize>,
+    /// Posting entries skipped because the set is tombstoned in the
+    /// serving delta-chain (live engines only).
+    pub tombstone_skips: usize,
+    /// Distinct candidate sets discovered (mirrors
+    /// [`SearchStats::candidates`]).
+    pub candidates_discovered: usize,
+    /// Candidates pruned at discovery by the UB-filter (mirrors
+    /// [`SearchStats::ub_filter_pruned`]).
+    pub ub_filter_pruned: usize,
+    /// Candidates pruned by the bucketised iUB filter (mirrors
+    /// [`SearchStats::iub_pruned`]).
+    pub iub_pruned: usize,
+    /// Times the running threshold `θlb` rose (lower-bound tightening
+    /// iterations, Lemma 4).
+    pub theta_raises: usize,
+    /// Moves between iUB buckets (upper-bound tightening iterations;
+    /// mirrors [`SearchStats::bucket_moves`]).
+    pub bucket_moves: usize,
+    /// Candidates surviving refinement into post-processing (mirrors
+    /// [`SearchStats::to_postprocess`]).
+    pub entered_postprocess: usize,
+    /// Post-processing sets discarded because their upper bound fell under
+    /// `θlb` (mirrors [`SearchStats::postprocess_ub_pruned`]).
+    pub postprocess_ub_pruned: usize,
+    /// Sets certified into the top-k without matching (mirrors
+    /// [`SearchStats::no_em`]).
+    pub no_em_certified: usize,
+    /// Exact matchings aborted early (mirrors
+    /// [`SearchStats::em_early_terminated`]).
+    pub em_early_terminated: usize,
+    /// Exact matchings run to completion, including merge-time
+    /// verifications of a partitioned search (mirrors
+    /// [`SearchStats::em_full`]).
+    pub em_verified: usize,
+    /// The subset of [`em_verified`](Self::em_verified) performed by the
+    /// partitioned merge loop on interval-scored hits (§VI).
+    pub merge_verifications: usize,
+    /// Similarity-matrix cells materialised by verification (Hungarian
+    /// input size — the work the funnel's upper stages saved).
+    pub matrix_cells: u64,
+    /// Support-graph cells the bounded Hungarian actually relaxed.
+    pub support_cells: u64,
+    /// Hits returned to the caller.
+    pub returned: usize,
+    /// Query elements answered from the shared kNN cache (mirrors
+    /// [`SearchStats::knn_cache`] hits).
+    pub knn_cache_hits: usize,
+    /// Query elements that scanned the vocabulary (mirrors
+    /// [`SearchStats::knn_cache`] misses).
+    pub knn_cache_misses: usize,
+    /// Per-shard sub-funnels of a partitioned search, indexed by
+    /// partition. Empty for single-engine searches.
+    pub shards: Vec<ShardFunnel>,
+}
+
+/// One partition's contribution to a partitioned search's funnel.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFunnel {
+    /// Partition index.
+    pub shard: usize,
+    /// Stream tuples this shard consumed.
+    pub stream_tuples: usize,
+    /// Candidates this shard discovered.
+    pub candidates: usize,
+    /// Discovery-time UB-filter prunes.
+    pub ub_filter_pruned: usize,
+    /// iUB bucket-filter prunes.
+    pub iub_pruned: usize,
+    /// Candidates entering the shard's post-processing.
+    pub entered_postprocess: usize,
+    /// No-EM certifications.
+    pub no_em_certified: usize,
+    /// Early-terminated matchings.
+    pub em_early_terminated: usize,
+    /// Completed matchings.
+    pub em_verified: usize,
+    /// Hits the shard offered to the merge.
+    pub returned: usize,
+}
+
+impl ShardFunnel {
+    /// Summarizes a shard engine's funnel as one row of the partitioned
+    /// report.
+    pub fn from_counts(shard: usize, f: &FunnelCounts) -> Self {
+        ShardFunnel {
+            shard,
+            stream_tuples: f.stream_tuples,
+            candidates: f.candidates_discovered,
+            ub_filter_pruned: f.ub_filter_pruned,
+            iub_pruned: f.iub_pruned,
+            entered_postprocess: f.entered_postprocess,
+            no_em_certified: f.no_em_certified,
+            em_early_terminated: f.em_early_terminated,
+            em_verified: f.em_verified,
+            returned: f.returned,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("shard", Json::num(self.shard as f64)),
+            ("stream_tuples", Json::num(self.stream_tuples as f64)),
+            ("candidates", Json::num(self.candidates as f64)),
+            ("ub_filter_pruned", Json::num(self.ub_filter_pruned as f64)),
+            ("iub_pruned", Json::num(self.iub_pruned as f64)),
+            (
+                "entered_postprocess",
+                Json::num(self.entered_postprocess as f64),
+            ),
+            ("no_em_certified", Json::num(self.no_em_certified as f64)),
+            (
+                "em_early_terminated",
+                Json::num(self.em_early_terminated as f64),
+            ),
+            ("em_verified", Json::num(self.em_verified as f64)),
+            ("returned", Json::num(self.returned as f64)),
+        ])
+    }
+}
+
+impl FunnelCounts {
+    /// Folds another funnel into this one (partitioned aggregation):
+    /// counters sum, posting lengths and shard rows concatenate.
+    pub fn merge(&mut self, other: &FunnelCounts) {
+        self.stream_tuples += other.stream_tuples;
+        self.postings_probed += other.postings_probed;
+        self.posting_entries_scanned += other.posting_entries_scanned;
+        self.posting_lengths
+            .extend_from_slice(&other.posting_lengths);
+        self.tombstone_skips += other.tombstone_skips;
+        self.candidates_discovered += other.candidates_discovered;
+        self.ub_filter_pruned += other.ub_filter_pruned;
+        self.iub_pruned += other.iub_pruned;
+        self.theta_raises += other.theta_raises;
+        self.bucket_moves += other.bucket_moves;
+        self.entered_postprocess += other.entered_postprocess;
+        self.postprocess_ub_pruned += other.postprocess_ub_pruned;
+        self.no_em_certified += other.no_em_certified;
+        self.em_early_terminated += other.em_early_terminated;
+        self.em_verified += other.em_verified;
+        self.merge_verifications += other.merge_verifications;
+        self.matrix_cells += other.matrix_cells;
+        self.support_cells += other.support_cells;
+        self.returned += other.returned;
+        self.knn_cache_hits += other.knn_cache_hits;
+        self.knn_cache_misses += other.knn_cache_misses;
+        self.shards.extend_from_slice(&other.shards);
+    }
+
+    /// The stage-by-stage survivor counts of the funnel diagram, top to
+    /// bottom: discovered → surviving refinement → entering verification →
+    /// resolved without full matching → verified exactly → returned.
+    pub fn stages(&self) -> [(&'static str, usize); 6] {
+        [
+            ("discovered", self.candidates_discovered),
+            (
+                "survived_refinement",
+                self.candidates_discovered
+                    .saturating_sub(self.ub_filter_pruned + self.iub_pruned),
+            ),
+            ("entered_postprocess", self.entered_postprocess),
+            (
+                "resolved_without_matching",
+                self.postprocess_ub_pruned + self.no_em_certified + self.em_early_terminated,
+            ),
+            ("verified_exactly", self.em_verified),
+            ("returned", self.returned),
+        ]
+    }
+
+    /// The full explain report as a JSON object — the single encoding used
+    /// by the wire reply, the slow-query log and retained traces.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("stream_tuples", Json::num(self.stream_tuples as f64)),
+            ("postings_probed", Json::num(self.postings_probed as f64)),
+            (
+                "posting_entries_scanned",
+                Json::num(self.posting_entries_scanned as f64),
+            ),
+            (
+                "posting_lengths",
+                Json::arr(self.posting_lengths.iter().map(|&l| Json::num(l as f64))),
+            ),
+            ("tombstone_skips", Json::num(self.tombstone_skips as f64)),
+            (
+                "candidates_discovered",
+                Json::num(self.candidates_discovered as f64),
+            ),
+            ("ub_filter_pruned", Json::num(self.ub_filter_pruned as f64)),
+            ("iub_pruned", Json::num(self.iub_pruned as f64)),
+            ("theta_raises", Json::num(self.theta_raises as f64)),
+            ("bucket_moves", Json::num(self.bucket_moves as f64)),
+            (
+                "entered_postprocess",
+                Json::num(self.entered_postprocess as f64),
+            ),
+            (
+                "postprocess_ub_pruned",
+                Json::num(self.postprocess_ub_pruned as f64),
+            ),
+            ("no_em_certified", Json::num(self.no_em_certified as f64)),
+            (
+                "em_early_terminated",
+                Json::num(self.em_early_terminated as f64),
+            ),
+            ("em_verified", Json::num(self.em_verified as f64)),
+            (
+                "merge_verifications",
+                Json::num(self.merge_verifications as f64),
+            ),
+            ("matrix_cells", Json::num(self.matrix_cells as f64)),
+            ("support_cells", Json::num(self.support_cells as f64)),
+            ("returned", Json::num(self.returned as f64)),
+            ("knn_cache_hits", Json::num(self.knn_cache_hits as f64)),
+            ("knn_cache_misses", Json::num(self.knn_cache_misses as f64)),
+            ("shards", Json::arr(self.shards.iter().map(|s| s.to_json()))),
+        ])
+    }
+
+    /// A one-line summary (the slow-log / trace attachment): the funnel
+    /// stages as `name=count` pairs.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, (name, count)) in self.stages().iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(name);
+            out.push('=');
+            out.push_str(&count.to_string());
+        }
+        out
+    }
+}
 
 /// Counters and timings collected by one search.
 #[derive(Debug, Default, Clone)]
@@ -80,9 +342,21 @@ pub struct SearchStats {
     pub epoch: u64,
     /// Peak footprint of the search data structures.
     pub memory: MemoryReport,
+    /// EXPLAIN-mode funnel report. `None` unless the query ran with
+    /// [`crate::KoiosConfig::explain`] — the boxed indirection keeps the
+    /// disabled path at one pointer of overhead.
+    pub funnel: Option<Box<FunnelCounts>>,
 }
 
 impl SearchStats {
+    /// The funnel accumulator when explain mode is on (`None` otherwise).
+    /// Instrumentation sites use this so the disabled path is a single
+    /// branch on a null pointer.
+    #[inline]
+    pub fn funnel_mut(&mut self) -> Option<&mut FunnelCounts> {
+        self.funnel.as_deref_mut()
+    }
+
     /// Total wall time across phases.
     pub fn response_time(&self) -> Duration {
         self.refine_time + self.postprocess_time
@@ -113,6 +387,12 @@ impl SearchStats {
     /// memory adds up, since partition footprints coexist).
     pub fn merge_parallel(&mut self, other: &SearchStats) {
         self.merge_counters(other);
+        if let Some(theirs) = other.funnel.as_deref() {
+            match self.funnel.as_deref_mut() {
+                Some(mine) => mine.merge(theirs),
+                None => self.funnel = Some(Box::new(theirs.clone())),
+            }
+        }
         self.refine_time = self.refine_time.max(other.refine_time);
         self.postprocess_time = self.postprocess_time.max(other.postprocess_time);
         self.verify_time = self.verify_time.max(other.verify_time);
@@ -127,7 +407,9 @@ impl SearchStats {
     /// cumulative engine time — while memory takes the per-label max, since
     /// each search's footprint is a transient snapshot of the same
     /// structures (summing snapshots across a service lifetime would read
-    /// like an unbounded leak).
+    /// like an unbounded leak). Funnel reports are per-query diagnostics
+    /// and are *not* folded — concatenating posting-length vectors across
+    /// a service lifetime would grow without bound.
     pub fn merge_sequential(&mut self, other: &SearchStats) {
         self.merge_counters(other);
         self.refine_time += other.refine_time;
@@ -230,6 +512,68 @@ mod tests {
             vec![Duration::from_millis(9), Duration::from_millis(7)]
         );
         assert!(a.timed_out);
+    }
+
+    #[test]
+    fn funnel_merges_parallel_but_not_sequential() {
+        let funnel = |candidates: usize| {
+            Some(Box::new(FunnelCounts {
+                candidates_discovered: candidates,
+                posting_lengths: vec![candidates],
+                ..FunnelCounts::default()
+            }))
+        };
+        let mut a = SearchStats {
+            funnel: funnel(3),
+            ..Default::default()
+        };
+        let b = SearchStats {
+            funnel: funnel(4),
+            ..Default::default()
+        };
+        a.merge_parallel(&b);
+        let f = a.funnel.as_deref().unwrap();
+        assert_eq!(f.candidates_discovered, 7);
+        assert_eq!(f.posting_lengths, vec![3, 4]);
+
+        // A funnel-less aggregate adopts the other side's report...
+        let mut bare = SearchStats::default();
+        bare.merge_parallel(&a);
+        assert_eq!(bare.funnel.as_deref().unwrap().candidates_discovered, 7);
+        // ...but sequential (service-lifetime) aggregation never folds it.
+        let mut seq = SearchStats::default();
+        seq.merge_sequential(&a);
+        assert!(seq.funnel.is_none());
+    }
+
+    #[test]
+    fn funnel_stages_and_summary_are_consistent() {
+        let f = FunnelCounts {
+            candidates_discovered: 100,
+            ub_filter_pruned: 40,
+            iub_pruned: 30,
+            entered_postprocess: 30,
+            postprocess_ub_pruned: 5,
+            no_em_certified: 10,
+            em_early_terminated: 5,
+            em_verified: 10,
+            returned: 10,
+            ..FunnelCounts::default()
+        };
+        let stages = f.stages();
+        assert_eq!(stages[0], ("discovered", 100));
+        assert_eq!(stages[1], ("survived_refinement", 30));
+        assert_eq!(stages[3], ("resolved_without_matching", 20));
+        assert_eq!(stages[5], ("returned", 10));
+        let summary = f.summary();
+        assert!(summary.contains("discovered=100"), "{summary}");
+        assert!(summary.contains("returned=10"), "{summary}");
+        let json = f.to_json();
+        assert_eq!(
+            json.get("candidates_discovered").unwrap().as_u64(),
+            Some(100)
+        );
+        assert_eq!(json.get("shards").unwrap().as_array().unwrap().len(), 0);
     }
 
     #[test]

@@ -147,6 +147,26 @@ impl InvertedIndex {
     pub fn max_posting_len(&self) -> usize {
         self.postings.iter().map(|p| p.len()).max().unwrap_or(0)
     }
+
+    /// Log2-bucketed histogram of non-empty posting-list lengths: bucket
+    /// `b` counts lists whose length has bit width `b + 1` (bucket 0 =
+    /// length 1, bucket 1 = lengths 2–3, …). The introspection view
+    /// `GET /debug/engine` renders this — posting skew is the paper's
+    /// first-order explanation of slow refinement on WDC-like corpora.
+    pub fn posting_len_histogram(&self) -> Vec<u64> {
+        let mut hist = Vec::new();
+        for p in &self.postings {
+            if p.is_empty() {
+                continue;
+            }
+            let b = (usize::BITS - p.len().leading_zeros() - 1) as usize;
+            if hist.len() <= b {
+                hist.resize(b + 1, 0);
+            }
+            hist[b] += 1;
+        }
+        hist
+    }
 }
 
 impl HeapSize for InvertedIndex {
@@ -184,6 +204,10 @@ mod tests {
         assert_eq!(idx.total_postings(), 7);
         assert_eq!(idx.active_tokens(), 4);
         assert_eq!(idx.max_posting_len(), 3);
+        // Lengths: a→1, b→2, c→3, d→1 ⇒ bucket0 (len 1) = 2, bucket1 = 2.
+        assert_eq!(idx.posting_len_histogram(), vec![2, 2]);
+        let total: u64 = idx.posting_len_histogram().iter().sum();
+        assert_eq!(total as usize, idx.active_tokens());
     }
 
     #[test]

@@ -265,6 +265,22 @@ impl TokenKnnCache {
             .collect()
     }
 
+    /// Per-stripe `(entries, bytes, oldest entry age)` — the deep
+    /// introspection view `GET /debug/cache` renders. The age is measured
+    /// from insertion (not last probe), so a hot-but-old entry still shows
+    /// its true residency; `None` marks an empty stripe. Stripes are
+    /// sampled one at a time, like [`Self::stripe_usage`].
+    pub fn stripe_debug(&self) -> Vec<(usize, usize, Option<Duration>)> {
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                let s = stripe.lock().expect("knn cache stripe");
+                let oldest = s.map.values().map(|e| e.inserted_at.elapsed()).max();
+                (s.map.len(), s.bytes, oldest)
+            })
+            .collect()
+    }
+
     /// The stripe index owning `token`. Mixed, not raw, so dense token-id
     /// ranges (interning hands them out sequentially) spread across
     /// stripes instead of clustering.
@@ -1114,6 +1130,24 @@ mod tests {
             usage.iter().filter(|(n, _)| *n > 0).count() > 1,
             "tokens must spread across stripes, got {usage:?}"
         );
+    }
+
+    #[test]
+    fn stripe_debug_reports_ages_consistent_with_usage() {
+        let cache = TokenKnnCache::new(1 << 20);
+        for t in 0..16u32 {
+            let list: KnnList = Arc::new(vec![(0.9, TokenId(t))]);
+            assert!(cache.insert(TokenId(t), 0.5f64.to_bits(), 0, 0, list));
+        }
+        let usage = cache.stripe_usage();
+        let debug = cache.stripe_debug();
+        assert_eq!(debug.len(), usage.len());
+        for ((n, b), (dn, db, oldest)) in usage.iter().zip(&debug) {
+            assert_eq!(n, dn);
+            assert_eq!(b, db);
+            // Empty stripes report no age; occupied ones a real elapsed.
+            assert_eq!(oldest.is_some(), *dn > 0, "{debug:?}");
+        }
     }
 
     #[test]

@@ -42,6 +42,19 @@ impl Default for MinHashParams {
     }
 }
 
+/// Bucket occupancy of one LSH band (see [`MinHashIndex::band_occupancy`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandOccupancy {
+    /// Band index (`0..params.bands`).
+    pub band: usize,
+    /// Distinct buckets in this band.
+    pub buckets: usize,
+    /// Size of the largest bucket.
+    pub largest_bucket: usize,
+    /// Mean bucket size (`0.0` for an empty band).
+    pub mean_bucket: f64,
+}
+
 /// A MinHash-LSH index over the vocabulary's q-gram sets.
 pub struct MinHashIndex {
     params: MinHashParams,
@@ -203,6 +216,32 @@ impl MinHashIndex {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Per-band bucket occupancy: for each band, `(buckets, largest bucket,
+    /// mean bucket size)`. The introspection view `GET /debug/engine`
+    /// surfaces — skewed bands (one giant bucket) explain slow LSH probes
+    /// the same way long postings explain slow refinement.
+    pub fn band_occupancy(&self) -> Vec<BandOccupancy> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(band, table)| {
+                let buckets = table.len();
+                let largest = table.values().map(Vec::len).max().unwrap_or(0);
+                let entries: usize = table.values().map(Vec::len).sum();
+                BandOccupancy {
+                    band,
+                    buckets,
+                    largest_bucket: largest,
+                    mean_bucket: if buckets == 0 {
+                        0.0
+                    } else {
+                        entries as f64 / buckets as f64
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Estimated heap bytes.
@@ -460,6 +499,24 @@ mod tests {
         // Set removal is a documented no-op on the token-level index.
         grown.remove_set(SetId(0));
         assert_eq!(grown.signatures(), full.signatures());
+    }
+
+    #[test]
+    fn band_occupancy_covers_every_band() {
+        let (repo, _) = setup();
+        let grams = vocabulary_grams(&repo, 3);
+        let index = MinHashIndex::build(&grams, MinHashParams::default());
+        let occ = index.band_occupancy();
+        assert_eq!(occ.len(), MinHashParams::default().bands);
+        // Every non-empty token lands in exactly one bucket per band, so
+        // each band holds vocab-minus-empties entries.
+        let non_empty = repo.vocab_size() - 1; // setup interns one "" token
+        for row in &occ {
+            assert!(row.buckets > 0 && row.buckets <= non_empty);
+            assert!(row.largest_bucket >= 1);
+            let entries = row.mean_bucket * row.buckets as f64;
+            assert!((entries - non_empty as f64).abs() < 1e-9, "{row:?}");
+        }
     }
 
     #[test]

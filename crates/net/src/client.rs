@@ -117,6 +117,33 @@ impl KoiosClient {
         self.request("GET", "/healthz", None)
     }
 
+    /// `GET /healthz?full` — the deep readiness report (epoch, queue
+    /// depth, worker liveness).
+    pub fn healthz_full(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/healthz?full", None)
+    }
+
+    /// `GET /debug/engine` — corpus/index introspection.
+    pub fn debug_engine(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/debug/engine", None)
+    }
+
+    /// `GET /debug/cache` — per-stripe cache introspection.
+    pub fn debug_cache(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/debug/cache", None)
+    }
+
+    /// `GET /debug/profile` — the wall-clock profiler report.
+    pub fn debug_profile(&mut self) -> Result<JsonReply, NetError> {
+        self.request("GET", "/debug/profile", None)
+    }
+
+    /// `GET /debug/profile?format=collapsed` — the flamegraph-ready
+    /// collapsed-stack text (not JSON).
+    pub fn debug_profile_collapsed(&mut self) -> Result<(u16, String), NetError> {
+        self.request_text("GET", "/debug/profile?format=collapsed")
+    }
+
     /// `GET /traces` — sampler stats plus summaries of the retained ring.
     pub fn traces(&mut self) -> Result<JsonReply, NetError> {
         self.request("GET", "/traces", None)

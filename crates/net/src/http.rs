@@ -166,6 +166,16 @@ impl HttpResponse {
         }
     }
 
+    /// A plain-text response (`GET /debug/profile?format=collapsed` — the
+    /// flamegraph-ready collapsed-stack body).
+    pub fn text(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![("content-type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into_bytes(),
+        }
+    }
+
     /// A plain-text response carrying the Prometheus exposition
     /// content-type (text format version 0.0.4) — what scrapers expect
     /// from `GET /metrics`.

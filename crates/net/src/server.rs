@@ -17,7 +17,10 @@
 //! | `GET /stats` | [`ServiceStats`](koios_service::ServiceStats) snapshot |
 //! | `GET /metrics` | Prometheus text exposition of the service registry |
 //! | `GET /traces` | retained request traces (`?id=0x…` for one span tree) |
-//! | `GET /healthz` | liveness + basic shape of the backend |
+//! | `GET /healthz` | liveness + basic shape of the backend (`?full` for the readiness report) |
+//! | `GET /debug/engine` | corpus/index introspection: liveness, posting histograms, MinHash occupancy, memory |
+//! | `GET /debug/cache` | per-stripe occupancy/bytes/age of both striped caches |
+//! | `GET /debug/profile` | wall-clock profiler: self-time table (`?format=collapsed` for flamegraph input) |
 //! | `POST /invalidate` | drop result cache + bump token-cache generation |
 //! | `POST /ingest` | apply a live mutation batch (body: see [`crate::wire`]) |
 //! | `POST /snapshot` | persist the corpus (`{"path": ...}`; appends a delta when chaining) |
@@ -219,15 +222,10 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
         ("GET", "/stats") => HttpResponse::json(200, &wire::stats_to_json(&service.stats())),
         ("GET", "/metrics") => HttpResponse::metrics_text(200, service.render_metrics()),
         ("GET", "/traces") => traces(request, service),
-        ("GET", "/healthz") => HttpResponse::json(
-            200,
-            &Json::obj([
-                ("status", Json::str("ok")),
-                ("partitions", Json::num(service.partitions() as f64)),
-                ("workers", Json::num(service.workers() as f64)),
-                ("sets", Json::num(service.repository().num_sets() as f64)),
-            ]),
-        ),
+        ("GET", "/healthz") => healthz(request, service),
+        ("GET", "/debug/engine") => HttpResponse::json(200, &service.debug_engine()),
+        ("GET", "/debug/cache") => HttpResponse::json(200, &service.debug_cache()),
+        ("GET", "/debug/profile") => debug_profile(request, service),
         ("POST", "/invalidate") => {
             service.invalidate_cache();
             HttpResponse::json(200, &Json::obj([("invalidated", Json::Bool(true))]))
@@ -237,14 +235,72 @@ fn dispatch(request: &HttpRequest, service: &SearchService) -> HttpResponse {
         ("POST", "/reload") => reload(request, service),
         (
             _,
-            "/search" | "/stats" | "/metrics" | "/traces" | "/healthz" | "/invalidate" | "/ingest"
-            | "/snapshot" | "/reload",
+            "/search" | "/stats" | "/metrics" | "/traces" | "/healthz" | "/debug/engine"
+            | "/debug/cache" | "/debug/profile" | "/invalidate" | "/ingest" | "/snapshot"
+            | "/reload",
         ) => HttpResponse::json(
             405,
             &Json::obj([("error", Json::str("method not allowed"))]),
         ),
         _ => HttpResponse::json(404, &Json::obj([("error", Json::str("not found"))])),
     }
+}
+
+/// `GET /healthz` — the bare probe answers with the same four fields it
+/// always has (status, partitions, workers, sets: the cheap fast path load
+/// balancers hammer). `?full` deepens it into a readiness report: serving
+/// epoch, snapshot delta-chain length, queue depth against the worker
+/// width, and worker liveness — `"ready"` flips to `false` when any worker
+/// thread died.
+fn healthz(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let query = request.path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let full = query.split('&').any(|kv| kv == "full" || kv == "full=1");
+    let mut fields = vec![
+        ("status", Json::str("ok")),
+        ("partitions", Json::num(service.partitions() as f64)),
+        ("workers", Json::num(service.workers() as f64)),
+        ("sets", Json::num(service.repository().num_sets() as f64)),
+    ];
+    if full {
+        let workers = service.workers();
+        let live = service.live_workers();
+        let queued = service.queued();
+        fields.push(("epoch", Json::num(service.engine_epoch() as f64)));
+        fields.push((
+            "delta_chain_len",
+            Json::num(service.snapshot_info().map(|s| s.deltas).unwrap_or(0) as f64),
+        ));
+        fields.push(("live_workers", Json::num(live as f64)));
+        fields.push(("queue_depth", Json::num(queued as f64)));
+        // Queue pressure relative to the pool width: >1 means requests are
+        // waiting behind a full complement of busy workers.
+        fields.push((
+            "queue_pressure",
+            Json::num(queued as f64 / workers.max(1) as f64),
+        ));
+        fields.push(("mutable", Json::Bool(service.is_mutable())));
+        fields.push(("ready", Json::Bool(live == workers)));
+    }
+    HttpResponse::json(200, &Json::obj(fields))
+}
+
+/// `GET /debug/profile` — the profiler report. JSON by default (enabled
+/// flag, tick counts, self-time table, collapsed stacks as a string);
+/// `?format=collapsed` serves the collapsed-stack text alone, ready to
+/// pipe into `flamegraph.pl`.
+fn debug_profile(request: &HttpRequest, service: &SearchService) -> HttpResponse {
+    let query = request.path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let collapsed = query.split('&').any(|kv| kv == "format=collapsed");
+    if collapsed {
+        return match service.profiler() {
+            Some(p) => HttpResponse::text(200, p.collapsed_stacks()),
+            None => HttpResponse::json(
+                409,
+                &Json::obj([("error", Json::str("profiler is disabled on this service"))]),
+            ),
+        };
+    }
+    HttpResponse::json(200, &service.debug_profile())
 }
 
 fn search(request: &HttpRequest, service: &SearchService) -> HttpResponse {

@@ -10,9 +10,12 @@
 //!   exactly like [`Repository::intern_query`]) and/or `{"tokens": [1, 2]}`
 //!   (raw token ids, validated against the vocabulary). Optional knobs
 //!   mirror [`SearchRequest`]: `"k"`, `"alpha"`, `"time_budget_ms"`,
-//!   `"bypass_cache"`.
+//!   `"bypass_cache"`, `"explain"`.
 //! * **`POST /search` response** — hits with set id, set name and certified
 //!   score bounds, the cache outcome, rejection/timeout flags and timings.
+//!   An `"explain": true` request additionally carries `"funnel"`: the full
+//!   [`FunnelCounts`](koios_core::FunnelCounts) report (absent when the
+//!   answer came from the result cache — no engine work ran to count).
 //! * **`GET /stats` response** — a [`ServiceStats`] snapshot.
 //!
 //! Malformed payloads return `Err(String)` which the server maps to a 400;
@@ -99,6 +102,12 @@ pub fn parse_search_request(body: &Json, repo: &Repository) -> Result<SearchRequ
         if b {
             req = req.bypassing_cache();
         }
+    }
+    if let Some(v) = body.get("explain") {
+        let b = v
+            .as_bool()
+            .ok_or_else(|| "\"explain\" must be a boolean".to_string())?;
+        req = req.with_explain(b);
     }
     Ok(req)
 }
@@ -269,7 +278,7 @@ pub fn response_to_json(resp: &ServiceResponse, repo: &Repository) -> Json {
         Some(id) => Json::str(koios_common::fingerprint::hex(id)),
         None => Json::Null,
     };
-    Json::obj([
+    let mut fields = vec![
         ("hits", Json::Arr(hits)),
         ("cache", Json::str(cache_outcome_str(resp.cache))),
         ("rejected", Json::Bool(resp.rejected)),
@@ -287,7 +296,13 @@ pub fn response_to_json(resp: &ServiceResponse, repo: &Repository) -> Json {
                 ("knn_cache_misses", Json::num(s.knn_cache.misses as f64)),
             ]),
         ),
-    ])
+    ];
+    // Present exactly when the search ran with funnel accounting: explain
+    // requests answered from the result cache carry no funnel.
+    if let Some(f) = &s.funnel {
+        fields.push(("funnel", f.to_json()));
+    }
+    Json::obj(fields)
 }
 
 /// Encodes a [`ServiceStats`] snapshot as the `GET /stats` reply.

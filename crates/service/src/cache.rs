@@ -335,6 +335,21 @@ impl<K: Eq, V: Clone> StripedLruCache<K, V> {
             .collect()
     }
 
+    /// Per-stripe `(entries, oldest entry age)` — the deep introspection
+    /// view `GET /debug/cache` renders. Age is measured from insertion
+    /// (not last hit), so a hot-but-old entry shows its true residency;
+    /// `None` marks an empty stripe.
+    pub fn stripe_debug(&self) -> Vec<(usize, Option<Duration>)> {
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                let s = stripe.lock().expect("lru stripe");
+                let oldest = s.map.values().map(|e| e.created.elapsed()).max();
+                (s.map.len(), oldest)
+            })
+            .collect()
+    }
+
     /// Counters summed across stripes. Each monotone counter is exact once
     /// concurrent operations have completed.
     pub fn counters(&self) -> CacheCounters {
@@ -755,6 +770,21 @@ mod tests {
             if let Some(v) = c.get(key, &key) {
                 assert_eq!(v, key * 2);
             }
+        }
+    }
+
+    #[test]
+    fn stripe_debug_matches_usage_and_reports_ages() {
+        let c: StripedLruCache<u64, u64> = StripedLruCache::new(64);
+        for key in 0..32u64 {
+            c.insert(key, key, key);
+        }
+        let usage = c.stripe_usage();
+        let debug = c.stripe_debug();
+        assert_eq!(debug.len(), usage.len());
+        for (n, (dn, oldest)) in usage.iter().zip(&debug) {
+            assert_eq!(n, dn);
+            assert_eq!(oldest.is_some(), *dn > 0, "{debug:?}");
         }
     }
 }

@@ -232,6 +232,13 @@ impl WorkerPool {
         self.handles.len()
     }
 
+    /// The number of worker threads still running (a worker that panicked
+    /// out of its loop stops counting — the `/healthz?full` liveness
+    /// signal).
+    pub fn live_workers(&self) -> usize {
+        self.handles.iter().filter(|h| !h.is_finished()).count()
+    }
+
     /// Jobs submitted but not yet picked up by a worker.
     pub fn queued(&self) -> usize {
         self.shared.queue.lock().expect("queue lock").jobs.len()

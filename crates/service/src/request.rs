@@ -31,6 +31,12 @@ pub struct SearchRequest {
     /// lets the service mint its own trace id; the context's `sampled`
     /// flag force-retains the trace in the `GET /traces` ring.
     pub trace: Option<TraceContext>,
+    /// EXPLAIN mode: collect the per-stage funnel report
+    /// ([`koios_core::FunnelCounts`]) alongside the normal stats. Hits are
+    /// byte-identical either way, so explain is deliberately *not* part of
+    /// the cache key — but an explain request served from the cache carries
+    /// no funnel (no engine work ran to count).
+    pub explain: bool,
 }
 
 impl SearchRequest {
@@ -43,6 +49,7 @@ impl SearchRequest {
             time_budget: None,
             bypass_cache: false,
             trace: None,
+            explain: false,
         }
     }
 
@@ -74,6 +81,12 @@ impl SearchRequest {
     /// recorded under `ctx.trace_id`, rooted at `ctx.parent_span`).
     pub fn with_trace(mut self, ctx: TraceContext) -> Self {
         self.trace = Some(ctx);
+        self
+    }
+
+    /// Enables EXPLAIN mode: the response carries the funnel report.
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
         self
     }
 }
@@ -221,10 +234,12 @@ mod tests {
             .with_k(3)
             .with_alpha(0.5)
             .with_time_budget(Duration::from_millis(10))
-            .bypassing_cache();
+            .bypassing_cache()
+            .with_explain(true);
         assert_eq!(r.k, Some(3));
         assert_eq!(r.alpha, Some(0.5));
         assert_eq!(r.time_budget, Some(Duration::from_millis(10)));
         assert!(r.bypass_cache);
+        assert!(r.explain);
     }
 }

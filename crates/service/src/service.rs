@@ -7,7 +7,7 @@ use crate::request::{CacheKey, CacheOutcome, SearchRequest, ServiceResponse};
 use crate::slowlog::{SlowQueryLog, SlowQueryRecord};
 use crate::stats::{ServiceStats, SnapshotInfo};
 use crate::tracer::{record_search_spans, Tracer};
-use koios_common::{SetId, TokenId};
+use koios_common::{profile, Json, SetId, TokenId};
 use koios_core::mutable::{BatchRejected, MutableEngine};
 use koios_core::{
     EngineBackend, Hit, KoiosConfig, OwnedKoios, OwnedPartitionedKoios, SearchResult, SearchStats,
@@ -20,7 +20,7 @@ use koios_index::knn_cache::TokenKnnCache;
 use koios_index::live::Applied;
 use koios_store::snapshot::{SnapshotMeta, StoreError};
 use koios_telemetry::trace::{Trace, TraceBuilder, TraceConfig, TraceSinkStats};
-use koios_telemetry::Registry;
+use koios_telemetry::{Profiler, Registry};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
@@ -68,6 +68,15 @@ pub struct ServiceConfig {
     /// cost. The slow-query-log threshold, when configured, doubles as a
     /// retention rule so every slow-log line resolves to a trace.
     pub tracing: Option<TraceConfig>,
+    /// Sampling period of the cooperative wall-clock profiler
+    /// ([`koios_telemetry::Profiler`]): one background thread reads every
+    /// worker's published `(stage, shard)` slot at this rate and feeds the
+    /// counter matrix behind `GET /debug/profile`. Enabled by default at
+    /// 1 ms (≈1k samples/s — the `harness profile_overhead` gate proves
+    /// the cost is within noise); `None` disables the sampler *and* the
+    /// per-request slot stores (workers publish only while a profiler is
+    /// attached).
+    pub profiler_sample_period: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +90,7 @@ impl Default for ServiceConfig {
             token_cache_ttl: None,
             slow_query_log: None,
             tracing: Some(TraceConfig::default()),
+            profiler_sample_period: Some(Duration::from_millis(1)),
         }
     }
 }
@@ -145,6 +155,19 @@ impl ServiceConfig {
     /// `harness trace_overhead` gate).
     pub fn without_tracing(mut self) -> Self {
         self.tracing = None;
+        self
+    }
+
+    /// Sets the wall-clock profiler's sampling period.
+    pub fn with_profiler_period(mut self, period: Duration) -> Self {
+        self.profiler_sample_period = Some(period);
+        self
+    }
+
+    /// Disables the wall-clock profiler entirely (the A/B baseline of the
+    /// `harness profile_overhead` gate).
+    pub fn without_profiler(mut self) -> Self {
+        self.profiler_sample_period = None;
         self
     }
 }
@@ -341,6 +364,15 @@ struct ServiceInner {
     // Request tracing: id minting + the tail-sampled retention ring.
     // `None` strips every per-request tracing branch.
     tracer: Option<Tracer>,
+    // The cooperative wall-clock profiler: one sampler thread reading the
+    // workers' published `(stage, shard)` slots. `None` leaves the global
+    // profiling flag off, so the slot stores on the request path reduce to
+    // one relaxed load.
+    profiler: Option<Profiler>,
+    // `GET /debug/engine` builds a MinHash index over the vocabulary on
+    // demand (serving backends carry none); memoized per engine epoch so
+    // repeated scrapes pay the build once per corpus version.
+    minhash_memo: Mutex<Option<(u64, Json)>>,
     // Construction instants for `uptime_secs` (monotone) and `start_time`
     // (wall clock, for operators correlating restarts across machines).
     started: Instant,
@@ -562,6 +594,8 @@ impl SearchService {
                 metrics,
                 slowlog: cfg.slow_query_log,
                 tracer,
+                profiler: cfg.profiler_sample_period.map(Profiler::start),
+                minhash_memo: Mutex::new(None),
                 started: Instant::now(),
                 start_time: SystemTime::now(),
             }),
@@ -611,6 +645,7 @@ impl SearchService {
     /// anyway to reclaim their space, and the token-kNN cache is
     /// invalidated by the engine's generation bump.
     pub fn ingest(&self, ops: &[CorpusOp]) -> Result<IngestOutcome, LiveServiceError> {
+        let _profile_stage = profile::enter(profile::Stage::Ingest);
         let t0 = Instant::now();
         let mut w = self.inner.writer.lock().expect("writer lock");
         let engine = w.engine.as_mut().ok_or(LiveServiceError::Immutable)?;
@@ -681,6 +716,7 @@ impl SearchService {
     /// from before the reload can be served after it. Returns the new
     /// provenance (also visible in [`ServiceStats::snapshot`]).
     pub fn reload(&self, path: impl AsRef<Path>) -> Result<SnapshotInfo, LiveServiceError> {
+        let _profile_stage = profile::enter(profile::Stage::Ingest);
         let path = path.as_ref();
         let t0 = Instant::now();
         let mut w = self.inner.writer.lock().expect("writer lock");
@@ -750,6 +786,12 @@ impl SearchService {
     /// Requests submitted but not yet picked up by a worker.
     pub fn queued(&self) -> usize {
         self.pool.queued()
+    }
+
+    /// Worker threads still alive (equal to [`SearchService::workers`]
+    /// unless a worker died — the `/healthz?full` liveness signal).
+    pub fn live_workers(&self) -> usize {
+        self.pool.live_workers()
     }
 
     /// Number of index partitions the backend searches (1 for a single
@@ -1043,6 +1085,240 @@ impl SearchService {
     pub fn exact_overlap(&self, query: &[TokenId], set: SetId) -> f64 {
         self.backend().exact_overlap(query, set)
     }
+
+    /// The wall-clock profiler, when enabled (see
+    /// [`ServiceConfig::profiler_sample_period`]).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.inner.profiler.as_ref()
+    }
+
+    /// The body of `GET /debug/profile`: whether the sampler is attached,
+    /// and when it is, tick counts, the collapsed-stack text (flamegraph
+    /// input) and the self-time table (see [`Profiler::to_json`]).
+    pub fn debug_profile(&self) -> Json {
+        match &self.inner.profiler {
+            Some(p) => {
+                let mut fields = vec![("enabled".to_string(), Json::Bool(true))];
+                if let Json::Obj(rest) = p.to_json() {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            }
+            None => Json::obj([("enabled", Json::Bool(false))]),
+        }
+    }
+
+    /// The body of `GET /debug/cache`: per-stripe occupancy, byte load and
+    /// oldest-entry age for both striped caches, plus their lifetime
+    /// counters. Aggregate occupancy is mirrored onto
+    /// `koios_debug_cache_entries` gauges so scrapes and debug reads agree.
+    pub fn debug_cache(&self) -> Json {
+        let reg = self.inner.metrics.registry();
+        let mirror = |cache: &str, entries: usize| {
+            reg.gauge(
+                "koios_debug_cache_entries",
+                "Entries held, as reported by GET /debug/cache",
+                &[("cache", cache)],
+            )
+            .set(entries.min(i64::MAX as usize) as i64);
+        };
+        let age_secs = |age: Option<Duration>| match age {
+            Some(a) => Json::num(a.as_secs_f64()),
+            None => Json::Null,
+        };
+        let rc = self.inner.cache.counters();
+        mirror("result", self.inner.cache.len());
+        let result = Json::obj([
+            ("capacity", Json::num(self.inner.cache.capacity() as f64)),
+            ("entries", Json::num(self.inner.cache.len() as f64)),
+            (
+                "stripes",
+                Json::arr(self.inner.cache.stripe_debug().into_iter().enumerate().map(
+                    |(i, (entries, oldest))| {
+                        Json::obj([
+                            ("stripe", Json::num(i as f64)),
+                            ("entries", Json::num(entries as f64)),
+                            ("oldest_age_secs", age_secs(oldest)),
+                        ])
+                    },
+                )),
+            ),
+            (
+                "counters",
+                Json::obj([
+                    ("hits", Json::num(rc.hits as f64)),
+                    ("misses", Json::num(rc.misses as f64)),
+                    ("evictions", Json::num(rc.evictions as f64)),
+                    ("insertions", Json::num(rc.insertions as f64)),
+                    ("expirations", Json::num(rc.expirations as f64)),
+                    ("invalidations", Json::num(rc.invalidations as f64)),
+                ]),
+            ),
+        ]);
+        let token = match &self.inner.token_cache {
+            Some(tc) => {
+                let snap = tc.snapshot();
+                mirror("token", snap.entries);
+                Json::obj([
+                    ("budget_bytes", Json::num(snap.budget_bytes as f64)),
+                    ("bytes", Json::num(snap.bytes as f64)),
+                    ("entries", Json::num(snap.entries as f64)),
+                    ("generation", Json::num(snap.generation as f64)),
+                    (
+                        "stripes",
+                        Json::arr(tc.stripe_debug().into_iter().enumerate().map(
+                            |(i, (entries, bytes, oldest))| {
+                                Json::obj([
+                                    ("stripe", Json::num(i as f64)),
+                                    ("entries", Json::num(entries as f64)),
+                                    ("bytes", Json::num(bytes as f64)),
+                                    ("oldest_age_secs", age_secs(oldest)),
+                                ])
+                            },
+                        )),
+                    ),
+                    (
+                        "counters",
+                        Json::obj([
+                            ("hits", Json::num(snap.counters.hits as f64)),
+                            ("misses", Json::num(snap.counters.misses as f64)),
+                            ("evictions", Json::num(snap.counters.evictions as f64)),
+                            ("insertions", Json::num(snap.counters.insertions as f64)),
+                            ("expirations", Json::num(snap.counters.expirations as f64)),
+                            (
+                                "invalidations",
+                                Json::num(snap.counters.invalidations as f64),
+                            ),
+                            (
+                                "rejected_inserts",
+                                Json::num(snap.counters.rejected_inserts as f64),
+                            ),
+                        ]),
+                    ),
+                ])
+            }
+            None => Json::Null,
+        };
+        Json::obj([("result", result), ("token", token)])
+    }
+
+    /// The body of `GET /debug/engine`: live/tombstoned set counts, the
+    /// serving epoch and delta-chain length, per-partition posting-length
+    /// histograms (log2 buckets — the skew behind slow refinement),
+    /// MinHash band occupancy over the vocabulary's 3-gram sets (serving
+    /// backends carry no MinHash index, so one is built on demand and
+    /// memoized per epoch), and resident memory. Key figures are mirrored
+    /// onto `koios_debug_engine_*` gauges.
+    pub fn debug_engine(&self) -> Json {
+        use koios_common::HeapSize;
+        use koios_index::minhash::{vocabulary_grams, MinHashIndex, MinHashParams};
+
+        let backend = self.backend();
+        let repo = backend.repository();
+        let epoch = backend.config().epoch;
+        let live = repo.num_live_sets();
+        let total = repo.num_sets();
+        let rs = repo.stats();
+        let deltas = self.snapshot_info().map(|s| s.deltas).unwrap_or(0);
+
+        let reg = self.inner.metrics.registry();
+        let sets_gauge = |state: &str, n: usize| {
+            reg.gauge(
+                "koios_debug_engine_sets",
+                "Set slots by liveness, as reported by GET /debug/engine",
+                &[("state", state)],
+            )
+            .set(n.min(i64::MAX as usize) as i64);
+        };
+        sets_gauge("live", live);
+        sets_gauge("tombstoned", total - live);
+        reg.gauge(
+            "koios_debug_engine_delta_chain",
+            "Snapshot delta-chain length, as reported by GET /debug/engine",
+            &[],
+        )
+        .set(deltas.min(i64::MAX as usize) as i64);
+
+        let indexes = match (backend.as_single(), backend.as_partitioned()) {
+            (Some(e), _) => vec![e.index()],
+            (_, Some(p)) => p.indexes().iter().collect(),
+            _ => Vec::new(),
+        };
+        let index_bytes: usize = indexes.iter().map(|i| i.heap_size()).sum();
+        let partitions = Json::arr(indexes.iter().enumerate().map(|(i, idx)| {
+            Json::obj([
+                ("partition", Json::num(i as f64)),
+                ("active_tokens", Json::num(idx.active_tokens() as f64)),
+                ("total_postings", Json::num(idx.total_postings() as f64)),
+                ("max_posting_len", Json::num(idx.max_posting_len() as f64)),
+                (
+                    "posting_len_histogram",
+                    Json::arr(
+                        idx.posting_len_histogram()
+                            .into_iter()
+                            .map(|c| Json::num(c as f64)),
+                    ),
+                ),
+            ])
+        }));
+
+        let minhash = {
+            let mut memo = self.inner.minhash_memo.lock().expect("minhash memo");
+            match &*memo {
+                Some((e, json)) if *e == epoch => json.clone(),
+                _ => {
+                    let params = MinHashParams::default();
+                    let grams = vocabulary_grams(repo, 3);
+                    let mh = MinHashIndex::build(&grams, params);
+                    let json = Json::obj([
+                        ("q", Json::num(3.0)),
+                        ("bands", Json::num(params.bands as f64)),
+                        ("rows_per_band", Json::num(params.rows_per_band as f64)),
+                        (
+                            "band_occupancy",
+                            Json::arr(mh.band_occupancy().into_iter().map(|b| {
+                                Json::obj([
+                                    ("band", Json::num(b.band as f64)),
+                                    ("buckets", Json::num(b.buckets as f64)),
+                                    ("largest_bucket", Json::num(b.largest_bucket as f64)),
+                                    ("mean_bucket", Json::num(b.mean_bucket)),
+                                ])
+                            })),
+                        ),
+                    ]);
+                    *memo = Some((epoch, json.clone()));
+                    json
+                }
+            }
+        };
+
+        Json::obj([
+            ("epoch", Json::num(epoch as f64)),
+            ("partitions", Json::num(backend.num_partitions() as f64)),
+            (
+                "sets",
+                Json::obj([
+                    ("live", Json::num(live as f64)),
+                    ("tombstoned", Json::num((total - live) as f64)),
+                    ("total", Json::num(total as f64)),
+                    ("max_size", Json::num(rs.max_size as f64)),
+                    ("avg_size", Json::num(rs.avg_size)),
+                    ("unique_elems", Json::num(rs.unique_elems as f64)),
+                ]),
+            ),
+            ("vocab_size", Json::num(repo.vocab_size() as f64)),
+            ("delta_chain_len", Json::num(deltas as f64)),
+            ("indexes", partitions),
+            ("minhash", minhash),
+            (
+                "memory",
+                Json::obj([
+                    ("repository_bytes", Json::num(repo.heap_size() as f64)),
+                    ("index_bytes", Json::num(index_bytes as f64)),
+                ]),
+            ),
+        ])
+    }
 }
 
 impl ServiceInner {
@@ -1079,6 +1355,10 @@ impl ServiceInner {
     /// The full request lifecycle: normalize → cache probe → admission →
     /// search → cache fill → bookkeeping.
     fn process_one(&self, req: &SearchRequest, submitted: Instant) -> ServiceResponse {
+        // The worker publishes `Search` for the whole request lifecycle;
+        // the engine narrows it to Refine/Postprocess/Verify (and, on the
+        // partitioned backend, per-shard `Shard` slots) as stages begin.
+        let _profile_stage = profile::enter(profile::Stage::Search);
         let queue_time = submitted.elapsed();
         self.metrics.request_queue.record_duration(queue_time);
 
@@ -1106,6 +1386,12 @@ impl ServiceInner {
         if let Some(alpha) = req.alpha {
             cfg.alpha = alpha;
         }
+        // EXPLAIN is additive: a request can turn funnel accounting on, a
+        // service configured with `explain: true` keeps it for every
+        // request. It is *not* part of the cache key (hits are
+        // byte-identical either way), so the flag is folded in after the
+        // overrides but never invalidates cached answers.
+        cfg.explain = cfg.explain || req.explain;
         if cfg.k == 0 || !(cfg.alpha > 0.0 && cfg.alpha <= 1.0) {
             self.stats.lock().expect("stats lock").rejected += 1;
             let trace_id = self.finish_trace(tb, submitted, false, true);
@@ -1221,13 +1507,14 @@ impl ServiceInner {
         // the backend's own, so the shared backend (and its pre-built
         // shard engines) is searched directly — no config-sibling rebuild
         // per request.
-        let result = if req.k.is_none() && req.alpha.is_none() {
-            backend.search_with_deadline(&key.tokens, deadline)
-        } else {
-            backend
-                .with_config(cfg)
-                .search_with_deadline(&key.tokens, deadline)
-        };
+        let result =
+            if req.k.is_none() && req.alpha.is_none() && cfg.explain == backend.config().explain {
+                backend.search_with_deadline(&key.tokens, deadline)
+            } else {
+                backend
+                    .with_config(cfg)
+                    .search_with_deadline(&key.tokens, deadline)
+            };
         let search_time = search_start.elapsed();
         self.metrics.request_search.record_duration(search_time);
         self.record_stages(&result.stats);
@@ -1235,6 +1522,9 @@ impl ServiceInner {
             let off = tb.offset(search_start);
             record_search_spans(tb, &result.stats, off, search_time.as_nanos() as u64);
             tb.set_epoch(eff_epoch);
+            if let Some(f) = &result.stats.funnel {
+                tb.set_funnel(f.summary());
+            }
         }
 
         // Only complete answers are worth caching: a timed-out search holds

@@ -163,6 +163,11 @@ impl SlowQueryRecord<'_> {
                 }
                 line.push(']');
             }
+            // EXPLAIN requests attach the stage funnel, so a retained slow
+            // line answers "where did the candidates go" without a rerun.
+            if let Some(f) = &stats.funnel {
+                let _ = write!(line, ",\"funnel\":\"{}\"", f.summary());
+            }
         }
         line.push('}');
         line
@@ -232,6 +237,24 @@ mod tests {
         assert!(line.contains("\"timed_out\":false"));
         assert!(line.contains("\"trace_id\":\"0x000000000000abcd\""));
         assert!(line.contains("\"trace_depth\":3"));
+    }
+
+    #[test]
+    fn explain_stats_attach_the_funnel_summary() {
+        let (sink, lines) = collecting();
+        let log = SlowQueryLog::new(Duration::ZERO, sink);
+        let stats = SearchStats {
+            funnel: Some(Box::new(koios_core::FunnelCounts {
+                candidates_discovered: 4,
+                returned: 2,
+                ..Default::default()
+            })),
+            ..Default::default()
+        };
+        log.observe(&record(Some(&stats)));
+        let lines = lines.lock().unwrap();
+        assert!(lines[0].contains("\"funnel\":\"discovered=4"));
+        assert!(lines[0].contains("returned=2\""));
     }
 
     #[test]

@@ -45,8 +45,10 @@
 //! assert!(text.contains("koios_stage_seconds_bucket{stage=\"refine\",le=\"+Inf\"} 2"));
 //! ```
 
+pub mod profile;
 pub mod trace;
 
+pub use profile::{CountedTicker, Profiler, RealTicker, SelfTime, Ticker};
 pub use trace::{
     RetainReason, SamplingPolicy, SpanRecord, Trace, TraceBuilder, TraceConfig, TraceContext,
     TraceSink, TraceSinkStats,

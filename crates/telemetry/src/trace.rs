@@ -204,6 +204,10 @@ pub struct Trace {
     pub seq: u64,
     /// When the trace started (in-process only; not serialized).
     pub started: Instant,
+    /// EXPLAIN funnel summary (`stage=count …`), when the request ran with
+    /// funnel accounting — a retained slow trace then answers "where did
+    /// the candidates go" on its own.
+    pub funnel: Option<String>,
 }
 
 impl Trace {
@@ -281,6 +285,7 @@ pub struct TraceBuilder {
     spans: Vec<SpanRecord>,
     next_seq: u64,
     dropped: u64,
+    funnel: Option<String>,
 }
 
 impl TraceBuilder {
@@ -295,6 +300,7 @@ impl TraceBuilder {
             spans: Vec::with_capacity(16),
             next_seq: 0,
             dropped: 0,
+            funnel: None,
         };
         let root = tb.mint_span();
         tb.root = root;
@@ -376,6 +382,11 @@ impl TraceBuilder {
         self.spans[0].epoch = epoch;
     }
 
+    /// Attaches the EXPLAIN funnel summary to the trace.
+    pub fn set_funnel(&mut self, summary: String) {
+        self.funnel = Some(summary);
+    }
+
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
         self.spans.len()
@@ -405,6 +416,7 @@ impl TraceBuilder {
             reason: RetainReason::Sampled,
             seq: 0,
             started: self.started,
+            funnel: self.funnel.clone(),
         }
     }
 
@@ -426,6 +438,7 @@ impl TraceBuilder {
             reason: RetainReason::Sampled,
             seq: 0,
             started: self.started,
+            funnel: self.funnel,
         }
     }
 }
@@ -692,7 +705,7 @@ pub fn span_to_json(span: &SpanRecord) -> Json {
 
 /// Serializes a full trace (span tree + outcome flags) for `GET /traces`.
 pub fn trace_to_json(trace: &Trace) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("trace_id", Json::str(hex(trace.trace_id))),
         ("root", Json::str(hex(trace.root))),
         ("duration_ns", Json::num(trace.duration_ns as f64)),
@@ -702,11 +715,15 @@ pub fn trace_to_json(trace: &Trace) -> Json {
         ("slow", Json::Bool(trace.slow)),
         ("reason", Json::str(trace.reason.as_str())),
         ("dropped_spans", Json::num(trace.dropped_spans as f64)),
-        (
-            "spans",
-            Json::arr(trace.spans.iter().map(span_to_json).collect::<Vec<_>>()),
-        ),
-    ])
+    ];
+    if let Some(f) = &trace.funnel {
+        fields.push(("funnel", Json::str(f.clone())));
+    }
+    fields.push((
+        "spans",
+        Json::arr(trace.spans.iter().map(span_to_json).collect::<Vec<_>>()),
+    ));
+    Json::obj(fields)
 }
 
 /// Serializes a one-line summary (no spans) for the `GET /traces` list.

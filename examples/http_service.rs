@@ -8,7 +8,10 @@
 //! bounces with a 400, a live `/ingest` that mutates the served corpus
 //! mid-flight (then finds the new set by searching for it), a traced
 //! search whose full span tree comes back from `GET /traces`, `/stats`,
-//! a Prometheus `/metrics` scrape, and `/invalidate`.
+//! a Prometheus `/metrics` scrape, an EXPLAIN search whose funnel report
+//! rides back with the hits, the `/healthz?full` readiness report, the
+//! `/debug/engine` + `/debug/cache` introspection pair, the cooperative
+//! profiler's collapsed stacks from `/debug/profile`, and `/invalidate`.
 //!
 //! ```text
 //! cargo run --release --example http_service
@@ -223,6 +226,79 @@ fn main() {
         .lines()
         .filter(|l| highlights.iter().any(|p| l.starts_with(p)))
     {
+        println!("  {line}");
+    }
+
+    // EXPLAIN mode: the same query with `"explain": true` brings the
+    // filter→refine→verify funnel back next to the hits — how many
+    // candidates the inverted index surfaced, how many each pruning
+    // lemma retired, and how many reached an exact matching. The hits
+    // are byte-identical to the plain search; explain is observation
+    // only. (CI greps the funnel line — keep the fields in sync.)
+    let explained = Json::obj([
+        (
+            "tokens",
+            Json::arr(tokens.iter().map(|t| Json::num(t.0 as f64))),
+        ),
+        ("explain", Json::Bool(true)),
+        ("bypass_cache", Json::Bool(true)),
+    ]);
+    let (status, reply) = client.search(&explained).expect("explain search");
+    let funnel = reply.get("funnel").expect("explain reply carries a funnel");
+    let fnum = |key: &str| funnel.get(key).unwrap().as_u64().unwrap();
+    println!(
+        "\nPOST /search (explain) -> {status}; funnel: candidates_discovered={} \
+         ub_filter_pruned={} iub_pruned={} entered_postprocess={} no_em_certified={} \
+         em_verified={} returned={}",
+        fnum("candidates_discovered"),
+        fnum("ub_filter_pruned"),
+        fnum("iub_pruned"),
+        fnum("entered_postprocess"),
+        fnum("no_em_certified"),
+        fnum("em_verified"),
+        fnum("returned"),
+    );
+
+    // The introspection suite: deep readiness, engine/cache internals,
+    // and the cooperative profiler's collapsed stacks (pipe them into
+    // flamegraph.pl as-is).
+    let (_, full) = client.healthz_full().expect("healthz full");
+    println!(
+        "\nGET /healthz?full -> ready {}, epoch {}, live_workers {}/{}, queue_depth {}",
+        full.get("ready").unwrap().as_bool().unwrap(),
+        full.get("epoch").unwrap().as_u64().unwrap(),
+        full.get("live_workers").unwrap().as_u64().unwrap(),
+        full.get("workers").unwrap().as_u64().unwrap(),
+        full.get("queue_depth").unwrap().as_u64().unwrap(),
+    );
+    let (_, engine_dbg) = client.debug_engine().expect("debug engine");
+    let sets = engine_dbg.get("sets").unwrap();
+    println!(
+        "GET /debug/engine -> {} live / {} tombstoned sets, vocab {}, delta_chain {}, \
+         {} minhash bands",
+        sets.get("live").unwrap().as_u64().unwrap(),
+        sets.get("tombstoned").unwrap().as_u64().unwrap(),
+        engine_dbg.get("vocab_size").unwrap().as_u64().unwrap(),
+        engine_dbg.get("delta_chain_len").unwrap().as_u64().unwrap(),
+        engine_dbg
+            .get("minhash")
+            .unwrap()
+            .get("band_occupancy")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len(),
+    );
+    let (_, cache_dbg) = client.debug_cache().expect("debug cache");
+    let rc = cache_dbg.get("result").unwrap();
+    println!(
+        "GET /debug/cache -> result cache {} entr(ies) across {} stripes",
+        rc.get("entries").unwrap().as_u64().unwrap(),
+        rc.get("stripes").unwrap().as_array().unwrap().len(),
+    );
+    let (status, collapsed) = client.debug_profile_collapsed().expect("collapsed profile");
+    println!("GET /debug/profile?format=collapsed -> {status}, sampled stacks:");
+    for line in collapsed.lines().take(8) {
         println!("  {line}");
     }
 

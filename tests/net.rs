@@ -417,3 +417,189 @@ fn shutdown_closes_cleanly() {
     );
     drop(repo);
 }
+
+/// The introspection suite: `/healthz?full`, `/debug/engine`,
+/// `/debug/cache` and `/debug/profile` all serve JSON that round-trips
+/// through the wire codec with the load-bearing fields present, on both
+/// engine backends, and reject non-GET methods like every other route.
+#[test]
+fn debug_suite_round_trips_on_both_backends() {
+    let (repo, sim) = corpus_parts();
+    for (label, service, partitions) in [
+        ("single", single_service(&repo, &sim), 1u64),
+        ("partitioned", partitioned_service(&repo, &sim), 4u64),
+    ] {
+        let service = Arc::new(service);
+        let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = KoiosClient::new(server.addr());
+
+        // Drive real traffic first so caches and profiler have content.
+        for set in 0..4u32 {
+            let body = Json::obj([
+                (
+                    "tokens",
+                    Json::arr(repo.set(SetId(set)).iter().map(|t| Json::num(t.0 as f64))),
+                ),
+                ("explain", Json::Bool(true)),
+            ]);
+            let (status, reply) = client.search(&body).unwrap();
+            assert_eq!(status, 200, "{label}: {reply}");
+            let funnel = reply
+                .get("funnel")
+                .unwrap_or_else(|| panic!("{label}: explain search must return a funnel: {reply}"));
+            assert!(funnel
+                .get("candidates_discovered")
+                .unwrap()
+                .as_u64()
+                .is_some());
+            assert!(funnel.get("returned").unwrap().as_u64().is_some());
+            assert!(funnel.get("shards").unwrap().as_array().is_some());
+        }
+        // A cache hit of the same explain query omits the funnel: the
+        // cache stores hits only, and explain never forks the cache key.
+        let body = Json::obj([
+            (
+                "tokens",
+                Json::arr(repo.set(SetId(0)).iter().map(|t| Json::num(t.0 as f64))),
+            ),
+            ("explain", Json::Bool(true)),
+        ]);
+        let (_, cached) = client.search(&body).unwrap();
+        assert_eq!(
+            cached.get("cache").unwrap().as_str(),
+            Some("hit"),
+            "{label}"
+        );
+        assert!(cached.get("funnel").is_none(), "{label}: {cached}");
+
+        // Deep readiness: the bare fast path keeps its original shape...
+        let (status, bare) = client.healthz().unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            bare.get("ready").is_none(),
+            "{label}: bare healthz stays lean"
+        );
+        // ...while `?full` adds the readiness report.
+        let (status, full) = client.healthz_full().unwrap();
+        assert_eq!(status, 200, "{label}");
+        assert_eq!(full.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            full.get("ready").unwrap().as_bool(),
+            Some(true),
+            "{label}: {full}"
+        );
+        assert_eq!(full.get("workers").unwrap().as_u64(), Some(2));
+        assert_eq!(full.get("live_workers").unwrap().as_u64(), Some(2));
+        assert_eq!(full.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert!(full.get("epoch").unwrap().as_u64().is_some());
+        assert!(full.get("queue_pressure").unwrap().as_f64().is_some());
+
+        // /debug/engine: corpus, per-partition index stats, MinHash bands.
+        let (status, engine) = client.debug_engine().unwrap();
+        assert_eq!(status, 200, "{label}");
+        assert_eq!(
+            engine.get("sets").unwrap().get("live").unwrap().as_u64(),
+            Some(repo.num_sets() as u64),
+            "{label}: {engine}"
+        );
+        assert_eq!(engine.get("partitions").unwrap().as_u64(), Some(partitions));
+        let indexes = engine.get("indexes").unwrap().as_array().unwrap();
+        assert_eq!(indexes.len(), partitions as usize, "{label}");
+        for idx in indexes {
+            assert!(idx.get("active_tokens").unwrap().as_u64().is_some());
+            assert!(idx
+                .get("posting_len_histogram")
+                .unwrap()
+                .as_array()
+                .is_some());
+        }
+        let minhash = engine.get("minhash").unwrap();
+        assert!(!minhash
+            .get("band_occupancy")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert!(
+            engine
+                .get("memory")
+                .unwrap()
+                .get("repository_bytes")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+
+        // /debug/cache: per-stripe occupancy for both striped caches; the
+        // result cache holds the five entries the traffic above inserted.
+        let (status, cache) = client.debug_cache().unwrap();
+        assert_eq!(status, 200, "{label}");
+        let rc = cache.get("result").unwrap();
+        let stripe_total: u64 = rc
+            .get("stripes")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("entries").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            rc.get("entries").unwrap().as_u64(),
+            Some(stripe_total),
+            "{label}"
+        );
+        assert!(
+            stripe_total > 0,
+            "{label}: traffic above must have populated the cache"
+        );
+
+        // /debug/profile: enabled by default, JSON and collapsed forms.
+        let (status, profile) = client.debug_profile().unwrap();
+        assert_eq!(status, 200, "{label}");
+        assert_eq!(profile.get("enabled").unwrap().as_bool(), Some(true));
+        assert!(profile.get("ticks").unwrap().as_u64().is_some());
+        assert!(profile.get("self_time").unwrap().as_array().is_some());
+        let (status, collapsed) = client.debug_profile_collapsed().unwrap();
+        assert_eq!(status, 200, "{label}");
+        for line in collapsed.lines() {
+            assert!(
+                line.starts_with("koios;"),
+                "{label}: bad stack line {line:?}"
+            );
+            let (_, count) = line.rsplit_once(' ').unwrap();
+            count
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("{label}: {line:?}"));
+        }
+
+        // Wrong methods answer 405, like the rest of the route table.
+        for path in ["/debug/engine", "/debug/cache", "/debug/profile"] {
+            let (status, _) = client.request("POST", path, None).unwrap();
+            assert_eq!(status, 405, "{label} {path}");
+        }
+    }
+}
+
+/// A service built `without_profiler` answers 409 on the profiler routes
+/// and omits nothing else: the rest of the debug suite stays up.
+#[test]
+fn profiler_disabled_service_answers_409() {
+    let (repo, sim) = corpus_parts();
+    let service = Arc::new(SearchService::new(
+        Arc::clone(&repo),
+        Arc::clone(&sim),
+        KoiosConfig::new(5, 0.8),
+        ServiceConfig::new().with_workers(2).without_profiler(),
+    ));
+    let server = KoiosServer::bind(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = KoiosClient::new(server.addr());
+
+    let (status, profile) = client.debug_profile().unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(profile.get("enabled").unwrap().as_bool(), Some(false));
+    let (status, _) = client.debug_profile_collapsed().unwrap();
+    assert_eq!(status, 409);
+    let (status, _) = client.debug_engine().unwrap();
+    assert_eq!(status, 200);
+}
